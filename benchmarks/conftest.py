@@ -1,0 +1,28 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables/figures (or an
+ablation of a design choice DESIGN.md calls out) and *emits* the rendered
+table.  Emitted tables are shown in the terminal summary at the end of the
+run (pytest's fd-level capture would otherwise swallow them), so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` leaves a
+complete reproduction record.  Shape assertions (who wins, by roughly what
+factor) guard each result; absolute numbers are host-dependent and
+unasserted.
+"""
+
+_emitted: list[str] = []
+
+
+def emit(text: str) -> None:
+    """Record a reproduction table for the end-of-run report."""
+    _emitted.append(text)
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _emitted:
+        return
+    terminalreporter.write_sep("=", "reproduction tables")
+    for block in _emitted:
+        terminalreporter.write_line("")
+        for line in block.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,52 @@
+"""Extension benchmark: LARD vs the paper's schemes (future-work study).
+
+The paper's conclusion: "In the future, we will further investigate more
+sophisticated load-balancing algorithm[s]".  LARD (Pai et al., ASPLOS
+1998) is the canonical contemporary: content-aware like the paper's
+distributor, but with a *dynamic* content-to-server assignment over a
+fully replicated cluster instead of a static partition.
+
+Two regimes on Workload A:
+
+* **cold caches** -- LARD's home turf: locality builds per-node working
+  sets on the fly, so it must beat content-blind WLC;
+* **steady state (prewarmed)** -- the paper's static partition, which
+  also encodes node *capacity* (dynamic on fast CPUs, video on fast
+  disks), stays on top on this heterogeneous testbed in both regimes.
+"""
+
+from conftest import emit
+from repro.experiments import ExperimentConfig, build_deployment
+from repro.workload import WORKLOAD_A
+
+
+def run(scheme, prewarm, clients=90, duration=14.0, warmup=4.0):
+    config = ExperimentConfig(scheme=scheme, workload=WORKLOAD_A,
+                              duration=duration, warmup=warmup,
+                              prewarm=prewarm, seed=42)
+    return build_deployment(config).run(clients)["throughput_rps"]
+
+
+class TestLardExtension:
+    def test_lard_vs_paper_schemes(self, benchmark):
+        schemes = ("replication-l4", "replication-lard", "partition-ca")
+        results = benchmark.pedantic(
+            lambda: {
+                "cold": {s: run(s, prewarm=False) for s in schemes},
+                "warm": {s: run(s, prewarm=True) for s in schemes},
+            }, rounds=1, iterations=1)
+        lines = ["Extension: LARD vs the paper's schemes "
+                 "(Workload A, 90 clients, req/s)"]
+        for regime in ("cold", "warm"):
+            row = "  ".join(f"{s}={results[regime][s]:7.1f}"
+                            for s in schemes)
+            lines.append(f"  {regime:4s}: {row}")
+        emit("\n".join(lines))
+
+        cold, warm = results["cold"], results["warm"]
+        # LARD's locality beats content-blind WLC from cold caches
+        assert cold["replication-lard"] > cold["replication-l4"]
+        # the paper's heterogeneity-aware static partition wins both
+        # regimes on this testbed
+        assert cold["partition-ca"] > cold["replication-lard"]
+        assert warm["partition-ca"] > warm["replication-lard"]

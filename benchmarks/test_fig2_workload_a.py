@@ -1,0 +1,41 @@
+"""Figure 2 reproduction: benefit of content partition (Workload A).
+
+Paper's shape: the NFS-shared configuration "performed very poorly compared
+to the other two content placement schemes" (the file server is the
+bottleneck), and "content partition with content-aware routing consistently
+achieved a greater throughput" than full replication (reduced per-node
+working set -> better memory-cache hit rates).
+"""
+
+from conftest import emit
+from repro.experiments import figure2
+
+
+class TestFigure2:
+    def test_figure2_reproduction(self, benchmark):
+        result = benchmark.pedantic(
+            lambda: figure2(clients=(15, 30, 60, 90, 120),
+                            duration=14.0, warmup=4.0),
+            rounds=1, iterations=1)
+        emit(result["rendered"])
+        replication = result["series"]["replication-l4"]
+        nfs = result["series"]["nfs-l4"]
+        partition = result["series"]["partition-ca"]
+
+        # NFS far below both alternatives at every load level
+        for n, r, p in zip(nfs, replication, partition):
+            assert n < 0.75 * r, "NFS must trail full replication"
+            assert n < 0.75 * p, "NFS must trail content partition"
+
+        # NFS is flat: the file server saturates early
+        assert max(nfs) < 1.3 * min(nfs)
+
+        # partition + content-aware routing consistently above replication
+        wins = sum(1 for p, r in zip(partition, replication) if p > r)
+        assert wins >= 4, (
+            f"partition must beat replication consistently, won {wins}/5")
+
+        # cache mechanism: partition's per-node working set fits in memory
+        last = result["details"]["partition-ca"][-1]
+        base = result["details"]["replication-l4"][-1]
+        assert last["mean_cache_hit_rate"] > base["mean_cache_hit_rate"]

@@ -1,0 +1,33 @@
+"""Figure 3 reproduction: benefit of content partition (Workload B).
+
+Paper's shape: "the throughput achieved with our proposed system
+outperforms that of content full-replication with Weighted-Least-Connection
+load distribution" -- content-blind dispatch sends CPU-heavy dynamic
+requests to slow/low-memory nodes, where they take orders of magnitude
+longer.
+"""
+
+from conftest import emit
+from repro.experiments import figure3
+
+
+class TestFigure3:
+    def test_figure3_reproduction(self, benchmark):
+        result = benchmark.pedantic(
+            lambda: figure3(clients=(15, 30, 60, 90, 120),
+                            duration=14.0, warmup=4.0),
+            rounds=1, iterations=1)
+        emit(result["rendered"])
+        replication = result["series"]["replication-l4"]
+        partition = result["series"]["partition-ca"]
+
+        # the content-aware configuration wins at every load level
+        for n, (p, r) in enumerate(zip(partition, replication)):
+            assert p > r, f"partition-ca must win at point {n}: {p} vs {r}"
+
+        # and the margin grows toward saturation (heterogeneity bites
+        # hardest when the cluster is busiest)
+        first_gain = partition[0] / replication[0]
+        last_gain = partition[-1] / replication[-1]
+        assert last_gain > first_gain
+        assert last_gain > 1.2, f"saturation gain too small: {last_gain:.2f}"

@@ -1,0 +1,31 @@
+"""Figure 4 reproduction: benefit of content segregation at saturation.
+
+Paper: "Figure 4 shows the throughput when the server was saturated by 120
+concurrent WebBench clients.  In the content-aware router with content
+segregation, the average CGI request, average ASP request, and average
+static request ... increased by 45 percent, 42 percent, and 58 percent
+respectively."
+
+We assert the direction (every class gains) and the band (tens of
+percent), not the exact 1999 percentages.
+"""
+
+from conftest import emit
+from repro.experiments import figure4
+
+
+class TestFigure4:
+    def test_figure4_reproduction(self, benchmark):
+        result = benchmark.pedantic(
+            lambda: figure4(n_clients=120, duration=16.0, warmup=4.0),
+            rounds=1, iterations=1)
+        emit(result["rendered"] +
+             "\npaper gains: CGI +45%, ASP +42%, static +58%")
+        for klass in ("cgi", "asp", "static"):
+            gain = result["classes"][klass]["gain_pct"]
+            assert gain > 15.0, f"{klass} gain too small: {gain:.1f}%"
+            assert gain < 150.0, f"{klass} gain implausibly large: {gain:.1f}%"
+
+        # the paper's headline: segregation helps *static* content a lot
+        # (short requests no longer delayed by long-running ones)
+        assert result["classes"]["static"]["gain_pct"] > 25.0

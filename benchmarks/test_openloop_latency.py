@@ -1,0 +1,56 @@
+"""Extension benchmark: open-loop latency vs offered load (hockey stick).
+
+The paper evaluates with a closed-loop generator (WebBench), which cannot
+show queueing onset directly.  Replaying Poisson traces at increasing
+offered rates exposes where each placement scheme's latency knee sits --
+the partition + content-aware configuration sustains a higher offered load
+before p95 latency explodes.
+"""
+
+from conftest import emit
+from repro.experiments import ExperimentConfig, build_deployment
+from repro.sim import RngStream
+from repro.workload import WORKLOAD_A, TraceReplayer, generate_trace
+
+RATES = (200, 500, 800)
+DURATION = 10.0
+WARMUP = 2.0
+
+
+def run_point(scheme: str, rate: int) -> dict:
+    config = ExperimentConfig(scheme=scheme, workload=WORKLOAD_A,
+                              duration=DURATION, warmup=WARMUP, seed=42)
+    deployment = build_deployment(config)
+    trace = generate_trace(deployment.sampler, rate=rate,
+                           duration=DURATION - 1.0,
+                           rng=RngStream(42, "openloop"))
+    replayer = TraceReplayer(deployment.sim, deployment.frontend.submit,
+                             trace, warmup=WARMUP)
+    deployment.sim.run(until=DURATION)
+    return replayer.summary(DURATION)
+
+
+class TestOpenLoopLatency:
+    def test_latency_knee_by_scheme(self, benchmark):
+        schemes = ("replication-l4", "partition-ca")
+        results = benchmark.pedantic(
+            lambda: {s: {r: run_point(s, r) for r in RATES}
+                     for s in schemes},
+            rounds=1, iterations=1)
+        lines = ["Extension: open-loop p95 latency (ms) vs offered load"]
+        header = "  offered req/s: " + "  ".join(f"{r:>7d}" for r in RATES)
+        lines.append(header)
+        for s in schemes:
+            vals = "  ".join(
+                f"{results[s][r]['latency_p95'] * 1000:7.1f}" for r in RATES)
+            lines.append(f"  {s:16s} {vals}")
+        emit("\n".join(lines))
+
+        for s in schemes:
+            p95 = [results[s][r]["latency_p95"] for r in RATES]
+            # latency must rise with offered load (queueing builds)
+            assert p95[-1] > p95[0]
+        # at the highest offered rate, the content-aware partition keeps
+        # latency lower than content-blind replication
+        assert results["partition-ca"][800]["latency_p95"] < \
+            results["replication-l4"][800]["latency_p95"]

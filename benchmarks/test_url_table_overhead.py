@@ -1,0 +1,84 @@
+"""§5.2 reproduction: URL-table memory footprint and lookup latency.
+
+Paper: "Our Web site contains about 8700 Web objects.  In such scale, the
+memory consumed by the URL table is about 260k bytes.  During the peak
+load, the average lookup time is about 4.32 usecs."
+
+Plus the ablation for the recently-accessed-entry cache ([28]'s
+demultiplexing-speedup technique).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.content import generate_catalog
+from repro.core import UrlTable
+from repro.experiments import url_table_overhead
+from repro.sim import RngStream, ZipfSampler
+
+
+def build_table(n_objects=8700, cache_entries=512):
+    rng = RngStream(42, "bench/url")
+    catalog = generate_catalog(n_objects, rng=rng.substream("catalog"))
+    table = UrlTable(cache_entries=cache_entries)
+    for item in catalog:
+        table.insert(item, {"node-1"})
+    paths = sorted(catalog.paths())
+    zipf = ZipfSampler(len(paths), alpha=0.8, rng=rng.substream("zipf"))
+    stream = [paths[zipf.sample() - 1] for _ in range(4096)]
+    return table, stream
+
+
+class TestSection52:
+    def test_lookup_latency_at_paper_scale(self, benchmark):
+        """Mean lookup time over a Zipf stream at 8700 objects."""
+        table, stream = build_table()
+        idx = iter(range(10 ** 9))
+
+        def lookup():
+            table.lookup(stream[next(idx) % len(stream)])
+
+        benchmark(lookup)
+        result = url_table_overhead(n_objects=8700, lookups=20000)
+        emit(result["rendered"] +
+             f"\npaper: ~260 KB, ~4.32 us  |  measured: "
+             f"{result['memory_kb']:.0f} KB, {result['mean_lookup_us']:.2f} us")
+        assert 130 <= result["memory_kb"] <= 520
+        assert result["mean_lookup_us"] < 50.0
+
+    def test_lookup_latency_without_entry_cache(self, benchmark):
+        """Ablation: disable the recently-accessed-entry cache."""
+        table, stream = build_table(cache_entries=0)
+        idx = iter(range(10 ** 9))
+
+        def lookup():
+            table.lookup(stream[next(idx) % len(stream)])
+
+        benchmark(lookup)
+        assert table.cache_hits == 0
+
+    def test_entry_cache_speedup(self, benchmark):
+        """The cache must actually absorb a Zipf stream's repeats."""
+        cached = url_table_overhead(n_objects=8700, lookups=20000)
+        uncached = url_table_overhead(n_objects=8700, lookups=20000,
+                                      cache_entries=0)
+        emit(f"entry-cache ablation: with={cached['mean_lookup_us']:.2f} us "
+             f"(hit rate {cached['cache_hit_rate']:.0%}), "
+             f"without={uncached['mean_lookup_us']:.2f} us")
+        assert cached["cache_hit_rate"] > 0.3
+
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    def test_insert_throughput(self, benchmark):
+        """Table build cost at site scale (management-plane operation)."""
+        rng = RngStream(7, "bench/insert")
+        catalog = list(generate_catalog(2000, rng=rng))
+
+        def build():
+            table = UrlTable()
+            for item in catalog:
+                table.insert(item, {"n1"})
+            return table
+
+        table = benchmark(build)
+        assert len(table) == 2000

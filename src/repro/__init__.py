@@ -1,0 +1,17 @@
+"""repro -- reproduction of Yang & Luo, "A Content Placement and Management
+System for Distributed Web-Server Systems" (ICDCS 2000).
+
+The package is layered bottom-up:
+
+``repro.sim``          discrete-event simulation kernel
+``repro.net``          packets, TCP, HTTP, and the 100 Mbps LAN model
+``repro.content``      content items, synthetic site catalogs, document trees
+``repro.cluster``      heterogeneous backend servers, caches, disks, NFS
+``repro.core``         the paper's contribution: content-aware distributor,
+                       URL table, placement schemes, load balancing, failover
+``repro.mgmt``         controller / broker / agent management system
+``repro.workload``     WebBench-style closed-loop load generation
+``repro.experiments``  testbed construction and figure/table reproduction
+"""
+
+__version__ = "1.0.0"

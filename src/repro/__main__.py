@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figures``   reproduce the paper's Figures 2/3/4 (all by default)
+``overhead``  the §5.2 URL-table overhead table
+``run``       one experiment cell (scheme x workload x clients)
+``schemes``   list available placement/routing schemes
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (SCHEMES, ExperimentConfig, build_deployment,
+                          figure2, figure3, figure4, render_table,
+                          sweep_clients, url_table_overhead, write_csv)
+from .workload import WORKLOAD_A, WORKLOAD_B
+
+
+def _parse_clients(text: str) -> tuple[int, ...]:
+    try:
+        counts = tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}")
+    if not counts or any(c < 1 for c in counts):
+        raise argparse.ArgumentTypeError("client counts must be >= 1")
+    return counts
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    wanted = args.figure
+    if wanted in ("2", "all"):
+        print(figure2(clients=args.clients, duration=args.duration,
+                      warmup=args.warmup, seed=args.seed)["rendered"], "\n")
+    if wanted in ("3", "all"):
+        print(figure3(clients=args.clients, duration=args.duration,
+                      warmup=args.warmup, seed=args.seed)["rendered"], "\n")
+    if wanted in ("4", "all"):
+        print(figure4(n_clients=args.clients[-1], duration=args.duration,
+                      warmup=args.warmup, seed=args.seed)["rendered"])
+    return 0
+
+
+def cmd_overhead(args: argparse.Namespace) -> int:
+    result = url_table_overhead(n_objects=args.objects,
+                                lookups=args.lookups, seed=args.seed)
+    print(result["rendered"])
+    print("paper reports: ~8700 objects, ~260 KB, ~4.32 us")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    workload = WORKLOAD_A if args.workload == "A" else WORKLOAD_B
+    config = ExperimentConfig(scheme=args.scheme, workload=workload,
+                              duration=args.duration, warmup=args.warmup,
+                              seed=args.seed, n_objects=args.objects)
+    deployment = build_deployment(config)
+    result = deployment.run(args.clients[-1])
+    rows = [["throughput req/s", round(result["throughput_rps"], 1)],
+            ["completed", result["completed"]],
+            ["errors", result["errors"]],
+            ["latency p50 ms", round(result["latency_p50"] * 1000, 1)],
+            ["latency p95 ms", round(result["latency_p95"] * 1000, 1)],
+            ["mean cache hit rate",
+             round(result["mean_cache_hit_rate"], 3)]]
+    for klass, rps in sorted(result["by_class"].items()):
+        rows.append([f"  {klass} req/s", round(rps, 1)])
+    print(render_table(
+        f"{args.scheme} / workload {workload.name} / "
+        f"{args.clients[-1]} clients", ["metric", "value"], rows))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    workload = WORKLOAD_A if args.workload == "A" else WORKLOAD_B
+    result = sweep_clients(args.scheme, workload, args.clients,
+                           seed=args.seed, duration=args.duration,
+                           warmup=args.warmup, n_objects=args.objects)
+    write_csv(result, args.output)
+    print(f"wrote {len(result.rows)} rows to {args.output}")
+    return 0
+
+
+def cmd_schemes(args: argparse.Namespace) -> int:
+    descriptions = {
+        "replication-l4": "full replication + L4 router (WLC) -- config 1",
+        "nfs-l4": "shared NFS + L4 router (WLC) -- config 2",
+        "partition-ca": "content partition + content-aware distributor "
+                        "-- config 3 (the paper's proposal)",
+        "replication-lard": "full replication + LARD (extension)",
+    }
+    for scheme in SCHEMES:
+        print(f"{scheme:18s} {descriptions.get(scheme, '')}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Yang & Luo, ICDCS 2000: content "
+                    "placement and management for distributed web servers")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--seed", type=int, default=42)
+        p.add_argument("--duration", type=float, default=14.0,
+                       help="simulated seconds per point")
+        p.add_argument("--warmup", type=float, default=4.0)
+        p.add_argument("--clients", type=_parse_clients,
+                       default=(15, 30, 60, 90, 120),
+                       help="comma-separated client counts")
+
+    p_fig = sub.add_parser("figures", help="reproduce Figures 2/3/4")
+    p_fig.add_argument("--figure", choices=("2", "3", "4", "all"),
+                       default="all")
+    common(p_fig)
+    p_fig.set_defaults(func=cmd_figures)
+
+    p_ovh = sub.add_parser("overhead", help="the §5.2 URL-table table")
+    p_ovh.add_argument("--objects", type=int, default=8700)
+    p_ovh.add_argument("--lookups", type=int, default=20000)
+    p_ovh.add_argument("--seed", type=int, default=42)
+    p_ovh.set_defaults(func=cmd_overhead)
+
+    p_run = sub.add_parser("run", help="run one experiment cell")
+    p_run.add_argument("--scheme", choices=SCHEMES, default="partition-ca")
+    p_run.add_argument("--workload", choices=("A", "B"), default="A")
+    p_run.add_argument("--objects", type=int, default=None)
+    common(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_swp = sub.add_parser("sweep",
+                           help="sweep client counts, write CSV")
+    p_swp.add_argument("--scheme", choices=SCHEMES, default="partition-ca")
+    p_swp.add_argument("--workload", choices=("A", "B"), default="A")
+    p_swp.add_argument("--objects", type=int, default=None)
+    p_swp.add_argument("--output", default="sweep.csv")
+    common(p_swp)
+    p_swp.set_defaults(func=cmd_sweep)
+
+    p_sch = sub.add_parser("schemes", help="list placement/routing schemes")
+    p_sch.set_defaults(func=cmd_schemes)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

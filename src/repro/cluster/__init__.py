@@ -1,0 +1,17 @@
+"""Cluster substrate: heterogeneous backend servers and the NFS alternative."""
+
+from .cache import LruCache
+from .cpu import Cpu
+from .disk import Disk
+from .nfs import NfsServer
+from .server import BackendServer, ServiceCosts
+from .spec import (IDE_DISK_4GB, REFERENCE_MHZ, SCSI_DISK_4GB, SCSI_DISK_8GB,
+                   DiskSpec, NodeSpec, distributor_spec, paper_testbed_specs)
+from .store import LocalStore, StoreFullError
+
+__all__ = [
+    "DiskSpec", "NodeSpec", "IDE_DISK_4GB", "SCSI_DISK_4GB", "SCSI_DISK_8GB",
+    "REFERENCE_MHZ", "paper_testbed_specs", "distributor_spec",
+    "LruCache", "Cpu", "Disk", "LocalStore", "StoreFullError",
+    "NfsServer", "BackendServer", "ServiceCosts",
+]

@@ -1,0 +1,94 @@
+"""Byte-capacity LRU cache modelling a node's in-memory content cache.
+
+Figure 2's result rests on this component: "in the content partition scheme
+each server only poses part of the content, so that each server sees a
+smaller set of distinct requests and the working set size is reduced.  This
+greatly increases performance due to the improved hit rates in the memory
+cache."
+
+Whole objects are cached (the unit the web server serves).  Objects larger
+than ``bypass_fraction`` of the capacity bypass the cache entirely -- one
+video must not evict the node's whole working set, which matches how OS page
+caches behave for streaming reads in practice.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["LruCache"]
+
+
+class LruCache:
+    """LRU over (key -> size_bytes) with a byte-capacity bound."""
+
+    def __init__(self, capacity_bytes: int, bypass_fraction: float = 0.25,
+                 name: str = ""):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        if not 0.0 < bypass_fraction <= 1.0:
+            raise ValueError("bypass_fraction must be in (0, 1]")
+        self.capacity_bytes = capacity_bytes
+        self.bypass_bytes = int(capacity_bytes * bypass_fraction)
+        self.name = name
+        self._entries: OrderedDict[str, int] = OrderedDict()
+        self.used_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.bypasses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def access(self, key: str) -> bool:
+        """Record an access; returns True on hit (and freshens recency)."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def admit(self, key: str, size_bytes: int) -> bool:
+        """Insert after a miss.  Returns False if the object bypasses.
+
+        Re-admitting an existing key refreshes it (and its size, if the
+        object changed).
+        """
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        if size_bytes > self.bypass_bytes:
+            self.bypasses += 1
+            return False
+        if key in self._entries:
+            self.used_bytes -= self._entries.pop(key)
+        self._entries[key] = size_bytes
+        self.used_bytes += size_bytes
+        self.insertions += 1
+        while self.used_bytes > self.capacity_bytes:
+            old_key, old_size = self._entries.popitem(last=False)
+            self.used_bytes -= old_size
+            self.evictions += 1
+        return True
+
+    def invalidate(self, key: str) -> bool:
+        """Drop a key (content updated or offloaded); True if present."""
+        size = self._entries.pop(key, None)
+        if size is None:
+            return False
+        self.used_bytes -= size
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.used_bytes = 0

@@ -1,0 +1,59 @@
+"""CPU model: a single processor whose speed scales reference work.
+
+All CPU costs in the simulator are expressed as *seconds on the 350 MHz
+reference machine*; a 150 MHz node takes 350/150 = 2.33x as long.  This is
+the heterogeneity that Figure 3 exploits: "when a complex database query or
+a heavy request for a long-running CGI script is dispatched to the node with
+a slow processor, it will take orders of magnitude more time".
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim import Resource, Simulator
+from .spec import REFERENCE_MHZ
+
+__all__ = ["Cpu"]
+
+
+class Cpu:
+    """One processor serving bursts FIFO (no preemption; bursts are short)."""
+
+    def __init__(self, sim: Simulator, mhz: float, name: str = ""):
+        if mhz <= 0:
+            raise ValueError("mhz must be positive")
+        self.sim = sim
+        self.mhz = mhz
+        self.name = name
+        self._core = Resource(sim, capacity=1, name=f"{name}.cpu")
+        self.busy_seconds = 0.0
+        self.bursts = 0
+
+    @property
+    def speed_factor(self) -> float:
+        return self.mhz / REFERENCE_MHZ
+
+    def scaled(self, reference_seconds: float) -> float:
+        """Wall time this CPU needs for ``reference_seconds`` of 350 MHz work."""
+        if reference_seconds < 0:
+            raise ValueError("work must be non-negative")
+        return reference_seconds / self.speed_factor
+
+    def run(self, reference_seconds: float) -> Generator:
+        """Execute a burst; use ``yield from cpu.run(...)`` inside a process."""
+        duration = self.scaled(reference_seconds)
+        req = yield self._core.request()
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self._core.release(req)
+        self.busy_seconds += duration
+        self.bursts += 1
+
+    def utilization(self) -> float:
+        return self._core.utilization()
+
+    @property
+    def queue_len(self) -> int:
+        return self._core.queue_len

@@ -1,0 +1,61 @@
+"""Disk model: one arm, FIFO service, seek + streaming transfer.
+
+Disk activity is what the paper's load metric weights highest for static
+content (load_Disk = 9 of 10), and the cache-miss path through this model is
+what separates the three placement schemes in Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim import Resource, Simulator
+from .spec import DiskSpec
+
+__all__ = ["Disk"]
+
+
+class Disk:
+    """A single-spindle disk serving whole-object reads FIFO."""
+
+    def __init__(self, sim: Simulator, spec: DiskSpec, name: str = ""):
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        self._arm = Resource(sim, capacity=1, name=f"{name}.disk")
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.busy_seconds = 0.0
+
+    def read(self, nbytes: int) -> Generator:
+        """Read an object; use ``yield from disk.read(nbytes)``."""
+        duration = self.spec.read_time(nbytes)
+        req = yield self._arm.request()
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self._arm.release(req)
+        self.reads += 1
+        self.bytes_read += nbytes
+        self.busy_seconds += duration
+
+    def write(self, nbytes: int) -> Generator:
+        """Write an object (content copy landing); same service model."""
+        duration = self.spec.read_time(nbytes)
+        req = yield self._arm.request()
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self._arm.release(req)
+        self.writes += 1
+        self.bytes_written += nbytes
+        self.busy_seconds += duration
+
+    def utilization(self) -> float:
+        return self._arm.utilization()
+
+    @property
+    def queue_len(self) -> int:
+        return self._arm.queue_len

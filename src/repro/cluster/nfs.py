@@ -1,0 +1,77 @@
+"""The centralized network-filesystem alternative (§1.1, configuration 2).
+
+"One possible solution ... is to place all content on a centralized network
+file system (e.g., NFS). ... However, such a design will suffer from the
+single-point-of-failure problem ... Furthermore, accessing data over the
+network file system will increase user perceived latency due to the overhead
+of remote-file-I/O and LAN congestion."
+
+The model: one NFS server machine with its own CPU, disk, memory cache, and
+100 Mbps NIC.  A remote read is an RPC (request over the LAN, server CPU,
+cache-or-disk data fetch, data transfer back over the LAN).  Because every
+web-server cache miss in configuration 2 funnels through this one machine,
+its disk and NIC become the cluster-wide bottleneck -- which is exactly the
+Figure 2 behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..content import ContentItem
+from ..net import Lan, Nic
+from ..sim import Simulator
+from .cache import LruCache
+from .cpu import Cpu
+from .disk import Disk
+from .spec import NodeSpec
+from .store import LocalStore
+
+__all__ = ["NfsServer", "NFS_RPC_REQUEST_BYTES", "NFS_RPC_CPU_S"]
+
+#: Size of an NFS read request message on the wire.
+NFS_RPC_REQUEST_BYTES = 160
+#: Reference-CPU seconds to process one RPC (decode, lookup, reply headers).
+NFS_RPC_CPU_S = 0.0004
+
+
+class NfsServer:
+    """A dedicated file server exporting the whole document set."""
+
+    def __init__(self, sim: Simulator, lan: Lan, spec: NodeSpec):
+        self.sim = sim
+        self.lan = lan
+        self.spec = spec
+        self.name = spec.name
+        self.nic = Nic(sim, spec.nic_mbps, name=f"{spec.name}.nic")
+        self.cpu = Cpu(sim, spec.cpu_mhz, name=spec.name)
+        self.disk = Disk(sim, spec.disk, name=spec.name)
+        self.cache = LruCache(spec.cache_bytes, name=f"{spec.name}.cache")
+        self.store = LocalStore(capacity_bytes=spec.disk.capacity_bytes,
+                                name=spec.name)
+        self.rpcs_served = 0
+        self.bytes_served = 0
+
+    def export(self, items) -> None:
+        """Publish content on the file server."""
+        self.store.add_all(items)
+
+    def read(self, item: ContentItem, client_nic: Nic) -> Generator:
+        """Serve one remote read to ``client_nic``; use ``yield from``.
+
+        Raises KeyError if the file server does not export the item --
+        config-2 experiments export the full set, so this is a setup bug.
+        """
+        self.store.get(item.path)  # membership check
+        # Request RPC rides the LAN to the file server.
+        yield from self.lan.transfer(client_nic, self.nic,
+                                     NFS_RPC_REQUEST_BYTES)
+        # Server-side processing: RPC decode + cache-or-disk fetch.
+        yield from self.cpu.run(NFS_RPC_CPU_S)
+        if not self.cache.access(item.path):
+            yield from self.disk.read(item.size_bytes)
+            self.cache.admit(item.path, item.size_bytes)
+        # Data travels back; this transfer is what saturates the NFS NIC.
+        yield from self.lan.transfer(self.nic, client_nic, item.size_bytes)
+        self.rpcs_served += 1
+        self.bytes_served += item.size_bytes

@@ -1,0 +1,133 @@
+"""Hardware specifications for cluster nodes.
+
+§5.1 describes the testbed exactly:
+
+    "a 350 MHz machine (with 128 MB memory) running Linux ... to serve as
+    distributor.  The servers cluster consists of the following machines:
+    three 150 MHz machines with 64 MB of memory and 4 GB IDE disks, two
+    200 MHz machines with 128 MB of memory and 4 GB SCSI disks, and four
+    350 MHz machines with 128 MB of memory and 8 GB SCSI disks.  Some of
+    the back-end servers run Windows NT with IIS, and the others run Linux
+    with Apache. ... fast-ethernet network interfaces (100 Mbps) on each
+    node."
+
+This module encodes those machines and the derived model parameters (cache
+size from RAM, CPU speed factor, the static capacity ``Weight`` used by the
+§3.3 load metric).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["DiskSpec", "NodeSpec", "IDE_DISK_4GB", "SCSI_DISK_4GB",
+           "SCSI_DISK_8GB", "REFERENCE_MHZ", "paper_testbed_specs",
+           "distributor_spec"]
+
+#: CPU work is expressed in seconds on this reference clock (the testbed's
+#: fastest machines); slower nodes scale it up proportionally.
+REFERENCE_MHZ = 350.0
+
+
+@dataclasses.dataclass(frozen=True)
+class DiskSpec:
+    """A late-90s disk model: average positioning time plus streaming rate."""
+
+    kind: str                 # "IDE" | "SCSI"
+    avg_access_s: float       # average seek + rotational latency
+    transfer_mbps: float      # sustained sequential MB/s
+    capacity_gb: float
+    #: positioning operations per whole-file read: metadata (inode,
+    #: directory) plus data -- a late-90s filesystem rarely did one seek
+    per_file_accesses: float = 1.7
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.transfer_mbps * 1024 * 1024
+
+    @property
+    def capacity_bytes(self) -> int:
+        return int(self.capacity_gb * 1024 ** 3)
+
+    def read_time(self, nbytes: int) -> float:
+        """Service time of one whole-file read: metadata + data
+        positioning, then the streaming transfer."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return (self.per_file_accesses * self.avg_access_s +
+                nbytes / self.bytes_per_second)
+
+
+# Era-typical drives: IDE ~5400 rpm, SCSI ~7200-10k rpm.
+IDE_DISK_4GB = DiskSpec(kind="IDE", avg_access_s=0.0145,
+                        transfer_mbps=8.0, capacity_gb=4.0)
+SCSI_DISK_4GB = DiskSpec(kind="SCSI", avg_access_s=0.0095,
+                         transfer_mbps=14.0, capacity_gb=4.0)
+SCSI_DISK_8GB = DiskSpec(kind="SCSI", avg_access_s=0.0085,
+                         transfer_mbps=18.0, capacity_gb=8.0)
+
+#: RAM the OS + server software keep for themselves; the rest caches content.
+_OS_RESERVED_MB = 44
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeSpec:
+    """One backend server machine."""
+
+    name: str
+    cpu_mhz: float
+    mem_mb: int
+    disk: DiskSpec
+    os: str = "linux"          # "linux"+Apache or "nt"+IIS -- §5.1 mixes both
+    nic_mbps: float = 100.0
+    max_workers: int = 32      # concurrent request slots (Apache/IIS children)
+
+    def __post_init__(self):
+        if self.cpu_mhz <= 0 or self.mem_mb <= 0:
+            raise ValueError("cpu_mhz and mem_mb must be positive")
+
+    @property
+    def speed_factor(self) -> float:
+        """CPU speed relative to the 350 MHz reference."""
+        return self.cpu_mhz / REFERENCE_MHZ
+
+    @property
+    def cache_bytes(self) -> int:
+        """Memory available for the in-memory content cache."""
+        usable = max(8, self.mem_mb - _OS_RESERVED_MB)
+        return usable * 1024 * 1024
+
+    @property
+    def weight(self) -> float:
+        """The §3.3 static capacity ``Weight``: "based on the capacity of
+        each server".  We combine CPU, memory, and disk speed; the reference
+        350 MHz/128 MB/SCSI-8GB node weighs 1.0."""
+        cpu = self.cpu_mhz / REFERENCE_MHZ
+        mem = self.mem_mb / 128.0
+        disk = self.disk.transfer_mbps / SCSI_DISK_8GB.transfer_mbps
+        return 0.5 * cpu + 0.25 * mem + 0.25 * disk
+
+
+def paper_testbed_specs() -> list[NodeSpec]:
+    """The nine backend servers of §5.1, OSes alternated as the paper mixes
+    NT+IIS and Linux+Apache across the cluster."""
+    specs: list[NodeSpec] = []
+    for i in range(3):
+        specs.append(NodeSpec(name=f"s150-{i}", cpu_mhz=150, mem_mb=64,
+                              disk=IDE_DISK_4GB,
+                              os="nt" if i % 2 else "linux"))
+    for i in range(2):
+        specs.append(NodeSpec(name=f"s200-{i}", cpu_mhz=200, mem_mb=128,
+                              disk=SCSI_DISK_4GB,
+                              os="linux" if i % 2 else "nt"))
+    for i in range(4):
+        specs.append(NodeSpec(name=f"s350-{i}", cpu_mhz=350, mem_mb=128,
+                              disk=SCSI_DISK_8GB,
+                              os="nt" if i % 2 else "linux"))
+    return specs
+
+
+def distributor_spec() -> NodeSpec:
+    """The front-end machine: 350 MHz, 128 MB, running the modified kernel."""
+    return NodeSpec(name="distributor", cpu_mhz=350, mem_mb=128,
+                    disk=SCSI_DISK_8GB, os="linux")

@@ -1,0 +1,72 @@
+"""Per-node local content store (the node's filesystem view of the site).
+
+Placement schemes decide *which* items go in which node's store; the store
+itself just tracks membership and capacity.  The paper's motivating
+statistic -- that full replication wastes most of its space on rarely
+requested large files -- is visible through ``used_bytes`` here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from ..content import ContentItem
+
+__all__ = ["LocalStore", "StoreFullError"]
+
+
+class StoreFullError(Exception):
+    """Adding an item would exceed the node's disk capacity."""
+
+
+class LocalStore:
+    """The set of content items a node holds on its local disk."""
+
+    def __init__(self, capacity_bytes: Optional[int] = None, name: str = ""):
+        self.capacity_bytes = capacity_bytes
+        self.name = name
+        self._items: dict[str, ContentItem] = {}
+        self.used_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._items
+
+    def __iter__(self) -> Iterator[ContentItem]:
+        return iter(self._items.values())
+
+    def paths(self) -> list[str]:
+        return list(self._items)
+
+    def get(self, path: str) -> ContentItem:
+        try:
+            return self._items[path]
+        except KeyError:
+            raise KeyError(f"{self.name}: no local copy of {path!r}") from None
+
+    def add(self, item: ContentItem) -> None:
+        """Place a copy of ``item`` on this node."""
+        if item.path in self._items:
+            return  # idempotent: placing an existing copy is a no-op
+        if (self.capacity_bytes is not None and
+                self.used_bytes + item.size_bytes > self.capacity_bytes):
+            raise StoreFullError(
+                f"{self.name}: {item.path} ({item.size_bytes} B) exceeds "
+                f"capacity ({self.used_bytes}/{self.capacity_bytes} B used)")
+        self._items[item.path] = item
+        self.used_bytes += item.size_bytes
+
+    def add_all(self, items: Iterable[ContentItem]) -> None:
+        for item in items:
+            self.add(item)
+
+    def remove(self, path: str) -> ContentItem:
+        """Delete the local copy (an offload or management delete)."""
+        try:
+            item = self._items.pop(path)
+        except KeyError:
+            raise KeyError(f"{self.name}: no local copy of {path!r}") from None
+        self.used_bytes -= item.size_bytes
+        return item

@@ -1,0 +1,256 @@
+"""Synthetic web-site catalog generation.
+
+The evaluation workloads (§5.1) "model the Web server workload
+characterization (e.g., file size, request distribution, file popularity)
+published in papers [9,10,27]" -- Arlitt & Williamson 1996, Arlitt & Jin
+1999, and Barford & Crovella 1998.  This module generates a site whose
+*content inventory* reproduces the invariants those papers report:
+
+* heavy-tailed file sizes (lognormal body, Pareto tail) with a small number
+  of very large multimedia files holding most of the bytes;
+* a realistic type mix (mostly images and HTML by count);
+* a document tree organized by content type, the way 1990s sites were laid
+  out (/cgi-bin, /images, /video, ...), which is also what makes the paper's
+  partition-by-type placement natural to express.
+
+Request *popularity* is a workload property, not a catalog property, and
+lives in :mod:`repro.workload`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Iterator, Optional
+
+from ..sim.rng import LognormalSampler, ParetoSampler, RngStream
+from .model import ContentItem, ContentType, Priority
+
+__all__ = ["TypeMix", "SiteCatalog", "generate_catalog", "paper_catalog"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TypeMix:
+    """Fraction of *objects* of each type in the site inventory."""
+
+    html: float = 0.27
+    image: float = 0.60
+    cgi: float = 0.0
+    asp: float = 0.0
+    video: float = 0.02
+    audio: float = 0.01
+
+    def __post_init__(self):
+        total = (self.html + self.image + self.cgi + self.asp +
+                 self.video + self.audio)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"type mix must sum to 1.0, got {total}")
+        for name, frac in self.as_dict().items():
+            if frac < 0:
+                raise ValueError(f"negative fraction for {name}")
+
+    def as_dict(self) -> dict[str, float]:
+        return {"html": self.html, "image": self.image, "cgi": self.cgi,
+                "asp": self.asp, "video": self.video, "audio": self.audio}
+
+
+#: Workload A (§5.1): static content only.
+STATIC_MIX = TypeMix(html=0.30, image=0.64, cgi=0.0, asp=0.0,
+                     video=0.04, audio=0.02)
+
+#: Workload B (§5.1): "includes a significant amount of dynamic content
+#: (e.g. CGI and ASP)".
+DYNAMIC_MIX = TypeMix(html=0.24, image=0.54, cgi=0.09, asp=0.08,
+                      video=0.03, audio=0.02)
+
+_TYPE_DIRS = {
+    ContentType.HTML: ("docs", "pages", "products", "news"),
+    ContentType.IMAGE: ("images", "icons", "banners"),
+    ContentType.CGI: ("cgi-bin",),
+    ContentType.ASP: ("asp", "shop"),
+    ContentType.VIDEO: ("video",),
+    ContentType.AUDIO: ("audio",),
+}
+
+_TYPE_EXT = {
+    ContentType.HTML: ".html",
+    ContentType.IMAGE: ".gif",
+    ContentType.CGI: ".cgi",
+    ContentType.ASP: ".asp",
+    ContentType.VIDEO: ".mpg",
+    ContentType.AUDIO: ".wav",
+}
+
+
+class SiteCatalog:
+    """The complete content inventory of a simulated web site."""
+
+    def __init__(self, items: Iterable[ContentItem] = ()):
+        self._items: dict[str, ContentItem] = {}
+        for item in items:
+            self.add(item)
+
+    # -- mutation -------------------------------------------------------------
+    def add(self, item: ContentItem) -> None:
+        if item.path in self._items:
+            raise ValueError(f"duplicate content path {item.path!r}")
+        self._items[item.path] = item
+
+    def remove(self, path: str) -> ContentItem:
+        try:
+            return self._items.pop(path)
+        except KeyError:
+            raise KeyError(f"no content at {path!r}") from None
+
+    # -- access ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[ContentItem]:
+        return iter(self._items.values())
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._items
+
+    def get(self, path: str) -> ContentItem:
+        try:
+            return self._items[path]
+        except KeyError:
+            raise KeyError(f"no content at {path!r}") from None
+
+    def paths(self) -> list[str]:
+        return list(self._items)
+
+    def by_type(self, ctype: ContentType) -> list[ContentItem]:
+        return [i for i in self._items.values() if i.ctype is ctype]
+
+    def dynamic_items(self) -> list[ContentItem]:
+        return [i for i in self._items.values() if i.ctype.is_dynamic]
+
+    def static_items(self) -> list[ContentItem]:
+        return [i for i in self._items.values() if i.ctype.is_static]
+
+    # -- statistics -------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        return sum(i.size_bytes for i in self._items.values())
+
+    def type_counts(self) -> dict[ContentType, int]:
+        counts = {t: 0 for t in ContentType}
+        for item in self._items.values():
+            counts[item.ctype] += 1
+        return counts
+
+    def large_file_stats(self, threshold: int = 64 * 1024) -> dict:
+        """The Arlitt & Jin style statistic the paper quotes in §1.2:
+        what fraction of files exceed ``threshold`` and what fraction of
+        all bytes they hold."""
+        total_bytes = self.total_bytes
+        large = [i for i in self._items.values() if i.size_bytes > threshold]
+        large_bytes = sum(i.size_bytes for i in large)
+        n = len(self._items)
+        return {
+            "large_count": len(large),
+            "large_fraction": len(large) / n if n else 0.0,
+            "large_bytes": large_bytes,
+            "byte_fraction": large_bytes / total_bytes if total_bytes else 0.0,
+        }
+
+
+def _size_sampler_for(ctype: ContentType, rng: RngStream):
+    """Per-type size models (bytes), calibrated to late-90s web content."""
+    sub = rng.substream(f"size/{ctype.value}")
+    if ctype is ContentType.HTML:
+        body = LognormalSampler(mu=8.3, sigma=1.0, rng=sub)     # ~4 KB median
+        return lambda: max(256, min(512 * 1024, int(body.sample())))
+    if ctype is ContentType.IMAGE:
+        body = LognormalSampler(mu=8.55, sigma=1.2, rng=sub)    # ~5.2 KB median
+        return lambda: max(128, min(2 * 1024 * 1024, int(body.sample())))
+    if ctype in (ContentType.CGI, ContentType.ASP):
+        body = LognormalSampler(mu=8.3, sigma=0.8, rng=sub)     # ~4 KB responses
+        return lambda: max(256, min(256 * 1024, int(body.sample())))
+    if ctype is ContentType.VIDEO:
+        tail = ParetoSampler(alpha=1.1, x_min=512 * 1024, rng=sub)
+        return lambda: min(16 * 1024 * 1024, int(tail.sample()))
+    # AUDIO
+    tail = ParetoSampler(alpha=1.1, x_min=96 * 1024, rng=sub)
+    return lambda: min(8 * 1024 * 1024, int(tail.sample()))
+
+
+def _cpu_work_for(ctype: ContentType, rng: RngStream) -> float:
+    """Seconds of CPU on the reference 350 MHz node for dynamic content.
+
+    CGI forks a process per request (expensive); ASP runs in-process.
+    Iyengar et al. (the paper's [6]) report dynamic requests costing one
+    to two orders of magnitude more than static ones.
+    """
+    if ctype is ContentType.CGI:
+        return rng.uniform(0.012, 0.040)
+    if ctype is ContentType.ASP:
+        return rng.uniform(0.005, 0.020)
+    return 0.0
+
+
+def generate_catalog(n_objects: int,
+                     rng: Optional[RngStream] = None,
+                     mix: TypeMix = STATIC_MIX,
+                     critical_fraction: float = 0.02,
+                     mutable_fraction: float = 0.03) -> SiteCatalog:
+    """Generate a synthetic site of ``n_objects`` content items.
+
+    Items are spread over a per-type directory layout with nested
+    subdirectories, sized by per-type heavy-tailed models, with a small
+    fraction marked CRITICAL (shopping/product pages) and mutable.
+    """
+    if n_objects < 1:
+        raise ValueError("n_objects must be >= 1")
+    rng = rng or RngStream(0, "catalog")
+    structure_rng = rng.substream("structure")
+    flags_rng = rng.substream("flags")
+    work_rng = rng.substream("work")
+
+    # Deterministic per-type object counts (largest remainder rounding).
+    fractions = mix.as_dict()
+    counts = {name: int(frac * n_objects) for name, frac in fractions.items()}
+    shortfall = n_objects - sum(counts.values())
+    remainders = sorted(fractions,
+                        key=lambda k: fractions[k] * n_objects - counts[k],
+                        reverse=True)
+    for name in remainders[:shortfall]:
+        counts[name] += 1
+
+    catalog = SiteCatalog()
+    samplers = {}
+    for name, count in counts.items():
+        if count == 0:
+            continue
+        ctype = ContentType(name if name != "image" else "image")
+        samplers.setdefault(ctype, _size_sampler_for(ctype, rng))
+        dirs = _TYPE_DIRS[ctype]
+        for i in range(count):
+            top = dirs[i % len(dirs)]
+            # two levels of subdirectories keep directory fan-out realistic
+            sub = i // (len(dirs) * 40)
+            subdir = f"/d{sub:03d}" if sub else ""
+            path = f"/{top}{subdir}/{ctype.value}{i:05d}{_TYPE_EXT[ctype]}"
+            size = samplers[ctype]()
+            critical = (structure_rng.random() < critical_fraction or
+                        top in ("products", "shop"))
+            item = ContentItem(
+                path=path,
+                size_bytes=size,
+                ctype=ctype,
+                priority=Priority.CRITICAL if critical else Priority.NORMAL,
+                mutable=flags_rng.random() < mutable_fraction,
+                cpu_work=_cpu_work_for(ctype, work_rng),
+            )
+            catalog.add(item)
+    return catalog
+
+
+def paper_catalog(rng: Optional[RngStream] = None,
+                  dynamic: bool = False) -> SiteCatalog:
+    """The catalog at the scale of the authors' production site (§5.2):
+    "Our Web site contains about 8700 Web objects."
+    """
+    return generate_catalog(8700, rng=rng,
+                            mix=DYNAMIC_MIX if dynamic else STATIC_MIX)

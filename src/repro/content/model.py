@@ -1,0 +1,123 @@
+"""Content items and their service-cost classification.
+
+The paper's whole premise is that *content is heterogeneous*: static pages,
+CGI/ASP dynamic content, and multimedia have different resource appetites,
+and some documents are more important to the site owner than others.  This
+module is the vocabulary for that: content types with the paper's load
+weights (§3.3) and an explicit priority scale (§1.2 "not all content is
+equally important").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+__all__ = ["ContentType", "Priority", "ContentItem", "LoadWeights"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class LoadWeights:
+    """The per-request load weights from §3.3 of the paper."""
+
+    cpu: float
+    disk: float
+
+    @property
+    def total(self) -> float:
+        return self.cpu + self.disk
+
+
+#: §3.3: "For a request to the static content, load_CPU is set to one and
+#: load_Disk to nine, since disk activity is the dominant factor...  For the
+#: request to a dynamic content, load_CPU is set to ten and load_Disk to five."
+STATIC_WEIGHTS = LoadWeights(cpu=1.0, disk=9.0)
+DYNAMIC_WEIGHTS = LoadWeights(cpu=10.0, disk=5.0)
+
+
+class ContentType(enum.Enum):
+    """The content classes the paper's placement policies distinguish."""
+
+    HTML = "html"
+    IMAGE = "image"
+    CGI = "cgi"
+    ASP = "asp"
+    VIDEO = "video"
+    AUDIO = "audio"
+
+    @property
+    def is_dynamic(self) -> bool:
+        """Dynamic content is *generated* per request (CGI scripts, ASP)."""
+        return self in (ContentType.CGI, ContentType.ASP)
+
+    @property
+    def is_multimedia(self) -> bool:
+        """Large streaming objects with real-time delivery requirements."""
+        return self in (ContentType.VIDEO, ContentType.AUDIO)
+
+    @property
+    def is_static(self) -> bool:
+        return not self.is_dynamic
+
+    @property
+    def load_weights(self) -> LoadWeights:
+        """The §3.3 load weights for a request to this type."""
+        return DYNAMIC_WEIGHTS if self.is_dynamic else STATIC_WEIGHTS
+
+    @classmethod
+    def from_path(cls, path: str) -> "ContentType":
+        """Classify a URL path by its extension / directory convention."""
+        lower = path.lower()
+        if "/cgi-bin/" in lower or lower.endswith(".cgi"):
+            return cls.CGI
+        if lower.endswith(".asp"):
+            return cls.ASP
+        if lower.endswith((".mpg", ".mpeg", ".avi", ".mov", ".rm")):
+            return cls.VIDEO
+        if lower.endswith((".wav", ".mp3", ".au", ".ra")):
+            return cls.AUDIO
+        if lower.endswith((".gif", ".jpg", ".jpeg", ".png", ".bmp", ".ico")):
+            return cls.IMAGE
+        return cls.HTML
+
+
+class Priority(enum.IntEnum):
+    """Administrative importance of a document (§1.2: critical pages such as
+    product lists or shopping-related pages deserve more resources)."""
+
+    CRITICAL = 0
+    NORMAL = 1
+    LOW = 2
+
+
+@dataclasses.dataclass(slots=True)
+class ContentItem:
+    """One web object: the unit of placement, routing, and replication."""
+
+    path: str
+    size_bytes: int
+    ctype: ContentType
+    priority: Priority = Priority.NORMAL
+    mutable: bool = False   # §4: mutable documents need consistency control
+    cpu_work: float = 0.0   # seconds of CPU at the reference (350 MHz) node
+                            # for dynamic content; 0 for plain static files
+
+    def __post_init__(self):
+        if not self.path.startswith("/"):
+            raise ValueError(f"content path must be absolute: {self.path!r}")
+        if self.size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        if self.cpu_work < 0:
+            raise ValueError("cpu_work must be non-negative")
+
+    @property
+    def is_large(self) -> bool:
+        """The paper's "large file" cut-off (64 KB, from Arlitt & Jin)."""
+        return self.size_bytes > 64 * 1024
+
+    @property
+    def load_weights(self) -> LoadWeights:
+        return self.ctype.load_weights
+
+    def __hash__(self) -> int:
+        return hash(self.path)

@@ -1,0 +1,39 @@
+"""The paper's contribution: content-aware routing, placement, management
+hooks, load balancing, and distributor fault tolerance."""
+
+from .conn_pool import ConnectionPool, PoolManager, PooledConnection
+from .distributor import ContentAwareDistributor
+from .failover import FrontendDown, HaDistributorPair
+from .frontend import Frontend, FrontendCosts, RequestOutcome
+from .l4router import L4Router, l4_costs
+from .lard import LardRouter
+from .loadbalance import (AutoReplicator, LoadAccountant, LoadAwareReplica,
+                          RebalanceAction, ReplicationActuator)
+from .mapping_table import (MappingEntry, MappingError, MappingState,
+                            MappingTable)
+from .placement import (PlacementPlan, apply_plan, full_replication,
+                        partial_replication, partition_by_priority,
+                        partition_by_type, shared_nfs)
+from .policies import (LeastConnections, LeastLoadedReplica, Policy,
+                       RandomChoice, RoundRobin, RoutingView,
+                       WeightedLeastConnection)
+from .redirector import HttpRedirector, redirect_costs
+from .splicer import PoolLeg, SplicingDistributor
+from .url_table import UrlRecord, UrlTable, UrlTableError
+
+__all__ = [
+    "UrlTable", "UrlRecord", "UrlTableError",
+    "MappingTable", "MappingEntry", "MappingState", "MappingError",
+    "ConnectionPool", "PooledConnection", "PoolManager",
+    "Policy", "RoutingView", "WeightedLeastConnection", "LeastConnections",
+    "RoundRobin", "RandomChoice", "LeastLoadedReplica",
+    "Frontend", "FrontendCosts", "RequestOutcome",
+    "ContentAwareDistributor", "L4Router", "l4_costs", "LardRouter",
+    "LoadAwareReplica", "HttpRedirector", "redirect_costs",
+    "PlacementPlan", "full_replication", "shared_nfs", "partition_by_type",
+    "partition_by_priority", "partial_replication", "apply_plan",
+    "LoadAccountant", "AutoReplicator", "RebalanceAction",
+    "ReplicationActuator",
+    "FrontendDown", "HaDistributorPair",
+    "SplicingDistributor", "PoolLeg",
+]

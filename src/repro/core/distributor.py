@@ -1,0 +1,94 @@
+"""The content-aware distributor (request-level front end).
+
+§2.2's mechanism, at request granularity: terminate the client connection
+(mapping-table entry), *parse the HTTP request*, consult the URL table for
+the document's locations, pick the best replica, bind the client connection
+to an idle pre-forked backend connection, relay bytes both ways, and on
+teardown release the pooled connection back to the available list.
+
+The packet-level version of the same mechanism (explicit SYN/FIN handling
+and header rewriting) is :class:`repro.core.splicer.SplicingDistributor`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..cluster import BackendServer, NodeSpec
+from ..content import ContentItem
+from ..net import HttpRequest, Lan
+from ..sim import Simulator
+from .conn_pool import PoolManager, PooledConnection
+from .frontend import Frontend, FrontendCosts
+from .policies import LeastLoadedReplica, Policy
+from .url_table import UrlTable, UrlTableError
+
+__all__ = ["ContentAwareDistributor"]
+
+
+class ContentAwareDistributor(Frontend):
+    """Routes each request to a node that holds the requested content."""
+
+    def __init__(self, sim: Simulator, lan: Lan, spec: NodeSpec,
+                 servers: dict[str, BackendServer],
+                 url_table: UrlTable,
+                 policy: Optional[Policy] = None,
+                 costs: FrontendCosts = FrontendCosts(),
+                 prefork: int = 8,
+                 max_pool_size: Optional[int] = None,
+                 warmup: float = 0.0,
+                 client_latency: float = 0.0,
+                 name: Optional[str] = None):
+        super().__init__(sim, lan, spec, servers,
+                         policy=policy or LeastLoadedReplica(),
+                         costs=costs, warmup=warmup,
+                         client_latency=client_latency, name=name)
+        self.url_table = url_table
+        self.pools = PoolManager(sim, prefork=prefork,
+                                 max_size=max_pool_size)
+        # prefork eagerly to every backend, as the paper's distributor does
+        for backend in servers:
+            self.pools.pool(backend)
+
+    # -- Frontend hooks --------------------------------------------------
+    def route(self, request: HttpRequest) -> Generator:
+        """HTTP parse + URL-table lookup + replica selection."""
+        yield from self.cpu.run(self.costs.http_parse_cpu)
+        before_hits = self.url_table.cache_hits
+        try:
+            record = self.url_table.lookup(request.url)
+        except UrlTableError:
+            self.metrics.counter("route/unknown-url").increment()
+            return None, None
+        if self.url_table.cache_hits > before_hits:
+            yield from self.cpu.run(self.costs.lookup_cache_hit_cpu)
+        else:
+            levels = self.url_table.lookup_cost_levels(request.url)
+            yield from self.cpu.run(self.costs.lookup_per_level_cpu * levels)
+        backend = self.policy.select(sorted(record.locations), self.view)
+        if backend is None:
+            self.metrics.counter("route/no-replica-alive").increment()
+            return None, None
+        return backend, record.item
+
+    def acquire_backend(self, backend: str) -> Generator:
+        conn: PooledConnection = yield self.pools.pool(backend).acquire()
+        return conn
+
+    def release_backend(self, backend: str, token) -> None:
+        self.pools.pool(backend).release(token)
+
+    # -- management-plane integration ------------------------------------
+    def register_content(self, item: ContentItem,
+                         locations: set[str]) -> None:
+        """Admin/controller API: add a document to the URL table."""
+        self.url_table.insert(item, locations)
+
+    def unregister_content(self, path: str) -> None:
+        self.url_table.remove(path)
+
+    def add_replica(self, path: str, node: str) -> None:
+        self.url_table.add_location(path, node)
+
+    def remove_replica(self, path: str, node: str) -> None:
+        self.url_table.remove_location(path, node)

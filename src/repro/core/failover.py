@@ -1,0 +1,112 @@
+"""Primary/backup fault tolerance for the distributor (§2.3).
+
+"We noticed that the distributor represents a single-point-of-failure in
+our system ... We implemented the primary/backup(s) mechanism to achieve
+fault tolerance of the distributor.  While the *primary* distributor is
+providing service normally, the *backup* distributor remains in a monitor
+state, continuing to monitor the primary and replicate the primary's state.
+If the primary distributor fails, the backup takes over the job of the
+primary and creates its own backup."
+
+Model: the backup probes the primary every heartbeat interval; after
+``misses_to_fail`` consecutive missed heartbeats it promotes itself.  On
+each successful heartbeat it replicates the primary's URL table (version-
+checked, so unchanged tables cost nothing).  Requests submitted while no
+distributor is active fail with :class:`FrontendDown` -- clients retry,
+which is how the outage window becomes visible in the failover benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..net import HttpRequest, Nic
+from ..sim import Simulator
+from .distributor import ContentAwareDistributor
+from .frontend import Frontend
+
+__all__ = ["FrontendDown", "HaDistributorPair"]
+
+
+class FrontendDown(Exception):
+    """No distributor is currently able to accept the request."""
+
+
+class HaDistributorPair:
+    """A primary distributor with a hot backup."""
+
+    def __init__(self, sim: Simulator,
+                 primary: Frontend,
+                 backup: Frontend,
+                 heartbeat_interval: float = 0.25,
+                 misses_to_fail: int = 3):
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if misses_to_fail < 1:
+            raise ValueError("misses_to_fail must be >= 1")
+        self.sim = sim
+        self.primary = primary
+        self.backup = backup
+        self.heartbeat_interval = heartbeat_interval
+        self.misses_to_fail = misses_to_fail
+        self.active = primary
+        self.failed_over = False
+        self.failover_at: Optional[float] = None
+        self.heartbeats = 0
+        self.state_syncs = 0
+        self._monitor = sim.process(self._monitor_loop(), name="ha-monitor")
+
+    def stop(self) -> None:
+        """Stop the monitor loop (end of experiment)."""
+        if self._monitor.is_alive:
+            self._monitor.interrupt("stopped")
+
+    # -- the backup's monitor state ---------------------------------------
+    def _monitor_loop(self) -> Generator:
+        missed = 0
+        while not self.failed_over:
+            yield self.sim.timeout(self.heartbeat_interval)
+            self.heartbeats += 1
+            if self.primary.alive:
+                missed = 0
+                self._replicate_state()
+            else:
+                missed += 1
+                if missed >= self.misses_to_fail:
+                    self._take_over()
+
+    def _replicate_state(self) -> None:
+        """Copy primary state to the backup (URL table, version-gated)."""
+        if (isinstance(self.primary, ContentAwareDistributor) and
+                isinstance(self.backup, ContentAwareDistributor)):
+            if self.backup.url_table.sync_from(self.primary.url_table):
+                self.state_syncs += 1
+
+    def _take_over(self) -> None:
+        self.failed_over = True
+        self.failover_at = self.sim.now
+        self.backup.recover()
+        self.active = self.backup
+
+    # -- client-facing API ---------------------------------------------------
+    def submit(self, request: HttpRequest, client_nic: Nic) -> Generator:
+        """Route a request to whichever distributor is active.
+
+        Raises :class:`FrontendDown` during the outage window (primary
+        dead, backup not yet promoted).
+        """
+        if not self.active.alive:
+            raise FrontendDown(
+                f"active distributor {self.active.name} is down")
+        return self.active.submit(request, client_nic)
+
+    @property
+    def outage_duration(self) -> Optional[float]:
+        """Length of the window with no active distributor, if known.
+
+        Meaningful only after a failover; measured from the crash (the
+        primary stops answering) to the backup's promotion.
+        """
+        if self.failover_at is None:
+            return None
+        return self.misses_to_fail * self.heartbeat_interval

@@ -1,0 +1,230 @@
+"""Load metrics and the auto-replication facility (§3.3).
+
+The paper's load model, implemented verbatim:
+
+    l_i = (load_CPU + load_Disk) x processing_time
+
+with the constants CPU=1/Disk=9 for static and CPU=10/Disk=5 for dynamic
+content ("a somewhat heuristic constant that makes intuitive sense works
+well"), and per-server
+
+    L_j = (sum over contents of l_i x access_frequency) / Weight
+
+accumulated by the distributor over an interval.  ``Weight`` is the node's
+static capacity weight.  Periodically: a node whose L_j exceeds the cluster
+average by a threshold is *overloaded* (the controller decreases its
+content copies); a node below the average by the threshold is
+*underutilized* (the controller replicates popular content onto it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Generator, Optional, Protocol
+
+from ..content import ContentItem
+from ..net import HttpResponse
+from ..sim import Simulator
+from .url_table import UrlRecord, UrlTable
+
+__all__ = ["LoadAccountant", "RebalanceAction", "AutoReplicator",
+           "ReplicationActuator", "LoadAwareReplica"]
+
+
+class ReplicationActuator(Protocol):
+    """What the auto-replicator asks the management plane to do.
+
+    Both methods are simulation generators (they take time: agents travel
+    the LAN, content is copied).  :class:`repro.mgmt.Controller` satisfies
+    this protocol.
+    """
+
+    def replicate(self, path: str, node: str) -> Generator: ...
+
+    def offload(self, path: str, node: str) -> Generator: ...
+
+
+class LoadAccountant:
+    """Accumulates per-server load over the current interval.
+
+    The distributor feeds it every response (it is the distributor that
+    measures processing time, §3.3); ``interval_loads`` divides by the
+    static weights to produce the L_j values.
+    """
+
+    def __init__(self, weights: dict[str, float]):
+        if not weights:
+            raise ValueError("need at least one server weight")
+        for node, w in weights.items():
+            if w <= 0:
+                raise ValueError(f"weight for {node} must be positive")
+        self.weights = dict(weights)
+        self._accum: dict[str, float] = {n: 0.0 for n in weights}
+        self.requests_seen = 0
+
+    def record(self, item: Optional[ContentItem],
+               response: HttpResponse) -> None:
+        """Add one request's l_i to the serving node's accumulator."""
+        if item is None or not response.ok or not response.served_by:
+            return
+        server = response.served_by
+        if server not in self._accum:
+            return
+        l_i = item.load_weights.total * response.service_time
+        self._accum[server] += l_i
+        self.requests_seen += 1
+
+    def interval_loads(self) -> dict[str, float]:
+        """L_j for every server over the interval so far."""
+        return {n: self._accum[n] / self.weights[n] for n in self._accum}
+
+    def reset(self) -> None:
+        for n in self._accum:
+            self._accum[n] = 0.0
+        self.requests_seen = 0
+
+
+class LoadAwareReplica:
+    """Replica selection driven by the §3.3 load metric itself.
+
+    Instead of weighted connection counts, pick the candidate with the
+    lowest *accumulated interval load* ``L_j`` -- the paper suggests the
+    weighted-parameter space as "an area of further research"; this policy
+    closes the loop between the measurement and the routing decision.
+    Falls back to connection counts when no load has accumulated yet.
+    """
+
+    def __init__(self, accountant: "LoadAccountant"):
+        self.accountant = accountant
+
+    def select(self, candidates, view):
+        usable = [c for c in candidates if view.alive.get(c, False)]
+        if not usable:
+            return None
+        loads = self.accountant.interval_loads()
+        if all(loads.get(c, 0.0) == 0.0 for c in usable):
+            return min(usable,
+                       key=lambda n: ((view.active[n] + 1) / view.weights[n],
+                                      n))
+        return min(usable, key=lambda n: (loads.get(n, 0.0), n))
+
+
+@dataclasses.dataclass(frozen=True)
+class RebalanceAction:
+    """One auto-replication decision, kept for reporting and tests."""
+
+    at: float
+    kind: str          # "replicate" | "offload"
+    path: str
+    node: str
+
+
+class AutoReplicator:
+    """The periodic rebalancing loop the distributor runs (§3.3)."""
+
+    def __init__(self, sim: Simulator,
+                 accountant: LoadAccountant,
+                 url_table: UrlTable,
+                 actuator: ReplicationActuator,
+                 interval: float = 2.0,
+                 threshold: float = 0.30,
+                 max_actions_per_interval: int = 2,
+                 min_requests: int = 20):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.sim = sim
+        self.accountant = accountant
+        self.url_table = url_table
+        self.actuator = actuator
+        self.interval = interval
+        self.threshold = threshold
+        self.max_actions = max_actions_per_interval
+        self.min_requests = min_requests
+        self.history: list[RebalanceAction] = []
+        self.intervals_run = 0
+        self._process = None
+
+    def start(self) -> None:
+        """Begin the periodic loop as a simulation process."""
+        self._process = self.sim.process(self._run(), name="auto-replicator")
+
+    def stop(self) -> None:
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt("stopped")
+
+    def _run(self) -> Generator:
+        while True:
+            yield self.sim.timeout(self.interval)
+            yield from self.rebalance_once()
+
+    # -- one rebalancing round --------------------------------------------
+    def classify(self) -> tuple[list[str], list[str], dict[str, float]]:
+        """Split servers into (overloaded, underutilized) by L_j vs avg."""
+        loads = self.accountant.interval_loads()
+        avg = sum(loads.values()) / len(loads)
+        if avg <= 0:
+            return [], [], loads
+        over = [n for n, l in loads.items()
+                if l > avg * (1 + self.threshold)]
+        under = [n for n, l in loads.items()
+                 if l < avg * (1 - self.threshold)]
+        over.sort(key=lambda n: loads[n], reverse=True)
+        under.sort(key=lambda n: loads[n])
+        return over, under, loads
+
+    def _replication_candidates(self, target: str,
+                                prefer_from: list[str]) -> list[UrlRecord]:
+        """Popular documents not yet on ``target``, hottest first,
+        preferring ones hosted on overloaded nodes."""
+        ranked = self.url_table.top_by_hits(64)
+        preferred = [r for r in ranked
+                     if target not in r.locations
+                     and r.locations & set(prefer_from)]
+        fallback = [r for r in ranked if target not in r.locations]
+        seen: set[str] = set()
+        out = []
+        for r in preferred + fallback:
+            if r.path not in seen:
+                seen.add(r.path)
+                out.append(r)
+        return out
+
+    def _offload_candidates(self, node: str) -> list[UrlRecord]:
+        """Documents on ``node`` that have other copies, hottest first --
+        removing a hot document's copy sheds the most load."""
+        return [r for r in self.url_table.top_by_hits(64)
+                if node in r.locations and len(r.locations) > 1]
+
+    def rebalance_once(self) -> Generator:
+        """One interval's decisions: §3.3's replicate/offload step."""
+        self.intervals_run += 1
+        if self.accountant.requests_seen < self.min_requests:
+            self.accountant.reset()
+            return
+        over, under, _loads = self.classify()
+        actions = 0
+        for node in under:
+            for record in self._replication_candidates(node, over):
+                if actions >= self.max_actions:
+                    break
+                yield from self.actuator.replicate(record.path, node)
+                self.history.append(RebalanceAction(
+                    at=self.sim.now, kind="replicate",
+                    path=record.path, node=node))
+                actions += 1
+                break  # one document per underutilized node per interval
+        for node in over:
+            if actions >= self.max_actions:
+                break
+            for record in self._offload_candidates(node):
+                if actions >= self.max_actions:
+                    break
+                yield from self.actuator.offload(record.path, node)
+                self.history.append(RebalanceAction(
+                    at=self.sim.now, kind="offload",
+                    path=record.path, node=node))
+                actions += 1
+                break  # one offload per overloaded node per interval
+        self.accountant.reset()

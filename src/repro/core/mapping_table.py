@@ -1,0 +1,164 @@
+"""The mapping table: per-connection splice state at the distributor.
+
+§2.2: "After receiving the SYN packet, the distributor first creates an
+entry (indexed by the source IP address and port number) in an internal
+table (termed mapping table) for this connection then records the TCP state
+information (e.g., sequence number, ACK number, etc.) in the entry. ...
+Once the distributor selects a target server, it also chooses an idle
+pre-forked connection ... the distributor stores related information about
+the selected connection in the mapping table, which will bind the user
+connection to the pre-forked connection."
+
+Teardown (§2.2, verbatim states): on a client FIN the entry moves to
+FIN_RECEIVED; after the distributor ACKs the FIN it is HALF_CLOSED; when the
+last relayed packet is ACKed the entry is CLOSED, deleted, and the
+pre-forked connection returns to the available list.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+from ..net.packet import Address
+
+__all__ = ["MappingState", "MappingEntry", "MappingTable", "MappingError"]
+
+
+class MappingError(Exception):
+    """Illegal mapping-table operation or state transition."""
+
+
+class MappingState(enum.Enum):
+    """Lifecycle of a client connection at the distributor (§2.2 names)."""
+
+    SYN_RECEIVED = "SYN_RECEIVED"    # entry created on the client's SYN
+    ESTABLISHED = "ESTABLISHED"      # handshake with the client completed
+    BOUND = "BOUND"                  # bound to a pre-forked backend connection
+    FIN_RECEIVED = "FIN_RECEIVED"    # client sent FIN
+    HALF_CLOSED = "HALF_CLOSED"      # distributor ACKed the FIN
+    CLOSED = "CLOSED"                # final ACK seen; entry to be deleted
+
+
+#: Legal transitions of the splice state machine.
+_TRANSITIONS: dict[MappingState, frozenset[MappingState]] = {
+    MappingState.SYN_RECEIVED: frozenset({MappingState.ESTABLISHED,
+                                          MappingState.CLOSED}),
+    MappingState.ESTABLISHED: frozenset({MappingState.BOUND,
+                                         MappingState.FIN_RECEIVED,
+                                         MappingState.CLOSED}),
+    MappingState.BOUND: frozenset({MappingState.FIN_RECEIVED,
+                                   MappingState.CLOSED}),
+    MappingState.FIN_RECEIVED: frozenset({MappingState.HALF_CLOSED,
+                                          MappingState.CLOSED}),
+    MappingState.HALF_CLOSED: frozenset({MappingState.CLOSED}),
+    MappingState.CLOSED: frozenset(),
+}
+
+
+@dataclasses.dataclass(slots=True)
+class MappingEntry:
+    """Splice state for one client connection."""
+
+    client: Address
+    state: MappingState
+    created_at: float
+    # TCP state recorded from the client handshake:
+    client_isn: int = 0          # client's initial sequence number
+    vip_isn: int = 0             # distributor's ISN on the client leg
+    client_seq: int = 0          # highest client seq seen
+    client_ack: int = 0          # highest ack the client has sent
+    # binding to the pre-forked backend connection:
+    pooled_conn: Optional[object] = None
+    backend: str = ""
+    # splice arithmetic: deltas applied when rewriting headers
+    seq_delta_c2s: int = 0       # client seq -> backend-leg seq
+    ack_delta_c2s: int = 0
+    requests_relayed: int = 0
+    bytes_to_server: int = 0
+    bytes_to_client: int = 0
+    # client-leg teardown details (packet-level splicer):
+    http10: bool = False         # §2.2: distributor sets FIN itself for 1.0
+    vip_fin_sent: bool = False   # distributor's FIN toward the client
+
+    @property
+    def bound(self) -> bool:
+        return self.pooled_conn is not None
+
+
+class MappingTable:
+    """All live client connections, indexed by (source IP, port)."""
+
+    def __init__(self):
+        self._entries: dict[Address, MappingEntry] = {}
+        self.created = 0
+        self.deleted = 0
+        self.peak_size = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, client: Address) -> bool:
+        return client in self._entries
+
+    def create(self, client: Address, now: float,
+               client_isn: int = 0, vip_isn: int = 0) -> MappingEntry:
+        """Create the entry when the client's SYN arrives."""
+        if client in self._entries:
+            raise MappingError(f"duplicate connection from {client}")
+        entry = MappingEntry(client=client, state=MappingState.SYN_RECEIVED,
+                             created_at=now, client_isn=client_isn,
+                             vip_isn=vip_isn)
+        self._entries[client] = entry
+        self.created += 1
+        self.peak_size = max(self.peak_size, len(self._entries))
+        return entry
+
+    def get(self, client: Address) -> MappingEntry:
+        try:
+            return self._entries[client]
+        except KeyError:
+            raise MappingError(f"no mapping entry for {client}") from None
+
+    def transition(self, entry: MappingEntry, new: MappingState) -> None:
+        """Move an entry through the state machine, enforcing legality."""
+        if new not in _TRANSITIONS[entry.state]:
+            raise MappingError(
+                f"{entry.client}: illegal transition "
+                f"{entry.state.value} -> {new.value}")
+        entry.state = new
+
+    def bind(self, entry: MappingEntry, pooled_conn, backend: str,
+             seq_delta: int = 0, ack_delta: int = 0) -> None:
+        """Bind the client connection to a pre-forked backend connection."""
+        if entry.state is not MappingState.ESTABLISHED:
+            raise MappingError(
+                f"{entry.client}: can only bind in ESTABLISHED, "
+                f"not {entry.state.value}")
+        entry.pooled_conn = pooled_conn
+        entry.backend = backend
+        entry.seq_delta_c2s = seq_delta
+        entry.ack_delta_c2s = ack_delta
+        self.transition(entry, MappingState.BOUND)
+
+    def delete(self, client: Address) -> MappingEntry:
+        """Remove a CLOSED entry (the §2.2 final step)."""
+        entry = self.get(client)
+        if entry.state is not MappingState.CLOSED:
+            raise MappingError(
+                f"{client}: cannot delete entry in state {entry.state.value}")
+        del self._entries[client]
+        self.deleted += 1
+        return entry
+
+    def abort(self, client: Address) -> MappingEntry:
+        """Force an entry to CLOSED and remove it (RST / failure path)."""
+        entry = self.get(client)
+        entry.state = MappingState.CLOSED
+        del self._entries[client]
+        self.deleted += 1
+        return entry
+
+    def entries(self) -> list[MappingEntry]:
+        return list(self._entries.values())

@@ -1,0 +1,131 @@
+"""Backend-selection policies for the front ends.
+
+Two policy families:
+
+* **Replica policies** pick among the nodes that *hold the requested
+  document* -- used by the content-aware distributor when content is
+  replicated on several nodes.
+* **Server policies** pick among *all* alive nodes -- used by the
+  content-blind layer-4 router.  The paper's baseline is "Weighted Least
+  Connection" (§5.3: "In the TCP connection router, we implemented 'Weight
+  Least Connection' mechanism for load distribution").
+
+Both families see a :class:`RoutingView`: per-node live connection counts,
+static capacity weights, and liveness.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+from ..sim import RngStream
+
+__all__ = ["RoutingView", "Policy", "WeightedLeastConnection",
+           "LeastConnections", "RoundRobin", "RandomChoice",
+           "LeastLoadedReplica"]
+
+
+class RoutingView:
+    """What a policy may observe about the backends."""
+
+    def __init__(self, weights: dict[str, float]):
+        if not weights:
+            raise ValueError("need at least one backend")
+        for node, w in weights.items():
+            if w <= 0:
+                raise ValueError(f"weight for {node} must be positive")
+        self.weights = dict(weights)
+        self.active: dict[str, int] = {n: 0 for n in weights}
+        self.alive: dict[str, bool] = {n: True for n in weights}
+        self.dispatched: dict[str, int] = {n: 0 for n in weights}
+
+    def nodes(self) -> list[str]:
+        return list(self.weights)
+
+    def alive_nodes(self) -> list[str]:
+        return [n for n, up in self.alive.items() if up]
+
+    def connection_started(self, node: str) -> None:
+        self.active[node] += 1
+        self.dispatched[node] += 1
+
+    def connection_finished(self, node: str) -> None:
+        if self.active[node] <= 0:
+            raise ValueError(f"no active connections on {node}")
+        self.active[node] -= 1
+
+    def mark_down(self, node: str) -> None:
+        self.alive[node] = False
+
+    def mark_up(self, node: str) -> None:
+        self.alive[node] = True
+
+
+class Policy(abc.ABC):
+    """Chooses one node from a candidate list."""
+
+    @abc.abstractmethod
+    def select(self, candidates: Sequence[str],
+               view: RoutingView) -> Optional[str]:
+        """Return the chosen node, or None if no candidate is usable."""
+
+    @staticmethod
+    def _usable(candidates: Sequence[str], view: RoutingView) -> list[str]:
+        return [c for c in candidates if view.alive.get(c, False)]
+
+
+class WeightedLeastConnection(Policy):
+    """The paper's L4 baseline: fewest active connections per unit weight."""
+
+    def select(self, candidates, view):
+        usable = self._usable(candidates, view)
+        if not usable:
+            return None
+        return min(usable,
+                   key=lambda n: ((view.active[n] + 1) / view.weights[n],
+                                  n))
+
+
+class LeastConnections(Policy):
+    """Unweighted least-connections (ablation: ignores heterogeneity)."""
+
+    def select(self, candidates, view):
+        usable = self._usable(candidates, view)
+        if not usable:
+            return None
+        return min(usable, key=lambda n: (view.active[n], n))
+
+
+class RoundRobin(Policy):
+    """Cycle through candidates in order."""
+
+    def __init__(self):
+        self._next = 0
+
+    def select(self, candidates, view):
+        usable = self._usable(candidates, view)
+        if not usable:
+            return None
+        choice = usable[self._next % len(usable)]
+        self._next += 1
+        return choice
+
+
+class RandomChoice(Policy):
+    """Uniform random choice (ablation baseline)."""
+
+    def __init__(self, rng: Optional[RngStream] = None):
+        self._rng = rng or RngStream(0, "policy/random")
+
+    def select(self, candidates, view):
+        usable = self._usable(candidates, view)
+        if not usable:
+            return None
+        return usable[self._rng.choice(range(len(usable)))]
+
+
+class LeastLoadedReplica(WeightedLeastConnection):
+    """Replica selection at the content-aware distributor: weighted least
+    connections *restricted to the replica set* -- the distributor knows the
+    locations from the URL table and balances across them."""

@@ -1,0 +1,145 @@
+"""HTTP-redirection front end: the §2.1 alternative the paper rejects.
+
+"HTTP redirection might be used for content-aware routing.  However, we do
+not prefer HTTP redirection because this mechanism is quite heavy-weight.
+Not only does it necessitate the use of one additional connection, which
+introduces an extra round-trip latency, but also the routing decision is
+performed at the application level and uses the expensive TCP protocol as
+the transport layer."
+
+The model follows that description: the redirector terminates the client
+connection *in user space* (heavier per-request CPU than the kernel
+distributor), parses the request, looks up the URL table, and answers with
+a ``302`` naming the chosen backend.  The client then opens a **new TCP
+connection directly to that backend** -- paying connection setup, but from
+then on the data path bypasses the front end entirely (the one structural
+advantage redirection has; it is visible in the benchmark as lower
+front-end NIC usage).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..cluster import BackendServer, NodeSpec
+from ..net import HttpRequest, HttpResponse, Lan, Nic
+from ..net.http import RESPONSE_HEADER_BYTES
+from ..sim import Simulator
+from .frontend import Frontend, FrontendCosts, RequestOutcome
+from .policies import LeastLoadedReplica, Policy
+from .url_table import UrlTable, UrlTableError
+
+__all__ = ["HttpRedirector", "redirect_costs"]
+
+#: Wire size of the 302 response (status line + Location header).
+REDIRECT_RESPONSE_BYTES = 280
+#: TCP handshake cost: 1.5 RTTs worth of segments, modelled as 3 small
+#: transfers' latency; the byte volume is negligible.
+HANDSHAKE_SEGMENTS = 3
+HANDSHAKE_SEGMENT_BYTES = 60
+
+
+def redirect_costs() -> FrontendCosts:
+    """User-space request handling is heavier than the kernel module's."""
+    return FrontendCosts(conn_setup_cpu=220e-6, http_parse_cpu=150e-6,
+                         lookup_cache_hit_cpu=1.5e-6,
+                         lookup_per_level_cpu=1.8e-6,
+                         relay_cpu_per_kb=0.0,  # no relaying at all
+                         teardown_cpu=60e-6)
+
+
+class HttpRedirector(Frontend):
+    """Content-aware routing by 302 redirects instead of splicing."""
+
+    def __init__(self, sim: Simulator, lan: Lan, spec: NodeSpec,
+                 servers: dict[str, BackendServer],
+                 url_table: UrlTable,
+                 policy: Optional[Policy] = None,
+                 costs: Optional[FrontendCosts] = None,
+                 warmup: float = 0.0,
+                 client_latency: float = 0.0,
+                 name: Optional[str] = None):
+        super().__init__(sim, lan, spec, servers,
+                         policy=policy or LeastLoadedReplica(),
+                         costs=costs or redirect_costs(),
+                         warmup=warmup, client_latency=client_latency,
+                         name=name)
+        self.url_table = url_table
+        self.redirects_issued = 0
+
+    def route(self, request: HttpRequest) -> Generator:
+        yield from self.cpu.run(self.costs.http_parse_cpu)
+        try:
+            record = self.url_table.lookup(request.url)
+        except UrlTableError:
+            self.metrics.counter("route/unknown-url").increment()
+            return None, None
+        backend = self.policy.select(sorted(record.locations), self.view)
+        if backend is None:
+            self.metrics.counter("route/no-replica-alive").increment()
+            return None, None
+        return backend, record.item
+
+    def submit(self, request: HttpRequest, client_nic: Nic,
+               client_addr=None) -> Generator:
+        """The redirect flow: two connections, direct data path.
+
+        1. client -> redirector: request; redirector answers 302
+           (one full round trip on the front end);
+        2. client -> chosen backend: NEW TCP connection (handshake RTTs),
+           request re-sent, response returned directly.
+        """
+        if not self.alive:
+            raise RuntimeError(f"front end {self.name} is down")
+        started = self.sim.now
+        # leg 1: handshake with the client, then the redirect exchange
+        if self.client_latency:
+            yield self.sim.timeout(3 * self.client_latency)
+        yield from self.lan.transfer(client_nic, self.nic,
+                                     request.wire_bytes)
+        yield from self.cpu.run(self.costs.conn_setup_cpu)
+        backend, item = yield from self.route(request)
+        if backend is None:
+            response = HttpResponse(request=request, status=503,
+                                    completed_at=self.sim.now)
+            return self._record(request, response, started, None)
+        yield from self.lan.transfer(self.nic, client_nic,
+                                     REDIRECT_RESPONSE_BYTES)
+        if self.client_latency:
+            yield self.sim.timeout(self.client_latency)
+        self.redirects_issued += 1
+        # leg 2: a fresh connection straight to the backend -- the §2.1
+        # "additional connection" and its extra client round trips
+        server = self.servers[backend]
+        if self.client_latency:
+            yield self.sim.timeout(3 * self.client_latency)
+        for _ in range(HANDSHAKE_SEGMENTS):
+            yield from self.lan.transfer(client_nic, server.nic,
+                                         HANDSHAKE_SEGMENT_BYTES)
+        yield from self.lan.transfer(client_nic, server.nic,
+                                     request.wire_bytes)
+        self.view.connection_started(backend)
+        try:
+            response = yield self.sim.process(server.serve(request, item))
+            yield from self.lan.transfer(server.nic, client_nic,
+                                         response.wire_bytes)
+            if self.client_latency:
+                yield self.sim.timeout(self.client_latency)
+        finally:
+            self.view.connection_finished(backend)
+        return self._record(request, response, started, item)
+
+    def _record(self, request: HttpRequest, response: HttpResponse,
+                started: float, item) -> RequestOutcome:
+        latency = self.sim.now - started
+        self.meter.record(self.sim.now, nbytes=response.content_length)
+        if item is not None and response.ok:
+            self.class_meters[item.ctype].record(
+                self.sim.now, nbytes=response.content_length)
+        self.metrics.histogram("latency/all",
+                               low=1e-5, high=100.0).observe(latency)
+        self.metrics.counter(f"status/{response.status}").increment()
+        if self.on_response is not None:
+            self.on_response(item, response)
+        return RequestOutcome(response=response, latency=latency,
+                              backend=response.served_by or None)

@@ -1,0 +1,14 @@
+"""Evaluation harness: testbed construction and figure/table reproduction."""
+
+from .figures import (DEFAULT_CLIENTS, figure2, figure3, figure4,
+                      render_table, url_table_overhead)
+from .runner import SweepResult, grid, sweep_clients, write_csv
+from .testbed import (SCHEMES, Deployment, ExperimentConfig,
+                      build_deployment)
+
+__all__ = [
+    "ExperimentConfig", "Deployment", "build_deployment", "SCHEMES",
+    "figure2", "figure3", "figure4", "url_table_overhead",
+    "render_table", "DEFAULT_CLIENTS",
+    "SweepResult", "sweep_clients", "grid", "write_csv",
+]

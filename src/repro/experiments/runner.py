@@ -1,0 +1,96 @@
+"""Generic experiment sweeps with tabular/CSV export.
+
+The figure functions in :mod:`repro.experiments.figures` are fixed
+reproductions; this module is the general tool behind them for anyone
+extending the evaluation: sweep any (scheme, workload) cell over client
+counts or arbitrary config overrides, collect the standard summary rows,
+and write them as CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from ..workload import WorkloadSpec
+from .testbed import ExperimentConfig, build_deployment
+
+__all__ = ["SweepResult", "sweep_clients", "grid", "write_csv"]
+
+#: The flat columns every sweep row carries (class columns appended).
+BASE_COLUMNS = ("scheme", "workload", "n_clients", "throughput_rps",
+                "latency_p50", "latency_p95", "completed", "errors",
+                "mean_cache_hit_rate")
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """All points of one sweep, plus helpers for export."""
+
+    rows: list[dict]
+
+    def series(self, key: str = "throughput_rps") -> list:
+        return [row[key] for row in self.rows]
+
+    def columns(self) -> list[str]:
+        extra = sorted({k for row in self.rows for k in row
+                        if k.startswith("class_")})
+        return list(BASE_COLUMNS) + extra
+
+    def as_table(self) -> list[list]:
+        cols = self.columns()
+        return [[row.get(c, "") for c in cols] for row in self.rows]
+
+
+def _flatten(summary: dict, n_clients: int) -> dict:
+    row = {
+        "scheme": summary["scheme"],
+        "workload": summary["workload"],
+        "n_clients": n_clients,
+        "throughput_rps": summary["throughput_rps"],
+        "latency_p50": summary["latency_p50"],
+        "latency_p95": summary["latency_p95"],
+        "completed": summary["completed"],
+        "errors": summary["errors"],
+        "mean_cache_hit_rate": summary["mean_cache_hit_rate"],
+    }
+    for klass, rps in summary.get("by_class", {}).items():
+        row[f"class_{klass}_rps"] = rps
+    return row
+
+
+def sweep_clients(scheme: str, workload: WorkloadSpec,
+                  clients: Sequence[int],
+                  **config_overrides) -> SweepResult:
+    """Run one (scheme, workload) cell across client counts."""
+    rows = []
+    for n in clients:
+        config = ExperimentConfig(scheme=scheme, workload=workload,
+                                  **config_overrides)
+        deployment = build_deployment(config)
+        rows.append(_flatten(deployment.run(n), n))
+    return SweepResult(rows=rows)
+
+
+def grid(schemes: Iterable[str], workloads: Iterable[WorkloadSpec],
+         clients: Sequence[int], **config_overrides) -> SweepResult:
+    """The full cross product: every scheme x workload x client count."""
+    rows: list[dict] = []
+    for workload in workloads:
+        for scheme in schemes:
+            result = sweep_clients(scheme, workload, clients,
+                                   **config_overrides)
+            rows.extend(result.rows)
+    return SweepResult(rows=rows)
+
+
+def write_csv(result: SweepResult, path: str | Path) -> None:
+    """Write a sweep as CSV (one row per point, stable column order)."""
+    cols = result.columns()
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(cols)
+        for row in result.as_table():
+            writer.writerow(row)

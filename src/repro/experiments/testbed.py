@@ -1,0 +1,193 @@
+"""Builds the paper's §5.1 testbed in the simulator, in each configuration.
+
+The three configurations of §5.3:
+
+1. ``replication-l4`` -- entire document set replicated on every backend,
+   front-ended by the layer-4 TCP connection router with Weighted Least
+   Connection;
+2. ``nfs-l4`` -- entire set on a shared NFS server, same L4 front end;
+3. ``partition-ca`` -- document tree partitioned by content type (large
+   files on big/fast-disk nodes, dynamic content on fast-CPU nodes),
+   front-ended by the content-aware distributor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..cluster import (BackendServer, NfsServer, NodeSpec, distributor_spec,
+                       paper_testbed_specs)
+from ..content import DocTree, SiteCatalog, generate_catalog
+from ..core import (ContentAwareDistributor, Frontend, L4Router, LardRouter,
+                    UrlTable, apply_plan, full_replication,
+                    partition_by_type, shared_nfs)
+from ..net import Lan
+from ..sim import RngStream, Simulator
+from ..workload import RequestSampler, WebBenchRig, WorkloadSpec
+
+__all__ = ["ExperimentConfig", "Deployment", "build_deployment", "SCHEMES"]
+
+#: ``replication-lard`` is an extension scheme (the paper's future-work
+#: "more sophisticated load-balancing algorithm"): LARD over full
+#: replication -- content-aware, but with a *dynamic* content->server map.
+SCHEMES = ("replication-l4", "nfs-l4", "partition-ca", "replication-lard")
+
+#: The NFS file server: era-typical dedicated box (same class as the
+#: distributor machine).
+_NFS_SPEC = NodeSpec(name="nfs-server", cpu_mhz=350, mem_mb=128,
+                     disk=paper_testbed_specs()[-1].disk, os="linux")
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentConfig:
+    """One experiment cell: scheme x workload (+ knobs)."""
+
+    scheme: str
+    workload: WorkloadSpec
+    seed: int = 42
+    n_objects: Optional[int] = None      # default: workload.n_objects
+    warmup: float = 2.0
+    duration: float = 8.0                # total simulated seconds
+    n_client_machines: int = 24
+    prefork: int = 16
+    max_pool_size: int = 64
+    #: pre-populate memory caches with each node's most-popular content,
+    #: so short runs measure steady-state behaviour instead of cold start
+    prewarm: bool = True
+
+    def __post_init__(self):
+        if self.scheme not in SCHEMES:
+            raise ValueError(f"unknown scheme {self.scheme!r}; "
+                             f"pick one of {SCHEMES}")
+        if self.warmup >= self.duration:
+            raise ValueError("warmup must be shorter than duration")
+
+
+@dataclasses.dataclass
+class Deployment:
+    """A fully wired testbed ready to take client load."""
+
+    config: ExperimentConfig
+    sim: Simulator
+    lan: Lan
+    catalog: SiteCatalog
+    servers: dict[str, BackendServer]
+    frontend: Frontend
+    url_table: UrlTable
+    doctree: DocTree
+    sampler: RequestSampler
+    rig: WebBenchRig
+    nfs: Optional[NfsServer] = None
+
+    def run(self, n_clients: int) -> dict:
+        """Drive ``n_clients`` for the configured duration; return summary."""
+        self.rig.start_clients(n_clients)
+        self.sim.run(until=self.config.duration)
+        self.rig.stop_clients()
+        summary = self.rig.summary(self.config.duration)
+        summary["scheme"] = self.config.scheme
+        summary["workload"] = self.config.workload.name
+        summary["cache_hit_rates"] = {
+            name: server.cache.hit_rate
+            for name, server in self.servers.items()}
+        summary["mean_cache_hit_rate"] = (
+            sum(summary["cache_hit_rates"].values()) / len(self.servers))
+        if self.nfs is not None:
+            summary["nfs_rpcs"] = self.nfs.rpcs_served
+            summary["nfs_nic_out_utilization"] = \
+                self.nfs.nic.utilization_out()
+            summary["nfs_disk_utilization"] = self.nfs.disk.utilization()
+        summary["frontend_nic_out_utilization"] = \
+            self.frontend.nic.utilization_out()
+        summary["frontend_cpu_utilization"] = self.frontend.cpu.utilization()
+        return summary
+
+
+def _prewarm_caches(catalog: SiteCatalog,
+                    servers: dict[str, BackendServer],
+                    nfs: Optional[NfsServer]) -> None:
+    """Fill memory caches with the most-popular static content.
+
+    Popularity within a class is assigned smallest-file-first by the
+    request sampler, so ascending size is the popularity order.  A node
+    with local content caches its own shard's hot set; in the NFS
+    configuration (empty local stores) every node caches the site-wide hot
+    set, as it would after serving the mixed stream for a while.
+    """
+    site_hot = sorted((i for i in catalog.static_items()),
+                      key=lambda i: (i.size_bytes, i.path))
+    for server in servers.values():
+        # only locally held content is cacheable (NFS reads serve through)
+        items = sorted((i for i in server.store if i.ctype.is_static),
+                       key=lambda i: (i.size_bytes, i.path))
+        cache = server.cache
+        for item in items:
+            if cache.used_bytes + item.size_bytes > cache.capacity_bytes:
+                break
+            cache.admit(item.path, item.size_bytes)
+    if nfs is not None:
+        for item in site_hot:
+            if nfs.cache.used_bytes + item.size_bytes > \
+                    nfs.cache.capacity_bytes:
+                break
+            nfs.cache.admit(item.path, item.size_bytes)
+
+
+def build_deployment(config: ExperimentConfig) -> Deployment:
+    """Construct the §5.1 cluster wired for ``config.scheme``."""
+    rng = RngStream(config.seed, f"exp/{config.scheme}/{config.workload.name}")
+    sim = Simulator()
+    lan = Lan(sim)
+    specs = paper_testbed_specs()
+    servers: dict[str, BackendServer] = {}
+    n_objects = config.n_objects or config.workload.n_objects
+    catalog = generate_catalog(n_objects, rng=rng.substream("catalog"),
+                               mix=config.workload.catalog_mix)
+
+    nfs: Optional[NfsServer] = None
+    if config.scheme == "nfs-l4":
+        nfs = NfsServer(sim, lan, _NFS_SPEC)
+    for spec in specs:
+        servers[spec.name] = BackendServer(sim, lan, spec, nfs=nfs,
+                                           warmup=config.warmup)
+
+    node_names = [s.name for s in specs]
+    if config.scheme in ("replication-l4", "replication-lard"):
+        plan = full_replication(catalog, node_names)
+    elif config.scheme == "nfs-l4":
+        plan = shared_nfs(catalog, node_names)
+    else:
+        plan = partition_by_type(catalog, specs)
+    url_table, doctree = apply_plan(plan, catalog, servers, nfs=nfs)
+
+    def resolver(url: str):
+        path = url.split("?", 1)[0]
+        return catalog.get(path) if path in catalog else None
+
+    if config.scheme == "partition-ca":
+        frontend: Frontend = ContentAwareDistributor(
+            sim, lan, distributor_spec(), servers, url_table,
+            prefork=config.prefork, max_pool_size=config.max_pool_size,
+            warmup=config.warmup)
+    elif config.scheme == "replication-lard":
+        frontend = LardRouter(sim, lan, distributor_spec(), servers,
+                              resolver, warmup=config.warmup)
+    else:
+        frontend = L4Router(sim, lan, distributor_spec(), servers,
+                            resolver, warmup=config.warmup)
+
+    if config.prewarm:
+        _prewarm_caches(catalog, servers, nfs)
+
+    sampler = RequestSampler(catalog, config.workload,
+                             rng=rng.substream("requests"))
+    rig = WebBenchRig(sim, frontend.submit, sampler,
+                      n_machines=config.n_client_machines,
+                      warmup=config.warmup,
+                      think_time=config.workload.think_time,
+                      rng=rng.substream("rig"))
+    return Deployment(config=config, sim=sim, lan=lan, catalog=catalog,
+                      servers=servers, frontend=frontend,
+                      url_table=url_table, doctree=doctree,
+                      sampler=sampler, rig=rig, nfs=nfs)

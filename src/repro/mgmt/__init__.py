@@ -1,0 +1,17 @@
+"""The content management system: controller / broker / agent / console."""
+
+from .agents import (Agent, CopyAgent, DeleteAgent, InventoryAgent,
+                     RenameAgent, StatusAgent, UpdateAgent, VerifyAgent)
+from .broker import Broker
+from .console import RemoteConsole
+from .controller import Controller, ManagementError
+from .messages import AgentDispatch, AgentResult, StatusReport
+from .monitor import ClusterMonitor, NodeEvent
+
+__all__ = [
+    "Agent", "DeleteAgent", "CopyAgent", "RenameAgent", "StatusAgent",
+    "UpdateAgent", "VerifyAgent", "InventoryAgent",
+    "Broker", "Controller", "ManagementError", "RemoteConsole",
+    "AgentDispatch", "AgentResult", "StatusReport",
+    "ClusterMonitor", "NodeEvent",
+]

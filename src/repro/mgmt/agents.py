@@ -1,0 +1,206 @@
+"""Management agents: the mobile code the controller dispatches (§3.1-3.2).
+
+"Each administrative function is implemented in the form of a Java class,
+which is termed an agent.  The brokers distributed on each node may download
+the appropriate classes to perform the corresponding management tasks."
+
+Every agent is a small object with a ``code_bytes`` size (the class file the
+broker downloads, cached per type after first use -- the mobile-code
+economy §3.2 highlights) and an ``execute(broker)`` generator that performs
+node-local work in simulated time: disk I/O on the node, LAN transfers for
+content fetches, a sliver of CPU.
+
+Concrete agents implement §3.2-3.3's operations: delete, copy/replicate,
+rename, status collection, content update (mutable-document consistency,
+§4), and a verification pass.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..content import ContentItem
+
+__all__ = ["Agent", "DeleteAgent", "CopyAgent", "RenameAgent",
+           "StatusAgent", "UpdateAgent", "VerifyAgent"]
+
+#: CPU seconds (reference clock) a broker spends bootstrapping an agent.
+AGENT_STARTUP_CPU = 0.002
+
+
+class Agent:
+    """Base class for a management function shipped to a broker."""
+
+    #: size of the downloaded class (bytes); subclasses override
+    code_bytes: int = 2048
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def execute(self, broker) -> Generator:
+        """Run on the broker's node; a simulation generator returning the
+        result detail (any JSON-able value)."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+class DeleteAgent(Agent):
+    """Remove a document's local copy (§3.2: "one agent is responsible for
+    deleting a file from the local file system of the node")."""
+
+    code_bytes = 1536
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def execute(self, broker) -> Generator:
+        server = broker.server
+        yield from server.cpu.run(AGENT_STARTUP_CPU)
+        if self.path not in server.store:
+            return {"deleted": False, "reason": "no local copy"}
+        item = server.store.get(self.path)
+        # a metadata-sized disk operation removes the file
+        yield from server.disk.write(4096)
+        server.evict(self.path)
+        return {"deleted": True, "bytes_freed": item.size_bytes}
+
+
+class CopyAgent(Agent):
+    """Install a copy of a document on this node.
+
+    The bytes come from ``source`` (another backend, fetched over the LAN)
+    or, when ``source`` is None, from the controller's master copy (an
+    admin upload).  Used both for explicit placement and for §3.3
+    auto-replication.
+    """
+
+    code_bytes = 3072
+
+    def __init__(self, item: ContentItem, source: Optional[str] = None):
+        self.item = item
+        self.source = source
+
+    def execute(self, broker) -> Generator:
+        server = broker.server
+        yield from server.cpu.run(AGENT_STARTUP_CPU)
+        if self.item.path in server.store:
+            return {"copied": False, "reason": "already present"}
+        if self.source is not None:
+            peer = broker.peer(self.source)
+            if peer is None or not peer.server.holds(self.item.path):
+                return {"copied": False,
+                        "reason": f"source {self.source} lacks the file"}
+            # read at the source, ship over the LAN, write locally
+            yield from peer.server.disk.read(self.item.size_bytes)
+            yield from broker.lan.transfer(peer.server.nic, server.nic,
+                                           self.item.size_bytes)
+        else:
+            yield from broker.lan.transfer(broker.controller_nic, server.nic,
+                                           self.item.size_bytes)
+        yield from server.disk.write(self.item.size_bytes)
+        server.place(self.item)
+        return {"copied": True, "bytes": self.item.size_bytes}
+
+
+class RenameAgent(Agent):
+    """Rename a document's local copy (file-manager rename, §3.2)."""
+
+    code_bytes = 1792
+
+    def __init__(self, old_path: str, new_item: ContentItem):
+        self.old_path = old_path
+        self.new_item = new_item
+
+    def execute(self, broker) -> Generator:
+        server = broker.server
+        yield from server.cpu.run(AGENT_STARTUP_CPU)
+        if self.old_path not in server.store:
+            return {"renamed": False, "reason": "no local copy"}
+        yield from server.disk.write(4096)  # directory metadata update
+        server.store.remove(self.old_path)
+        server.cache.invalidate(self.old_path)
+        server.place(self.new_item)
+        return {"renamed": True}
+
+
+class StatusAgent(Agent):
+    """Collect the node's status (§3.1 monitoring)."""
+
+    code_bytes = 2048
+
+    def execute(self, broker) -> Generator:
+        from .messages import StatusReport
+        server = broker.server
+        yield from server.cpu.run(AGENT_STARTUP_CPU / 2)
+        return StatusReport(
+            node=server.name,
+            alive=server.alive,
+            active_requests=server.active_requests,
+            completed_requests=server.completed_requests,
+            store_items=len(server.store),
+            store_bytes=server.store.used_bytes,
+            cache_hit_rate=server.cache.hit_rate,
+            cpu_utilization=server.cpu.utilization(),
+            disk_utilization=server.disk.utilization(),
+            collected_at=broker.sim.now,
+        )
+
+
+class UpdateAgent(Agent):
+    """Install a new version of a (mutable) document and invalidate the
+    node's cached copy -- the §4 consistency path for replicated mutable
+    content."""
+
+    code_bytes = 2560
+
+    def __init__(self, item: ContentItem):
+        self.item = item
+
+    def execute(self, broker) -> Generator:
+        server = broker.server
+        yield from server.cpu.run(AGENT_STARTUP_CPU)
+        if self.item.path not in server.store:
+            return {"updated": False, "reason": "no local copy"}
+        yield from broker.lan.transfer(broker.controller_nic, server.nic,
+                                       self.item.size_bytes)
+        yield from server.disk.write(self.item.size_bytes)
+        server.store.remove(self.item.path)
+        server.place(self.item)
+        server.cache.invalidate(self.item.path)
+        return {"updated": True, "bytes": self.item.size_bytes}
+
+
+class InventoryAgent(Agent):
+    """Report the node's full content inventory (paths + bytes).
+
+    One round trip per node instead of one per document -- the bulk
+    building block for the controller's cluster-wide consistency audit.
+    """
+
+    code_bytes = 1664
+
+    def execute(self, broker) -> Generator:
+        server = broker.server
+        # walking the local tree costs CPU proportional to the inventory
+        yield from server.cpu.run(AGENT_STARTUP_CPU +
+                                  2e-6 * len(server.store))
+        return {"paths": set(server.store.paths()),
+                "used_bytes": server.store.used_bytes}
+
+
+class VerifyAgent(Agent):
+    """Check whether the node's store agrees with the controller's view."""
+
+    code_bytes = 1280
+
+    def __init__(self, path: str, expected_present: bool):
+        self.path = path
+        self.expected_present = expected_present
+
+    def execute(self, broker) -> Generator:
+        server = broker.server
+        yield from server.cpu.run(AGENT_STARTUP_CPU / 2)
+        present = self.path in server.store
+        return {"path": self.path, "present": present,
+                "consistent": present == self.expected_present}

@@ -1,0 +1,92 @@
+"""The broker: the per-node management daemon (§3.1).
+
+"The broker is a standalone Java application, which executes as a daemon
+process on each backend server in order to perform the administrative
+functions and monitor the status of the managed node.  The brokers
+distributed on each node may download the appropriate classes to perform
+the corresponding management tasks."
+
+The broker runs as a simulation process consuming dispatches from a
+mailbox.  The first dispatch of each agent *type* pays the mobile-code
+download (a LAN transfer of ``code_bytes`` from the controller); afterwards
+the class is cached locally -- the deploy-once economy §3.2 credits to
+downloaded executable content.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..cluster import BackendServer
+from ..net import Lan, Nic
+from ..sim import Simulator, Store
+from .messages import AgentDispatch, AgentResult, DISPATCH_HEADER_BYTES
+
+__all__ = ["Broker"]
+
+
+class Broker:
+    """One node's management daemon."""
+
+    def __init__(self, sim: Simulator, lan: Lan, server: BackendServer,
+                 controller_nic: Nic,
+                 registry: Optional[dict[str, "Broker"]] = None):
+        self.sim = sim
+        self.lan = lan
+        self.server = server
+        self.name = server.name
+        self.controller_nic = controller_nic
+        self._registry = registry if registry is not None else {}
+        self._registry[self.name] = self
+        self.mailbox: Store = Store(sim, name=f"broker:{self.name}")
+        self.results: Store = Store(sim, name=f"results:{self.name}")
+        self._class_cache: set[str] = set()
+        self.agents_executed = 0
+        self.code_downloads = 0
+        self.running = True
+        self._process = sim.process(self._run(), name=f"broker:{self.name}")
+
+    def peer(self, name: str) -> Optional["Broker"]:
+        """Another node's broker (used by CopyAgent to fetch content)."""
+        return self._registry.get(name)
+
+    def deliver(self, dispatch: AgentDispatch) -> None:
+        """Called by the controller to enqueue work."""
+        self.mailbox.put(dispatch)
+
+    def stop(self) -> None:
+        self.running = False
+        if self._process.is_alive:
+            self._process.interrupt("stopped")
+
+    def _run(self) -> Generator:
+        while self.running:
+            dispatch: AgentDispatch = yield self.mailbox.get()
+            agent = dispatch.agent
+            # download the agent class unless cached (mobile code, §3.2)
+            if agent.name not in self._class_cache:
+                yield from self.lan.transfer(
+                    self.controller_nic, self.server.nic,
+                    DISPATCH_HEADER_BYTES + agent.code_bytes)
+                self._class_cache.add(agent.name)
+                self.code_downloads += 1
+            else:
+                yield from self.lan.transfer(self.controller_nic,
+                                             self.server.nic,
+                                             DISPATCH_HEADER_BYTES)
+            try:
+                detail = yield from agent.execute(self)
+                ok = True
+            except Exception as exc:  # agent failure travels back, not up
+                detail = {"error": repr(exc)}
+                ok = False
+            result = AgentResult(dispatch_id=dispatch.dispatch_id,
+                                 node=self.name, agent_name=agent.name,
+                                 ok=ok, detail=detail,
+                                 completed_at=self.sim.now)
+            self.agents_executed += 1
+            # result message rides back to the controller
+            yield from self.lan.transfer(self.server.nic,
+                                         self.controller_nic,
+                                         result.wire_bytes)
+            self.results.put(result)

@@ -1,0 +1,95 @@
+"""The remote console: the administrator's single-system-image view (§3.2).
+
+"We first extended the remote console to produce a single, coherent view of
+the Web document tree, comprised of portions that actually reside on several
+different server nodes.  The remote console provides a file manager
+interface containing methods for inserting, deleting, and renaming files or
+directories.  With the GUI, the administrator can easily assign different
+content to different servers..."
+
+The GUI itself is out of scope (a Java applet in the paper); this class is
+its programmatic surface: every file-manager verb, plus ``render`` views of
+the tree.  All mutating verbs are simulation generators because they ride
+through the controller's agents; ``run`` is a convenience that executes one
+verb to completion on a quiescent simulator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Generator, Optional
+
+from ..content import ContentItem, DocTreeError
+from .controller import Controller, ManagementError
+
+__all__ = ["RemoteConsole"]
+
+
+class RemoteConsole:
+    """File-manager facade over the controller."""
+
+    def __init__(self, controller: Controller):
+        self.controller = controller
+
+    # -- views ---------------------------------------------------------------
+    def view(self, path: str = "/", max_entries: int = 200) -> str:
+        """The coherent tree rendering the GUI displayed."""
+        return self.controller.doctree.render(path, max_entries=max_entries)
+
+    def list_dir(self, path: str = "/") -> list[str]:
+        return self.controller.doctree.list_dir(path)
+
+    def locations_of(self, path: str) -> set[str]:
+        return self.controller.doctree.locations_of(path)
+
+    def exists(self, path: str) -> bool:
+        return self.controller.doctree.exists(path)
+
+    # -- file-manager verbs (generators) -------------------------------------
+    def insert_file(self, item: ContentItem,
+                    nodes: set[str]) -> Generator:
+        """Upload a new document and place it on the chosen nodes."""
+        if not nodes:
+            raise ManagementError("insert_file needs at least one node")
+        ordered = sorted(nodes)
+        yield from self.controller.place(item, ordered[0])
+        for node in ordered[1:]:
+            yield from self.controller.replicate(item.path, node)
+
+    def delete_file(self, path: str) -> Generator:
+        """Delete a document from every node that holds it."""
+        yield from self.controller.remove_document(path)
+
+    def rename_file(self, old: str, new_path: str) -> Generator:
+        """Rename a document; replicas follow."""
+        record = self.controller.url_table.lookup(old)
+        new_item = dataclasses.replace(record.item, path=new_path)
+        yield from self.controller.rename_document(old, new_item)
+
+    def assign(self, path: str, nodes: set[str]) -> Generator:
+        """Make the replica set of ``path`` exactly ``nodes`` (§3.2: "assign
+        different content to different servers").  Copies are added before
+        stale ones are removed so the document never becomes unroutable."""
+        if not nodes:
+            raise ManagementError("assign needs at least one node")
+        current = self.controller.url_table.locations(path)
+        for node in sorted(nodes - current):
+            yield from self.controller.replicate(path, node)
+        for node in sorted(current - nodes):
+            yield from self.controller.offload(path, node)
+
+    def replicate(self, path: str, node: str) -> Generator:
+        yield from self.controller.replicate(path, node)
+
+    def update_file(self, item: ContentItem) -> Generator:
+        """Push a new version of a mutable document to all replicas."""
+        yield from self.controller.update_content(item)
+
+    # -- convenience ------------------------------------------------------
+    def run(self, operation: Generator) -> None:
+        """Execute one console verb to completion on the simulator."""
+        sim = self.controller.sim
+        proc = sim.process(operation, name="console-op")
+        sim.run()
+        if proc._exception is not None:  # surface failures to the caller
+            raise proc._exception

@@ -1,0 +1,224 @@
+"""The controller: the management brain on the distributor node (§3.1-3.3).
+
+"One special daemon, called the controller, is responsible for receiving
+requests from the administrator and then invoking brokers to perform the
+delegated tasks by dispatching the corresponding agents.  The controller
+resides on the distributor."
+
+Every management mutation follows the same shape: dispatch agent(s), await
+their results, and -- only on success -- update the URL table and the
+document tree so the distributor routes to the new reality.  The controller
+also implements the :class:`repro.core.loadbalance.ReplicationActuator`
+protocol (``replicate``/``offload``), which is how §3.3's auto-replication
+acts on the cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..content import ContentItem, DocTree
+from ..core.url_table import UrlTable
+from ..net import Nic
+from ..sim import SimEvent, Simulator
+from .agents import (Agent, CopyAgent, DeleteAgent, InventoryAgent,
+                     RenameAgent, StatusAgent, UpdateAgent, VerifyAgent)
+from .broker import Broker
+from .messages import AgentDispatch, AgentResult, StatusReport
+
+__all__ = ["Controller", "ManagementError"]
+
+
+class ManagementError(Exception):
+    """A management operation could not be carried out."""
+
+
+class Controller:
+    """Receives admin commands, dispatches agents, updates routing state."""
+
+    def __init__(self, sim: Simulator, nic: Nic,
+                 url_table: UrlTable, doctree: DocTree):
+        self.sim = sim
+        self.nic = nic
+        self.url_table = url_table
+        self.doctree = doctree
+        self.brokers: dict[str, Broker] = {}
+        self._pending: dict[int, SimEvent] = {}
+        self.dispatches = 0
+        self.failures = 0
+        self.log: list[tuple[float, str, str, str]] = []  # (t, op, path, node)
+
+    # -- broker wiring ------------------------------------------------------
+    def register_broker(self, broker: Broker) -> None:
+        if broker.name in self.brokers:
+            raise ManagementError(f"broker {broker.name} already registered")
+        self.brokers[broker.name] = broker
+        self.sim.process(self._collect(broker), name=f"collect:{broker.name}")
+
+    def _collect(self, broker: Broker) -> Generator:
+        while True:
+            result: AgentResult = yield broker.results.get()
+            ev = self._pending.pop(result.dispatch_id, None)
+            if ev is not None:
+                ev.succeed(result)
+
+    # -- the dispatch primitive ----------------------------------------------
+    def execute(self, agent: Agent, node: str) -> Generator:
+        """Send one agent to one broker and await its result."""
+        broker = self.brokers.get(node)
+        if broker is None:
+            raise ManagementError(f"no broker registered for {node!r}")
+        dispatch = AgentDispatch(agent=agent, target=node,
+                                 sent_at=self.sim.now)
+        done = self.sim.event()
+        self._pending[dispatch.dispatch_id] = done
+        self.dispatches += 1
+        broker.deliver(dispatch)
+        result: AgentResult = yield done
+        if not result.ok:
+            self.failures += 1
+        return result
+
+    # -- content management operations (§3.2) ------------------------------
+    def place(self, item: ContentItem, node: str,
+              source: Optional[str] = None) -> Generator:
+        """Install a document on ``node`` and make it routable there."""
+        result = yield from self.execute(CopyAgent(item, source=source), node)
+        if not (result.ok and result.detail.get("copied")):
+            raise ManagementError(
+                f"place {item.path} on {node} failed: {result.detail}")
+        if item.path in self.url_table:
+            self.url_table.add_location(item.path, node)
+            self.doctree.file(item.path).locations.add(node)
+        else:
+            self.url_table.insert(item, {node})
+            self.doctree.insert(item, {node})
+        self.log.append((self.sim.now, "place", item.path, node))
+        return result
+
+    def replicate(self, path: str, node: str) -> Generator:
+        """Copy an existing document to one more node (§3.3 and §1.2)."""
+        record = self.url_table.lookup(path)
+        if node in record.locations:
+            return None
+        source = sorted(record.locations)[0]
+        result = yield from self.execute(
+            CopyAgent(record.item, source=source), node)
+        if not (result.ok and result.detail.get("copied")):
+            raise ManagementError(
+                f"replicate {path} to {node} failed: {result.detail}")
+        self.url_table.add_location(path, node)
+        self.doctree.file(path).locations.add(node)
+        self.log.append((self.sim.now, "replicate", path, node))
+        return result
+
+    def offload(self, path: str, node: str) -> Generator:
+        """Drop one node's copy (§3.3: 'decrease the content copies of that
+        server').  Routing is updated *before* the physical delete so no
+        request races onto the disappearing copy; the last copy is never
+        offloaded."""
+        self.url_table.remove_location(path, node)  # raises on last copy
+        self.doctree.file(path).locations.discard(node)
+        result = yield from self.execute(DeleteAgent(path), node)
+        if not result.ok:
+            raise ManagementError(
+                f"offload {path} from {node} failed: {result.detail}")
+        self.log.append((self.sim.now, "offload", path, node))
+        return result
+
+    def remove_document(self, path: str) -> Generator:
+        """Delete a document everywhere and unregister it."""
+        record = self.url_table.lookup(path)
+        nodes = sorted(record.locations)
+        for node in nodes:
+            yield from self.execute(DeleteAgent(path), node)
+        self.url_table.remove(path)
+        self.doctree.delete(path)
+        self.log.append((self.sim.now, "remove", path, ",".join(nodes)))
+
+    def rename_document(self, old: str, new_item: ContentItem) -> Generator:
+        """Rename a document on every node holding it."""
+        record = self.url_table.lookup(old)
+        nodes = sorted(record.locations)
+        for node in nodes:
+            result = yield from self.execute(
+                RenameAgent(old, new_item), node)
+            if not (result.ok and result.detail.get("renamed")):
+                raise ManagementError(
+                    f"rename {old} on {node} failed: {result.detail}")
+        self.url_table.remove(old)
+        self.url_table.insert(new_item, set(nodes))
+        self.doctree.delete(old)
+        self.doctree.insert(new_item, set(nodes))
+        self.log.append((self.sim.now, "rename", old, new_item.path))
+
+    def update_content(self, item: ContentItem) -> Generator:
+        """Push a new version of a mutable document to all replicas (§4)."""
+        record = self.url_table.lookup(item.path)
+        for node in sorted(record.locations):
+            result = yield from self.execute(UpdateAgent(item), node)
+            if not (result.ok and result.detail.get("updated")):
+                raise ManagementError(
+                    f"update {item.path} on {node} failed: {result.detail}")
+        record.item.size_bytes = item.size_bytes
+        self.log.append((self.sim.now, "update", item.path,
+                         ",".join(sorted(record.locations))))
+
+    # -- monitoring / consistency -----------------------------------------
+    def status_all(self) -> Generator:
+        """Gather a StatusReport from every broker, in parallel."""
+        events = []
+        for node in sorted(self.brokers):
+            events.append(self.sim.process(
+                self.execute(StatusAgent(), node)))
+        results = yield self.sim.all_of(events)
+        reports: dict[str, StatusReport] = {}
+        for ev in events:
+            result: AgentResult = ev.value
+            reports[result.node] = result.detail
+        return reports
+
+    def audit(self) -> Generator:
+        """Cluster-wide consistency audit: URL table vs physical stores.
+
+        One InventoryAgent per node (in parallel), then a pure comparison.
+        Returns a dict with two lists of (path, node) pairs:
+
+        * ``missing``  -- routed there by the URL table, not on the node;
+        * ``orphaned`` -- on the node, unknown to (or unrouted by) the
+          URL table.
+        """
+        events = []
+        nodes = sorted(self.brokers)
+        for node in nodes:
+            events.append(self.sim.process(
+                self.execute(InventoryAgent(), node)))
+        yield self.sim.all_of(events)
+        inventories = {ev.value.node: ev.value.detail["paths"]
+                       for ev in events}
+        missing: list[tuple[str, str]] = []
+        orphaned: list[tuple[str, str]] = []
+        routed: dict[str, set[str]] = {n: set() for n in nodes}
+        for record in self.url_table.records():
+            for node in record.locations:
+                if node in routed:
+                    routed[node].add(record.path)
+        for node in nodes:
+            for path in sorted(routed[node] - inventories[node]):
+                missing.append((path, node))
+            for path in sorted(inventories[node] - routed[node]):
+                orphaned.append((path, node))
+        return {"missing": missing, "orphaned": orphaned,
+                "nodes_audited": len(nodes)}
+
+    def verify_placement(self, path: str) -> Generator:
+        """Cross-check the URL table against every node's store."""
+        record = self.url_table.lookup(path)
+        inconsistencies = []
+        for node in sorted(self.brokers):
+            expected = node in record.locations
+            result = yield from self.execute(
+                VerifyAgent(path, expected_present=expected), node)
+            if not result.detail["consistent"]:
+                inconsistencies.append(node)
+        return inconsistencies

@@ -1,0 +1,79 @@
+"""Management-plane message types.
+
+The administration framework (§3.1, from the authors' LISA'98 system) moves
+three kinds of traffic over the cluster LAN: agent dispatches (the mobile
+code plus its parameters), agent results, and status reports.  Messages are
+plain dataclasses; their ``wire_bytes`` drive the simulated transfers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any, Optional
+
+__all__ = ["AgentDispatch", "AgentResult", "StatusReport",
+           "DISPATCH_HEADER_BYTES", "RESULT_BYTES", "STATUS_REPORT_BYTES"]
+
+#: Envelope cost of a dispatch message (headers, serialized parameters).
+DISPATCH_HEADER_BYTES = 256
+#: An agent result message.
+RESULT_BYTES = 192
+#: A status report message.
+STATUS_REPORT_BYTES = 384
+
+_dispatch_ids = itertools.count(1)
+
+
+@dataclasses.dataclass(slots=True)
+class AgentDispatch:
+    """Controller -> broker: run this agent on your node."""
+
+    agent: Any                      # an agents.Agent instance
+    target: str                     # broker/node name
+    dispatch_id: int = dataclasses.field(
+        default_factory=lambda: next(_dispatch_ids))
+    sent_at: float = 0.0
+
+    @property
+    def wire_bytes(self) -> int:
+        """Envelope plus mobile code, unless the broker has the class
+        cached (the broker decides; this is the worst-case size)."""
+        return DISPATCH_HEADER_BYTES + self.agent.code_bytes
+
+
+@dataclasses.dataclass(slots=True)
+class AgentResult:
+    """Broker -> controller: the agent finished (or failed)."""
+
+    dispatch_id: int
+    node: str
+    agent_name: str
+    ok: bool
+    detail: Any = None
+    completed_at: float = 0.0
+
+    @property
+    def wire_bytes(self) -> int:
+        return RESULT_BYTES
+
+
+@dataclasses.dataclass(slots=True)
+class StatusReport:
+    """What a StatusAgent collects from its node (§3.1: brokers 'monitor
+    the status (e.g., load situation, failure) of the managed node')."""
+
+    node: str
+    alive: bool
+    active_requests: int
+    completed_requests: int
+    store_items: int
+    store_bytes: int
+    cache_hit_rate: float
+    cpu_utilization: float
+    disk_utilization: float
+    collected_at: float = 0.0
+
+    @property
+    def wire_bytes(self) -> int:
+        return STATUS_REPORT_BYTES

@@ -1,0 +1,15 @@
+"""Network substrate: packets, TCP endpoints, HTTP messages, and the LAN."""
+
+from .http import (HttpMethod, HttpRequest, HttpResponse, HttpVersion,
+                   parent_dirs, split_path)
+from .lan import Lan, Nic
+from .packet import Address, Segment, TcpFlags, rewrite
+from .tcp import Host, Network, ProtocolError, TcpSocket, TcpState
+
+__all__ = [
+    "Address", "Segment", "TcpFlags", "rewrite",
+    "Network", "Host", "TcpSocket", "TcpState", "ProtocolError",
+    "HttpRequest", "HttpResponse", "HttpMethod", "HttpVersion",
+    "split_path", "parent_dirs",
+    "Nic", "Lan",
+]

@@ -1,0 +1,122 @@
+"""HTTP request/response model.
+
+The simulator never renders real bytes; requests and responses are structured
+objects whose *sizes* drive the network and disk models, and whose *URLs*
+drive the content-aware routing.  Both HTTP/1.0 and HTTP/1.1 semantics are
+modelled because the paper's distributor releases pre-forked connections
+differently for the two (it sets the FIN flag itself when relaying the last
+packet of an HTTP/1.0 response).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+from typing import Optional
+
+__all__ = ["HttpVersion", "HttpMethod", "HttpRequest", "HttpResponse",
+           "split_path", "parent_dirs", "REQUEST_HEADER_BYTES",
+           "RESPONSE_HEADER_BYTES"]
+
+#: Typical on-the-wire header sizes (bytes) used for transfer accounting.
+REQUEST_HEADER_BYTES = 320
+RESPONSE_HEADER_BYTES = 240
+
+_request_ids = itertools.count(1)
+
+
+class HttpVersion(enum.Enum):
+    HTTP_1_0 = "HTTP/1.0"
+    HTTP_1_1 = "HTTP/1.1"
+
+    @property
+    def persistent_by_default(self) -> bool:
+        """HTTP/1.1 connections are persistent unless closed explicitly."""
+        return self is HttpVersion.HTTP_1_1
+
+
+class HttpMethod(enum.Enum):
+    GET = "GET"
+    POST = "POST"
+    HEAD = "HEAD"
+
+
+def split_path(url: str) -> tuple[str, ...]:
+    """Split an absolute URL path into its segments.
+
+    ``/cgi-bin/search.cgi?q=x`` -> ``("cgi-bin", "search.cgi")``; the query
+    string is not part of the routing key (the paper routes on the document,
+    not its arguments).
+    """
+    path = url.split("?", 1)[0].split("#", 1)[0]
+    if not path.startswith("/"):
+        raise ValueError(f"URL path must be absolute, got {url!r}")
+    return tuple(seg for seg in path.split("/") if seg)
+
+
+def parent_dirs(url: str) -> list[str]:
+    """All directory prefixes of a URL path, shortest first.
+
+    ``/a/b/c.html`` -> ``["/", "/a", "/a/b"]``.
+    """
+    segs = split_path(url)
+    out = ["/"]
+    for i in range(1, len(segs)):
+        out.append("/" + "/".join(segs[:i]))
+    return out
+
+
+@dataclasses.dataclass(slots=True)
+class HttpRequest:
+    """A client HTTP request."""
+
+    url: str
+    method: HttpMethod = HttpMethod.GET
+    version: HttpVersion = HttpVersion.HTTP_1_1
+    keep_alive: Optional[bool] = None   # explicit Connection: header
+    body_bytes: int = 0
+    client_id: str = ""
+    request_id: int = dataclasses.field(
+        default_factory=lambda: next(_request_ids))
+    issued_at: float = 0.0
+
+    def __post_init__(self):
+        # Validate eagerly so malformed URLs fail at creation, not routing.
+        split_path(self.url)
+
+    @property
+    def path_segments(self) -> tuple[str, ...]:
+        return split_path(self.url)
+
+    @property
+    def persistent(self) -> bool:
+        """Whether the connection stays open after this exchange."""
+        if self.keep_alive is not None:
+            return self.keep_alive
+        return self.version.persistent_by_default
+
+    @property
+    def wire_bytes(self) -> int:
+        return REQUEST_HEADER_BYTES + self.body_bytes
+
+
+@dataclasses.dataclass(slots=True)
+class HttpResponse:
+    """A server HTTP response."""
+
+    request: HttpRequest
+    status: int = 200
+    content_length: int = 0
+    served_by: str = ""
+    cache_hit: bool = False
+    service_time: float = 0.0      # backend processing time (seconds)
+    completed_at: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def wire_bytes(self) -> int:
+        return RESPONSE_HEADER_BYTES + self.content_length

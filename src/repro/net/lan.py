@@ -1,0 +1,89 @@
+"""The switched fast-ethernet LAN model.
+
+The paper's testbed connects every node with 100 Mbps fast ethernet,
+"in order to allow enough throughput to show the clustered server's
+capabilities".  The experiments depend on two properties of that network:
+
+* per-node NIC bandwidth is finite, so a node pushing many large responses
+  serializes them (this is what melts the NFS server in Figure 2);
+* the switch itself is not the bottleneck (switched, not shared, ethernet).
+
+We model each NIC as a full-duplex pair of transmit/receive channels with a
+byte rate; a transfer holds the sender's TX channel and the receiver's RX
+channel for ``bytes / min(rates)`` plus propagation latency.  Acquiring TX
+before RX is deadlock-free because RX holders never wait on anything.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim import Resource, Simulator
+
+__all__ = ["Nic", "Lan"]
+
+#: Protocol framing overhead (ethernet + IP + TCP headers per MSS).
+WIRE_OVERHEAD = 1.055
+
+
+class Nic:
+    """A full-duplex network interface with a fixed line rate."""
+
+    def __init__(self, sim: Simulator, mbps: float = 100.0, name: str = ""):
+        if mbps <= 0:
+            raise ValueError("line rate must be positive")
+        self.sim = sim
+        self.name = name
+        self.mbps = mbps
+        self.bytes_per_second = mbps * 1e6 / 8.0
+        self.tx = Resource(sim, capacity=1, name=f"{name}.tx")
+        self.rx = Resource(sim, capacity=1, name=f"{name}.rx")
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def serialization_time(self, nbytes: int) -> float:
+        """Wire time to clock ``nbytes`` (plus framing) through this NIC."""
+        return nbytes * WIRE_OVERHEAD / self.bytes_per_second
+
+    def utilization_out(self) -> float:
+        return self.tx.utilization()
+
+    def utilization_in(self) -> float:
+        return self.rx.utilization()
+
+
+class Lan:
+    """A switched LAN: transfers contend only on the endpoints' NICs."""
+
+    def __init__(self, sim: Simulator, latency: float = 0.2e-3):
+        self.sim = sim
+        self.latency = latency
+        self.total_transfers = 0
+        self.total_bytes = 0
+
+    def transfer_time(self, src: Nic, dst: Nic, nbytes: int) -> float:
+        """Uncontended duration of a transfer (excluding queueing)."""
+        rate = min(src.bytes_per_second, dst.bytes_per_second)
+        return nbytes * WIRE_OVERHEAD / rate + self.latency
+
+    def transfer(self, src: Nic, dst: Nic,
+                 nbytes: int) -> Generator:
+        """Move ``nbytes`` from ``src`` to ``dst``; use ``yield from``.
+
+        Blocks while either endpoint NIC is busy, then holds both channels
+        for the serialization time.  Returns the completion time.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        tx_req = yield src.tx.request()
+        rx_req = yield dst.rx.request()
+        try:
+            yield self.sim.timeout(self.transfer_time(src, dst, nbytes))
+        finally:
+            dst.rx.release(rx_req)
+            src.tx.release(tx_req)
+        self.total_transfers += 1
+        self.total_bytes += nbytes
+        src.bytes_sent += nbytes
+        dst.bytes_received += nbytes
+        return self.sim.now

@@ -1,0 +1,117 @@
+"""Packet model: IP/TCP headers and segments.
+
+The content-aware distributor of the paper operates *below* the backend's
+TCP stack: it records TCP state from observed packets in its mapping table
+and relays packets between the client connection and a pre-forked backend
+connection by rewriting IP addresses, ports, and sequence numbers.  To test
+that mechanism faithfully we need an explicit packet representation.
+
+Only the fields the mechanism reads or rewrites are modelled: addresses,
+ports, sequence/acknowledgement numbers, flags, and payload length.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Optional
+
+__all__ = ["TcpFlags", "Address", "Segment", "rewrite"]
+
+
+class TcpFlags(enum.IntFlag):
+    """The TCP control flags the splicing state machine cares about."""
+
+    NONE = 0
+    SYN = 0x02
+    ACK = 0x10
+    FIN = 0x01
+    RST = 0x04
+    PSH = 0x08
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Address:
+    """An (IP, port) endpoint identifier."""
+
+    ip: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.ip}:{self.port}"
+
+
+@dataclasses.dataclass(slots=True)
+class Segment:
+    """One TCP segment.
+
+    ``payload`` carries a parsed object (an HTTP request/response or a chunk
+    marker) rather than raw bytes; ``payload_len`` is the simulated wire
+    size in bytes and is what sequence-number arithmetic uses.
+    """
+
+    src: Address
+    dst: Address
+    seq: int
+    ack: int
+    flags: TcpFlags
+    payload_len: int = 0
+    payload: Any = None
+
+    @property
+    def is_syn(self) -> bool:
+        return bool(self.flags & TcpFlags.SYN)
+
+    @property
+    def is_ack(self) -> bool:
+        return bool(self.flags & TcpFlags.ACK)
+
+    @property
+    def is_fin(self) -> bool:
+        return bool(self.flags & TcpFlags.FIN)
+
+    @property
+    def is_rst(self) -> bool:
+        return bool(self.flags & TcpFlags.RST)
+
+    def seq_space(self) -> int:
+        """Sequence-number space consumed (SYN and FIN count as one each)."""
+        space = self.payload_len
+        if self.flags & TcpFlags.SYN:
+            space += 1
+        if self.flags & TcpFlags.FIN:
+            space += 1
+        return space
+
+    def flow_id(self) -> tuple[Address, Address]:
+        """The (src, dst) pair identifying this direction of the flow."""
+        return (self.src, self.dst)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = [f.name for f in TcpFlags if f and self.flags & f]
+        return (f"Segment({self.src}->{self.dst} seq={self.seq} "
+                f"ack={self.ack} [{'|'.join(names) or '-'}] "
+                f"len={self.payload_len})")
+
+
+def rewrite(segment: Segment, *,
+            src: Optional[Address] = None,
+            dst: Optional[Address] = None,
+            seq_delta: int = 0,
+            ack_delta: int = 0) -> Segment:
+    """Return a copy of ``segment`` with rewritten headers.
+
+    This is the distributor's relaying primitive: change addresses to splice
+    the client flow onto the pre-forked backend flow and shift sequence
+    numbers by the offset between the two connections' initial sequence
+    numbers.  Payload is shared, not copied -- rewriting is header surgery.
+    """
+    return Segment(
+        src=src if src is not None else segment.src,
+        dst=dst if dst is not None else segment.dst,
+        seq=segment.seq + seq_delta,
+        ack=segment.ack + ack_delta,
+        flags=segment.flags,
+        payload_len=segment.payload_len,
+        payload=segment.payload,
+    )

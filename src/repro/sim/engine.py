@@ -1,0 +1,405 @@
+"""Discrete-event simulation kernel.
+
+The kernel implements a classic event-list simulator with generator-based
+processes, in the style popularized by SimPy but self-contained and small
+enough to reason about exactly.  All higher layers (network, cluster,
+distributor, management system) are built as processes on top of this module.
+
+Concepts
+--------
+``Simulator``
+    Owns the virtual clock and the event heap.  ``run()`` pops events in
+    timestamp order and fires their callbacks.
+``SimEvent``
+    A one-shot occurrence.  Processes *yield* events to suspend until the
+    event is triggered; the event's value (or exception) is delivered to the
+    generator when it resumes.
+``Process``
+    Wraps a generator.  A process is itself an event that triggers when the
+    generator returns, so processes can wait for each other ("join").
+``Timeout``
+    An event that triggers after a fixed delay of virtual time.
+``AllOf`` / ``AnyOf``
+    Composite conditions over several events.
+
+The kernel is deterministic: events scheduled for the same timestamp fire in
+insertion order (a monotone sequence number breaks ties).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "SimEvent",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "StopSimulation",
+]
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Simulator.run` early."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The interrupting party may attach an arbitrary ``cause`` explaining why
+    the interrupt happened (e.g. a failure injection or a cancelled request).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Sentinel distinguishing "no value yet" from "value is None".
+_PENDING = object()
+
+
+class SimEvent:
+    """A one-shot event that processes can wait on.
+
+    An event moves through three stages: *pending* (just created),
+    *triggered* (``succeed``/``fail`` called and the event is on the heap),
+    and *processed* (callbacks have run).  Triggering twice is an error --
+    events are strictly one-shot.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["SimEvent"], None]]] = []
+        self._value: Any = _PENDING
+        self._exception: Optional[BaseException] = None
+        self._defused = False
+
+    # -- state ----------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._value is not _PENDING or self._exception is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        if self._exception is not None:
+            raise self._exception
+        if self._value is _PENDING:
+            raise RuntimeError("event has not been triggered yet")
+        return self._value
+
+    # -- triggering -----------------------------------------------------------
+    def succeed(self, value: Any = None) -> "SimEvent":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._value = value
+        self.sim._enqueue(0.0, self)
+        return self
+
+    def fail(self, exception: BaseException) -> "SimEvent":
+        """Trigger the event with an exception.
+
+        The exception propagates into every waiting process.  If nothing ever
+        waits on a failed event, the simulator re-raises it at fire time so
+        errors cannot pass silently (call :meth:`defuse` to opt out).
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._exception = exception
+        self._value = None
+        self.sim._enqueue(0.0, self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled even if no process observes it."""
+        self._defused = True
+
+    # -- wiring ---------------------------------------------------------------
+    def add_callback(self, callback: Callable[["SimEvent"], None]) -> None:
+        if self.callbacks is None:
+            raise RuntimeError(f"{self!r} has already been processed")
+        self.callbacks.append(callback)
+
+    def _fire(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        observed = False
+        for cb in callbacks:  # type: ignore[union-attr]
+            observed = True
+            cb(self)
+        if self._exception is not None and not observed and not self._defused:
+            raise self._exception
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(SimEvent):
+    """An event that fires after ``delay`` units of virtual time."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        sim._enqueue(delay, self)
+
+
+class _Initialize(SimEvent):
+    """Internal event that starts a freshly created process."""
+
+    def __init__(self, sim: "Simulator", process: "Process"):
+        super().__init__(sim)
+        self._value = None
+        self.add_callback(process._resume)
+        sim._enqueue(0.0, self)
+
+
+class Process(SimEvent):
+    """A running generator.  Also an event that triggers on completion."""
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process() needs a generator, got {generator!r}")
+        super().__init__(sim)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._target: Optional[SimEvent] = None
+        _Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting on an event detaches it from that event first.
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self.name} has already terminated")
+        interrupt_event = SimEvent(self.sim)
+        interrupt_event._exception = Interrupt(cause)
+        interrupt_event._value = None
+        interrupt_event.defuse()
+        # Detach from the event currently waited on, if any.
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        interrupt_event.add_callback(self._resume)
+        self.sim._enqueue(0.0, interrupt_event)
+
+    def _resume(self, event: SimEvent) -> None:
+        self._target = None
+        self.sim._active_process = self
+        try:
+            if event._exception is not None:
+                next_event = self._generator.throw(event._exception)
+            else:
+                next_event = self._generator.send(event._value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self._value = stop.value
+            self.sim._enqueue(0.0, self)
+            return
+        except Interrupt as exc:
+            # An unhandled interrupt terminates the process "successfully"
+            # with the interrupt cause -- the interruptor asked it to stop.
+            self.sim._active_process = None
+            self._value = exc.cause
+            self.sim._enqueue(0.0, self)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            self._exception = exc
+            self._value = None
+            self.sim._enqueue(0.0, self)
+            return
+        self.sim._active_process = None
+        if not isinstance(next_event, SimEvent):
+            raise TypeError(
+                f"process {self.name!r} yielded {next_event!r}; "
+                "processes must yield SimEvent instances")
+        if next_event.sim is not self.sim:
+            raise RuntimeError("cannot wait on an event from another simulator")
+        if next_event.processed:
+            # Already fired: resume immediately (at the current time).
+            immediate = SimEvent(self.sim)
+            immediate._value = next_event._value
+            immediate._exception = next_event._exception
+            immediate.defuse()
+            immediate.add_callback(self._resume)
+            self.sim._enqueue(0.0, immediate)
+            self._target = None
+        else:
+            next_event.add_callback(self._resume)
+            if next_event._exception is not None:
+                next_event.defuse()
+            self._target = next_event
+
+
+class _Condition(SimEvent):
+    """Base for AllOf/AnyOf composites."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[SimEvent]):
+        super().__init__(sim)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise RuntimeError("condition mixes events from different simulators")
+        self._done = 0
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._check(ev)
+            else:
+                ev.add_callback(self._check)
+
+    def _collect(self) -> dict:
+        # Only events whose callbacks have run count as "happened" for the
+        # purposes of a condition result: a Timeout is *triggered* from
+        # birth (it is already on the heap) but has not occurred yet.
+        return {ev: ev._value for ev in self.events
+                if ev.processed and ev._exception is None}
+
+    def _check(self, event: SimEvent) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when every component event has triggered."""
+
+    def _check(self, event: SimEvent) -> None:
+        if self.triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self._done += 1
+        if self._done == len(self.events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as one component event triggers."""
+
+    def _check(self, event: SimEvent) -> None:
+        if self.triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self.succeed(self._collect())
+
+
+class Simulator:
+    """The event loop: virtual clock plus a time-ordered event heap."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: list[tuple[float, int, SimEvent]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event creation ---------------------------------------------------
+    def event(self) -> SimEvent:
+        """Create a pending event to be triggered manually."""
+        return SimEvent(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[SimEvent]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[SimEvent]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _enqueue(self, delay: float, event: SimEvent) -> None:
+        self._eid += 1
+        heapq.heappush(self._heap, (self._now + delay, self._eid, event))
+
+    def schedule(self, delay: float, callback: Callable[[], Any]) -> SimEvent:
+        """Run ``callback()`` after ``delay`` time units (fire-and-forget)."""
+        ev = SimEvent(self)
+        ev._value = None
+        ev.add_callback(lambda _ev: callback())
+        self._enqueue(delay, ev)
+        return ev
+
+    # -- running -------------------------------------------------------------
+    def peek(self) -> float:
+        """Timestamp of the next event, or ``inf`` if the heap is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Pop and fire exactly one event."""
+        when, _eid, event = heapq.heappop(self._heap)
+        self._now = when
+        event._fire()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or the clock passes ``until``.
+
+        If ``until`` is given, the clock is advanced exactly to ``until``
+        even when no event lands on that timestamp.
+        """
+        if until is not None and until < self._now:
+            raise ValueError(f"until={until} is in the past (now={self._now})")
+        try:
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    break
+                self.step()
+        except StopSimulation:
+            pass
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def stop(self) -> None:
+        """Halt :meth:`run` from inside a callback or process."""
+        raise StopSimulation()

@@ -1,0 +1,245 @@
+"""Shared-resource primitives built on the simulation kernel.
+
+``Resource``
+    A counted resource (server slots, disk arms, NIC channels).  Processes
+    ``yield resource.request()`` to acquire a unit and call
+    ``resource.release(req)`` when done.  FIFO service order.
+``PriorityResource``
+    Same, but pending requests are served lowest-priority-value first.
+``Store``
+    An unbounded (or bounded) FIFO buffer of Python objects with blocking
+    ``get``; the basic building block for mailboxes and queues.
+``Container``
+    A continuous level (bytes, tokens) with blocking ``put``/``get``.
+
+All primitives expose counters used by the metrics layer (peak queue length,
+total waits, utilization integrals).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .engine import SimEvent, Simulator
+
+__all__ = ["Request", "Resource", "PriorityResource", "Store", "Container"]
+
+
+class Request(SimEvent):
+    """The event returned by :meth:`Resource.request`.
+
+    Succeeds when the resource grants a unit to the caller.  Keep the object:
+    it is the handle passed to :meth:`Resource.release`.
+    """
+
+    def __init__(self, resource: "Resource", priority: float = 0.0):
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.priority = priority
+        self.requested_at = resource.sim.now
+        self.granted_at: Optional[float] = None
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request (e.g. after an interrupt)."""
+        if self.granted_at is not None:
+            raise RuntimeError("cannot cancel a granted request; release it")
+        self.cancelled = True
+        self.resource._purge()
+
+
+class Resource:
+    """A counted, FIFO-granted resource."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.users: list[Request] = []
+        self.queue: list[Request] = []
+        # bookkeeping for metrics
+        self.total_requests = 0
+        self.total_wait_time = 0.0
+        self.peak_queue_len = 0
+        self._busy_integral = 0.0
+        self._last_change = sim.now
+        self._created_at = sim.now
+
+    # -- metrics ------------------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        return len(self.users)
+
+    @property
+    def queue_len(self) -> int:
+        return len(self.queue)
+
+    def utilization(self) -> float:
+        """Time-average fraction of capacity in use since creation."""
+        self._account()
+        elapsed = self.sim.now - self._created_at
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_integral / (elapsed * self.capacity)
+
+    def _account(self) -> None:
+        dt = self.sim.now - self._last_change
+        if dt > 0:
+            self._busy_integral += dt * len(self.users)
+            self._last_change = self.sim.now
+
+    # -- protocol ------------------------------------------------------------
+    def request(self, priority: float = 0.0) -> Request:
+        """Ask for one unit of the resource.  Yield the returned event."""
+        req = Request(self, priority)
+        self.total_requests += 1
+        self.queue.append(req)
+        self.peak_queue_len = max(self.peak_queue_len, len(self.queue))
+        self._grant()
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted unit."""
+        if request not in self.users:
+            raise RuntimeError("releasing a request that does not hold the resource")
+        self._account()
+        self.users.remove(request)
+        self._grant()
+
+    def _select_next(self) -> Optional[Request]:
+        for req in self.queue:
+            if not req.cancelled:
+                return req
+        return None
+
+    def _purge(self) -> None:
+        self.queue = [r for r in self.queue if not r.cancelled]
+        self._grant()
+
+    def _grant(self) -> None:
+        while len(self.users) < self.capacity:
+            nxt = self._select_next()
+            if nxt is None:
+                break
+            self.queue.remove(nxt)
+            self._account()
+            nxt.granted_at = self.sim.now
+            self.total_wait_time += nxt.granted_at - nxt.requested_at
+            self.users.append(nxt)
+            nxt.succeed(nxt)
+
+
+class PriorityResource(Resource):
+    """A resource whose queue is served lowest ``priority`` value first.
+
+    Ties break FIFO (stable with respect to request order).
+    """
+
+    def _select_next(self) -> Optional[Request]:
+        best: Optional[Request] = None
+        for req in self.queue:
+            if req.cancelled:
+                continue
+            if best is None or req.priority < best.priority:
+                best = req
+        return best
+
+
+class Store:
+    """A FIFO buffer of arbitrary items with blocking ``get``.
+
+    ``put`` never blocks unless ``capacity`` is set and reached, in which
+    case it raises (bounded stores in this codebase are error conditions,
+    not backpressure points).
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None,
+                 name: str = ""):
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.items: list[Any] = []
+        self._getters: list[SimEvent] = []
+        self.total_puts = 0
+        self.total_gets = 0
+        self.peak_size = 0
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes one waiting getter if any."""
+        if self.capacity is not None and len(self.items) >= self.capacity:
+            raise OverflowError(
+                f"store {self.name!r} exceeded capacity {self.capacity}")
+        self.total_puts += 1
+        if self._getters:
+            getter = self._getters.pop(0)
+            self.total_gets += 1
+            getter.succeed(item)
+        else:
+            self.items.append(item)
+            self.peak_size = max(self.peak_size, len(self.items))
+
+    def get(self) -> SimEvent:
+        """Return an event yielding the next item (immediately if buffered)."""
+        ev = SimEvent(self.sim)
+        if self.items:
+            self.total_gets += 1
+            ev.succeed(self.items.pop(0))
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; ``None`` when empty."""
+        if self.items:
+            self.total_gets += 1
+            return self.items.pop(0)
+        return None
+
+    def cancel_get(self, event: SimEvent) -> None:
+        """Withdraw a pending getter (after an interrupt)."""
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            pass
+
+
+class Container:
+    """A continuous quantity with blocking ``get`` (put is immediate)."""
+
+    def __init__(self, sim: Simulator, init: float = 0.0,
+                 capacity: float = float("inf"), name: str = ""):
+        if init < 0 or init > capacity:
+            raise ValueError("init must satisfy 0 <= init <= capacity")
+        self.sim = sim
+        self.level = init
+        self.capacity = capacity
+        self.name = name
+        self._getters: list[tuple[float, SimEvent]] = []
+
+    def put(self, amount: float) -> None:
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        self.level = min(self.capacity, self.level + amount)
+        self._drain()
+
+    def get(self, amount: float) -> SimEvent:
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        ev = SimEvent(self.sim)
+        self._getters.append((amount, ev))
+        self._drain()
+        return ev
+
+    def _drain(self) -> None:
+        while self._getters:
+            amount, ev = self._getters[0]
+            if amount > self.level:
+                break
+            self._getters.pop(0)
+            self.level -= amount
+            ev.succeed(amount)

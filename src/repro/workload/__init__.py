@@ -1,0 +1,13 @@
+"""Workload generation: the paper's Workloads A/B and WebBench-style rigs."""
+
+from .sampler import RequestSampler
+from .trace import Trace, TraceEntry, TraceReplayer, generate_trace
+from .webbench import ClientStats, WebBenchClient, WebBenchRig
+from .workloads import WORKLOAD_A, WORKLOAD_B, WorkloadSpec
+
+__all__ = [
+    "WorkloadSpec", "WORKLOAD_A", "WORKLOAD_B",
+    "RequestSampler",
+    "WebBenchClient", "WebBenchRig", "ClientStats",
+    "Trace", "TraceEntry", "TraceReplayer", "generate_trace",
+]

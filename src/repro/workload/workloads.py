@@ -1,0 +1,84 @@
+"""Workload definitions: the paper's Workload A and Workload B.
+
+§5.1: "We created two workloads that model the Web server workload
+characterization (e.g., file size, request distribution, file popularity,
+etc.) published in papers [9,10,27].  The first workload (workload A)
+consists of static content, and the second workload (Workload B) includes a
+significant amount of dynamic content (e.g. CGI and ASP)."
+
+A workload couples a *content inventory* (the catalog mix) with a *request
+mix* (what fraction of requests target each class) and a popularity skew.
+Request mixes follow the cited characterizations: images and HTML dominate
+request counts; large multimedia files are requested rarely (Arlitt & Jin:
+the large files receive ~0.1 % of requests); workload B adds a substantial
+CGI/ASP share.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..content import DYNAMIC_MIX, STATIC_MIX, ContentType, TypeMix
+
+__all__ = ["WorkloadSpec", "WORKLOAD_A", "WORKLOAD_B"]
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything a load generator needs to know about a workload."""
+
+    name: str
+    catalog_mix: TypeMix
+    #: probability that a request targets each content class
+    request_mix: dict[ContentType, float]
+    #: Zipf exponent of within-class document popularity
+    zipf_alpha: float = 0.45
+    #: mean client think time (s); WebBench-style saturation uses ~0
+    think_time: float = 0.0
+    #: number of objects in the synthetic site
+    n_objects: int = 8700
+
+    def __post_init__(self):
+        total = sum(self.request_mix.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"request mix must sum to 1.0, got {total}")
+        for ctype, frac in self.request_mix.items():
+            if frac < 0:
+                raise ValueError(f"negative request fraction for {ctype}")
+            if frac > 0 and getattr(self.catalog_mix, ctype.value) == 0:
+                raise ValueError(
+                    f"requests target {ctype} but the catalog has none")
+
+    @property
+    def dynamic_request_fraction(self) -> float:
+        return sum(frac for ctype, frac in self.request_mix.items()
+                   if ctype.is_dynamic)
+
+
+#: Workload A: static content only (HTML, images, rare multimedia).
+#: Large files receive a fraction of a percent of requests (Arlitt & Jin
+#: report ~0.1 % for the biggest class).
+WORKLOAD_A = WorkloadSpec(
+    name="A",
+    catalog_mix=STATIC_MIX,
+    request_mix={
+        ContentType.HTML: 0.385,
+        ContentType.IMAGE: 0.610,
+        ContentType.VIDEO: 0.001,
+        ContentType.AUDIO: 0.004,
+    },
+)
+
+#: Workload B: "a significant amount of dynamic content (e.g. CGI and ASP)".
+WORKLOAD_B = WorkloadSpec(
+    name="B",
+    catalog_mix=DYNAMIC_MIX,
+    request_mix={
+        ContentType.HTML: 0.325,
+        ContentType.IMAGE: 0.490,
+        ContentType.CGI: 0.100,
+        ContentType.ASP: 0.080,
+        ContentType.VIDEO: 0.001,
+        ContentType.AUDIO: 0.004,
+    },
+)

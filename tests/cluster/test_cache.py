@@ -1,0 +1,148 @@
+"""Tests (including property-based) for the LRU content cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import LruCache
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LruCache(0)
+        with pytest.raises(ValueError):
+            LruCache(100, bypass_fraction=0.0)
+        with pytest.raises(ValueError):
+            LruCache(100, bypass_fraction=1.5)
+
+    def test_miss_then_hit(self):
+        c = LruCache(1000)
+        assert not c.access("/a")
+        assert c.admit("/a", 100)
+        assert c.access("/a")
+        assert c.hits == 1 and c.misses == 1
+        assert c.hit_rate == 0.5
+
+    def test_used_bytes_tracking(self):
+        c = LruCache(1000)
+        c.admit("/a", 100)
+        c.admit("/b", 200)
+        assert c.used_bytes == 300
+        assert len(c) == 2
+
+    def test_admit_negative_size_rejected(self):
+        c = LruCache(100)
+        with pytest.raises(ValueError):
+            c.admit("/a", -1)
+
+    def test_hit_rate_empty(self):
+        assert LruCache(10).hit_rate == 0.0
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        c = LruCache(300, bypass_fraction=1.0)
+        c.admit("/a", 100)
+        c.admit("/b", 100)
+        c.admit("/c", 100)
+        c.access("/a")          # freshen /a; /b is now LRU
+        c.admit("/d", 100)      # evicts /b
+        assert "/b" not in c
+        assert "/a" in c and "/c" in c and "/d" in c
+        assert c.evictions == 1
+
+    def test_eviction_frees_enough_space(self):
+        c = LruCache(250, bypass_fraction=1.0)
+        c.admit("/a", 100)
+        c.admit("/b", 100)
+        c.admit("/big", 200)    # must evict both /a and /b
+        assert c.used_bytes == 200
+        assert "/a" not in c and "/b" not in c
+
+    def test_readmit_refreshes_size(self):
+        c = LruCache(1000)
+        c.admit("/a", 100)
+        c.admit("/a", 150)
+        assert c.used_bytes == 150
+        assert len(c) == 1
+
+
+class TestBypass:
+    def test_oversized_object_bypasses(self):
+        c = LruCache(1000, bypass_fraction=0.25)
+        assert not c.admit("/video", 500)   # > 250 bypass threshold
+        assert "/video" not in c
+        assert c.bypasses == 1
+        assert c.used_bytes == 0
+
+    def test_bypass_does_not_evict(self):
+        c = LruCache(1000, bypass_fraction=0.25)
+        c.admit("/a", 200)
+        c.admit("/video", 900)
+        assert "/a" in c
+
+
+class TestInvalidate:
+    def test_invalidate_present(self):
+        c = LruCache(1000)
+        c.admit("/a", 100)
+        assert c.invalidate("/a")
+        assert "/a" not in c
+        assert c.used_bytes == 0
+
+    def test_invalidate_absent(self):
+        assert not LruCache(10).invalidate("/nope")
+
+    def test_clear(self):
+        c = LruCache(1000)
+        c.admit("/a", 10)
+        c.admit("/b", 20)
+        c.clear()
+        assert len(c) == 0 and c.used_bytes == 0
+
+
+class TestWorkingSetEffect:
+    def test_small_working_set_high_hit_rate(self):
+        """The Figure 2 mechanism: a working set within capacity converges
+        to ~100 % hits; one far beyond capacity keeps missing."""
+        small = LruCache(100 * 10, bypass_fraction=1.0)
+        for round_ in range(5):
+            for i in range(8):      # working set 8 x 100 = 800 <= 1000
+                key = f"/f{i}"
+                if not small.access(key):
+                    small.admit(key, 100)
+        assert small.hit_rate > 0.7
+
+        big = LruCache(100 * 10, bypass_fraction=1.0)
+        for round_ in range(5):
+            for i in range(50):     # working set 5000 > 1000: LRU thrashes
+                key = f"/f{i}"
+                if not big.access(key):
+                    big.admit(key, 100)
+        assert big.hit_rate == 0.0  # cyclic scan defeats LRU entirely
+
+
+class TestPropertyBased:
+    @given(ops=st.lists(st.tuples(st.sampled_from(["a", "b", "c", "d", "e"]),
+                                  st.integers(1, 400)),
+                        min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_hold_under_any_sequence(self, ops):
+        c = LruCache(1000, bypass_fraction=0.5)
+        for key, size in ops:
+            if not c.access(key):
+                c.admit(key, size)
+            assert c.used_bytes <= c.capacity_bytes
+            assert c.used_bytes == sum(c._entries.values())
+            assert all(s <= c.bypass_bytes for s in c._entries.values())
+
+    @given(ops=st.lists(st.sampled_from(["a", "b", "c"]), min_size=1,
+                        max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_hits_plus_misses_equals_accesses(self, ops):
+        c = LruCache(100)
+        for key in ops:
+            if not c.access(key):
+                c.admit(key, 10)
+        assert c.hits + c.misses == len(ops)

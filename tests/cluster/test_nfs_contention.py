@@ -1,0 +1,95 @@
+"""Contention tests for the shared NFS file server (the Figure 2 bottleneck)."""
+
+import pytest
+
+from repro.cluster import (BackendServer, NfsServer, NodeSpec,
+                           SCSI_DISK_8GB, paper_testbed_specs)
+from repro.content import ContentItem, ContentType
+from repro.net import HttpRequest, Lan
+from repro.sim import Simulator
+
+
+def build_nfs_cluster(n_webs=4, n_items=50, item_size=32 * 1024):
+    sim = Simulator()
+    lan = Lan(sim)
+    nfs = NfsServer(sim, lan, NodeSpec("nfs", 350, 128, SCSI_DISK_8GB))
+    items = [ContentItem(f"/f{i:03d}.html", item_size, ContentType.HTML)
+             for i in range(n_items)]
+    nfs.export(items)
+    webs = [BackendServer(sim, lan, spec, nfs=nfs)
+            for spec in paper_testbed_specs()[:n_webs]]
+    return sim, lan, nfs, webs, items
+
+
+def serve_all(sim, server, items, done, start_at=0.0):
+    def go():
+        if start_at:
+            yield sim.timeout(start_at)
+        for item in items:
+            resp = yield sim.process(server.serve(HttpRequest(item.path),
+                                                  item))
+            assert resp.ok
+        done.append(sim.now)
+
+    sim.process(go())
+
+
+class TestNfsContention:
+    def test_concurrent_web_servers_serialize_on_the_file_server(self):
+        """Doubling the web servers does not double NFS-backed capacity:
+        every miss funnels through one disk arm."""
+        finish = {}
+        for n_webs in (1, 4):
+            sim, lan, nfs, webs, items = build_nfs_cluster(n_webs=n_webs)
+            done = []
+            per_web = len(items) // n_webs
+            for i, web in enumerate(webs):
+                serve_all(sim, web, items[i * per_web:(i + 1) * per_web],
+                          done)
+            sim.run()
+            finish[n_webs] = max(done)
+        # 4 servers each did 1/4 of the work, but the shared disk
+        # prevents a 4x speedup (cold cache: every read hits the disk)
+        speedup = finish[1] / finish[4]
+        assert speedup < 2.5
+
+    def test_nfs_disk_is_the_busy_resource(self):
+        sim, lan, nfs, webs, items = build_nfs_cluster(n_webs=4)
+        done = []
+        for i, web in enumerate(webs):
+            # staggered starts: later servers find content already cached
+            serve_all(sim, web, items, done, start_at=i * 2.0)
+        sim.run()
+        # the file server cache absorbs repeats once an object has landed;
+        # concurrent first touches may race (no read coalescing), so the
+        # disk does between 1x and the concurrency's worth of reads
+        assert len(items) <= nfs.disk.reads <= 4 * len(items)
+        assert nfs.disk.reads < nfs.rpcs_served
+        assert nfs.rpcs_served == 4 * len(items)
+
+    def test_nfs_nic_carries_all_content_bytes(self):
+        sim, lan, nfs, webs, items = build_nfs_cluster(n_webs=2, n_items=20)
+        done = []
+        serve_all(sim, webs[0], items, done)
+        serve_all(sim, webs[1], items, done)
+        sim.run()
+        expected = 2 * sum(i.size_bytes for i in items)
+        assert nfs.nic.bytes_sent >= expected
+
+    def test_web_server_count_does_not_add_nfs_capacity(self):
+        """The single-point-of-scaling problem §1.1 describes: adding web
+        servers leaves aggregate NFS throughput nearly flat once the file
+        server saturates."""
+        rates = {}
+        for n_webs in (2, 6):
+            sim, lan, nfs, webs, items = build_nfs_cluster(
+                n_webs=n_webs, n_items=120, item_size=64 * 1024)
+            done = []
+            # every server reads a disjoint shard: all cold, all misses
+            per_web = len(items) // n_webs
+            for i, web in enumerate(webs):
+                serve_all(sim, web, items[i * per_web:(i + 1) * per_web],
+                          done)
+            sim.run()
+            rates[n_webs] = (per_web * n_webs) / max(done)
+        assert rates[6] < 1.5 * rates[2]

@@ -1,0 +1,125 @@
+"""Tests pinning the calibrated service-model behaviours the figures rest on."""
+
+import pytest
+
+from repro.cluster import (BackendServer, NfsServer, NodeSpec, IDE_DISK_4GB,
+                           SCSI_DISK_8GB, ServiceCosts)
+from repro.content import ContentItem, ContentType
+from repro.net import HttpRequest, Lan
+from repro.sim import Simulator
+
+
+def run_one(sim, server, item):
+    out = []
+
+    def go():
+        out.append((yield sim.process(server.serve(HttpRequest(item.path),
+                                                   item))))
+
+    sim.process(go())
+    sim.run()
+    return out[0]
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def lan(sim):
+    return Lan(sim, latency=0.0)
+
+
+class TestLowMemoryDynamicPenalty:
+    """§5.3: dynamic requests on slow nodes take 'orders of magnitude more
+    time' -- modelled as memory-pressure scaling on <96 MB nodes."""
+
+    def make(self, sim, lan, mem_mb):
+        spec = NodeSpec(f"n{mem_mb}", 350, mem_mb, SCSI_DISK_8GB)
+        return BackendServer(sim, lan, spec)
+
+    def test_low_memory_node_pays_penalty(self, sim, lan):
+        cgi = ContentItem("/cgi-bin/q.cgi", 2048, ContentType.CGI,
+                          cpu_work=0.030)
+        small = self.make(sim, lan, 64)
+        big = self.make(sim, lan, 128)
+        r_small = run_one(sim, small, cgi)
+        r_big = run_one(sim, big, cgi)
+        costs = ServiceCosts()
+        assert r_small.service_time == pytest.approx(
+            r_big.service_time * costs.dynamic_low_mem_penalty)
+
+    def test_penalty_is_orders_of_magnitude_on_slow_nodes(self, sim, lan):
+        """150 MHz / 64 MB vs 350 MHz / 128 MB: the paper's claim."""
+        cgi = ContentItem("/cgi-bin/q.cgi", 2048, ContentType.CGI,
+                          cpu_work=0.030)
+        slow = BackendServer(sim, lan,
+                             NodeSpec("slow", 150, 64, IDE_DISK_4GB))
+        fast = BackendServer(sim, lan,
+                             NodeSpec("fast", 350, 128, SCSI_DISK_8GB))
+        r_slow = run_one(sim, slow, cgi)
+        r_fast = run_one(sim, fast, cgi)
+        assert r_slow.service_time > 10 * r_fast.service_time
+
+    def test_static_requests_unaffected_by_memory_penalty(self, sim, lan):
+        page = ContentItem("/p.html", 2048, ContentType.HTML)
+        small = self.make(sim, lan, 64)
+        big = self.make(sim, lan, 128)
+        small.place(page)
+        big.place(page)
+        run_one(sim, small, page)  # warm caches
+        run_one(sim, big, page)
+        r_small = run_one(sim, small, page)
+        r_big = run_one(sim, big, page)
+        assert r_small.service_time == pytest.approx(r_big.service_time)
+
+
+class TestNfsServeThrough:
+    """§5.3's NFS behaviour: remote content is never held in the web
+    server's memory cache (close-to-open consistency)."""
+
+    def test_every_request_goes_remote(self, sim, lan):
+        nfs = NfsServer(sim, lan, NodeSpec("nfs", 350, 128, SCSI_DISK_8GB))
+        item = ContentItem("/a.html", 8192, ContentType.HTML)
+        nfs.export([item])
+        server = BackendServer(
+            sim, lan, NodeSpec("web", 350, 128, SCSI_DISK_8GB), nfs=nfs)
+        for _ in range(3):
+            resp = run_one(sim, server, item)
+            assert resp.ok and not resp.cache_hit
+        assert nfs.rpcs_served == 3
+        assert len(server.cache) == 0  # nothing admitted locally
+
+    def test_nfs_server_cache_still_works(self, sim, lan):
+        nfs = NfsServer(sim, lan, NodeSpec("nfs", 350, 128, SCSI_DISK_8GB))
+        item = ContentItem("/a.html", 8192, ContentType.HTML)
+        nfs.export([item])
+        server = BackendServer(
+            sim, lan, NodeSpec("web", 350, 128, SCSI_DISK_8GB), nfs=nfs)
+        run_one(sim, server, item)
+        run_one(sim, server, item)
+        assert nfs.disk.reads == 1  # second RPC hit the file server cache
+
+    def test_local_copy_preferred_over_nfs(self, sim, lan):
+        nfs = NfsServer(sim, lan, NodeSpec("nfs", 350, 128, SCSI_DISK_8GB))
+        item = ContentItem("/a.html", 8192, ContentType.HTML)
+        nfs.export([item])
+        server = BackendServer(
+            sim, lan, NodeSpec("web", 350, 128, SCSI_DISK_8GB), nfs=nfs)
+        server.place(item)
+        run_one(sim, server, item)
+        assert nfs.rpcs_served == 0
+        assert item.path in server.cache
+
+
+class TestDiskMetadataAccesses:
+    def test_per_file_accesses_factor(self, sim, lan):
+        """Whole-file reads pay metadata + data positioning (~1.7 seeks)."""
+        spec = NodeSpec("n", 350, 128, SCSI_DISK_8GB)
+        server = BackendServer(sim, lan, spec)
+        item = ContentItem("/big.html", 1024, ContentType.HTML)
+        server.place(item)
+        resp = run_one(sim, server, item)
+        min_disk = spec.disk.per_file_accesses * spec.disk.avg_access_s
+        assert resp.service_time >= min_disk

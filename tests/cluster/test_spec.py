@@ -1,0 +1,100 @@
+"""Tests for hardware specs and the paper's testbed."""
+
+import pytest
+
+from repro.cluster import (IDE_DISK_4GB, SCSI_DISK_4GB, SCSI_DISK_8GB,
+                           DiskSpec, NodeSpec, distributor_spec,
+                           paper_testbed_specs)
+
+
+class TestDiskSpec:
+    def test_read_time_structure(self):
+        d = DiskSpec("X", avg_access_s=0.01, transfer_mbps=10, capacity_gb=1,
+                     per_file_accesses=1.0)
+        assert d.read_time(0) == pytest.approx(0.01)
+        assert d.read_time(10 * 1024 * 1024) == pytest.approx(1.01)
+
+    def test_read_time_counts_metadata_accesses(self):
+        d = DiskSpec("X", avg_access_s=0.01, transfer_mbps=10, capacity_gb=1,
+                     per_file_accesses=1.7)
+        assert d.read_time(0) == pytest.approx(0.017)
+
+    def test_negative_read_rejected(self):
+        with pytest.raises(ValueError):
+            IDE_DISK_4GB.read_time(-1)
+
+    def test_scsi_faster_than_ide(self):
+        n = 64 * 1024
+        assert SCSI_DISK_8GB.read_time(n) < SCSI_DISK_4GB.read_time(n) \
+            < IDE_DISK_4GB.read_time(n)
+
+    def test_capacity_bytes(self):
+        assert IDE_DISK_4GB.capacity_bytes == 4 * 1024 ** 3
+
+
+class TestNodeSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeSpec("bad", cpu_mhz=0, mem_mb=64, disk=IDE_DISK_4GB)
+        with pytest.raises(ValueError):
+            NodeSpec("bad", cpu_mhz=100, mem_mb=0, disk=IDE_DISK_4GB)
+
+    def test_speed_factor_reference(self):
+        fast = NodeSpec("a", 350, 128, SCSI_DISK_8GB)
+        slow = NodeSpec("b", 150, 64, IDE_DISK_4GB)
+        assert fast.speed_factor == pytest.approx(1.0)
+        assert slow.speed_factor == pytest.approx(150 / 350)
+
+    def test_cache_bytes_reserves_os_memory(self):
+        small = NodeSpec("a", 150, 64, IDE_DISK_4GB)
+        big = NodeSpec("b", 350, 128, SCSI_DISK_8GB)
+        assert small.cache_bytes == 20 * 1024 * 1024
+        assert big.cache_bytes == 84 * 1024 * 1024
+
+    def test_weight_reference_node_is_one(self):
+        ref = NodeSpec("ref", 350, 128, SCSI_DISK_8GB)
+        assert ref.weight == pytest.approx(1.0)
+
+    def test_weight_orders_by_capacity(self):
+        specs = {s.name: s for s in paper_testbed_specs()}
+        assert specs["s150-0"].weight < specs["s200-0"].weight \
+            < specs["s350-0"].weight
+
+
+class TestPaperTestbed:
+    def test_nine_backends(self):
+        specs = paper_testbed_specs()
+        assert len(specs) == 9
+
+    def test_exact_configuration_from_section_5_1(self):
+        specs = paper_testbed_specs()
+        by_mhz = {}
+        for s in specs:
+            by_mhz.setdefault(s.cpu_mhz, []).append(s)
+        assert len(by_mhz[150]) == 3
+        assert len(by_mhz[200]) == 2
+        assert len(by_mhz[350]) == 4
+        for s in by_mhz[150]:
+            assert s.mem_mb == 64 and s.disk.kind == "IDE" \
+                and s.disk.capacity_gb == 4
+        for s in by_mhz[200]:
+            assert s.mem_mb == 128 and s.disk.kind == "SCSI" \
+                and s.disk.capacity_gb == 4
+        for s in by_mhz[350]:
+            assert s.mem_mb == 128 and s.disk.kind == "SCSI" \
+                and s.disk.capacity_gb == 8
+
+    def test_heterogeneous_oses(self):
+        oses = {s.os for s in paper_testbed_specs()}
+        assert oses == {"linux", "nt"}
+
+    def test_all_fast_ethernet(self):
+        assert all(s.nic_mbps == 100.0 for s in paper_testbed_specs())
+
+    def test_unique_names(self):
+        names = [s.name for s in paper_testbed_specs()]
+        assert len(set(names)) == len(names)
+
+    def test_distributor_spec(self):
+        d = distributor_spec()
+        assert d.cpu_mhz == 350 and d.mem_mb == 128

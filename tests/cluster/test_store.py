@@ -1,0 +1,54 @@
+"""Tests for the per-node local content store."""
+
+import pytest
+
+from repro.cluster import LocalStore, StoreFullError
+from repro.content import ContentItem, ContentType
+
+
+def item(path, size=100):
+    return ContentItem(path, size, ContentType.HTML)
+
+
+class TestLocalStore:
+    def test_add_and_membership(self):
+        s = LocalStore()
+        s.add(item("/a", 50))
+        assert "/a" in s
+        assert s.get("/a").size_bytes == 50
+        assert s.used_bytes == 50
+        assert len(s) == 1
+
+    def test_add_idempotent(self):
+        s = LocalStore()
+        s.add(item("/a", 50))
+        s.add(item("/a", 50))
+        assert len(s) == 1
+        assert s.used_bytes == 50
+
+    def test_capacity_enforced(self):
+        s = LocalStore(capacity_bytes=100)
+        s.add(item("/a", 80))
+        with pytest.raises(StoreFullError):
+            s.add(item("/b", 30))
+
+    def test_remove_frees_space(self):
+        s = LocalStore(capacity_bytes=100)
+        s.add(item("/a", 80))
+        s.remove("/a")
+        assert s.used_bytes == 0
+        s.add(item("/b", 90))  # now fits
+
+    def test_get_missing_raises(self):
+        with pytest.raises(KeyError):
+            LocalStore().get("/nope")
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            LocalStore().remove("/nope")
+
+    def test_add_all_and_iteration(self):
+        s = LocalStore()
+        s.add_all([item("/a"), item("/b"), item("/c")])
+        assert sorted(s.paths()) == ["/a", "/b", "/c"]
+        assert sorted(i.path for i in s) == ["/a", "/b", "/c"]

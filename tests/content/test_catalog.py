@@ -1,0 +1,146 @@
+"""Tests for synthetic catalog generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.content import (DYNAMIC_MIX, STATIC_MIX, ContentItem, ContentType,
+                           SiteCatalog, TypeMix, generate_catalog,
+                           paper_catalog)
+from repro.sim import RngStream
+
+
+class TestTypeMix:
+    def test_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            TypeMix(html=0.5, image=0.6, video=0.0, audio=0.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TypeMix(html=1.1, image=-0.1, video=0.0, audio=0.0)
+
+    def test_workload_mixes_valid(self):
+        assert STATIC_MIX.cgi == 0.0 and STATIC_MIX.asp == 0.0
+        assert DYNAMIC_MIX.cgi > 0.0 and DYNAMIC_MIX.asp > 0.0
+
+
+class TestSiteCatalog:
+    def test_add_and_get(self):
+        cat = SiteCatalog()
+        item = ContentItem("/a.html", 100, ContentType.HTML)
+        cat.add(item)
+        assert cat.get("/a.html") is item
+        assert "/a.html" in cat
+        assert len(cat) == 1
+
+    def test_duplicate_path_rejected(self):
+        cat = SiteCatalog()
+        cat.add(ContentItem("/a", 1, ContentType.HTML))
+        with pytest.raises(ValueError):
+            cat.add(ContentItem("/a", 2, ContentType.HTML))
+
+    def test_missing_path_raises(self):
+        cat = SiteCatalog()
+        with pytest.raises(KeyError):
+            cat.get("/nope")
+        with pytest.raises(KeyError):
+            cat.remove("/nope")
+
+    def test_remove(self):
+        cat = SiteCatalog([ContentItem("/a", 1, ContentType.HTML)])
+        cat.remove("/a")
+        assert len(cat) == 0
+
+    def test_by_type_and_filters(self):
+        cat = SiteCatalog([
+            ContentItem("/a.html", 1, ContentType.HTML),
+            ContentItem("/b.cgi", 1, ContentType.CGI),
+            ContentItem("/c.gif", 1, ContentType.IMAGE),
+        ])
+        assert len(cat.by_type(ContentType.HTML)) == 1
+        assert {i.path for i in cat.dynamic_items()} == {"/b.cgi"}
+        assert {i.path for i in cat.static_items()} == {"/a.html", "/c.gif"}
+
+    def test_total_bytes(self):
+        cat = SiteCatalog([
+            ContentItem("/a", 100, ContentType.HTML),
+            ContentItem("/b", 200, ContentType.HTML),
+        ])
+        assert cat.total_bytes == 300
+
+
+class TestGenerateCatalog:
+    def test_count_exact(self):
+        cat = generate_catalog(500, rng=RngStream(1))
+        assert len(cat) == 500
+
+    def test_n_objects_validation(self):
+        with pytest.raises(ValueError):
+            generate_catalog(0)
+
+    def test_deterministic(self):
+        a = generate_catalog(200, rng=RngStream(42))
+        b = generate_catalog(200, rng=RngStream(42))
+        assert {(i.path, i.size_bytes) for i in a} == \
+               {(i.path, i.size_bytes) for i in b}
+
+    def test_type_mix_approximately_respected(self):
+        cat = generate_catalog(2000, rng=RngStream(2), mix=DYNAMIC_MIX)
+        counts = cat.type_counts()
+        n = len(cat)
+        assert counts[ContentType.IMAGE] / n == pytest.approx(
+            DYNAMIC_MIX.image, abs=0.01)
+        assert counts[ContentType.CGI] / n == pytest.approx(
+            DYNAMIC_MIX.cgi, abs=0.01)
+
+    def test_static_mix_has_no_dynamic(self):
+        cat = generate_catalog(1000, rng=RngStream(3), mix=STATIC_MIX)
+        assert not cat.dynamic_items()
+
+    def test_dynamic_items_have_cpu_work(self):
+        cat = generate_catalog(1000, rng=RngStream(4), mix=DYNAMIC_MIX)
+        for item in cat.dynamic_items():
+            assert item.cpu_work > 0
+        for item in cat.static_items():
+            assert item.cpu_work == 0
+
+    def test_paths_route_back_to_their_type(self):
+        cat = generate_catalog(500, rng=RngStream(5), mix=DYNAMIC_MIX)
+        for item in cat:
+            assert ContentType.from_path(item.path) is item.ctype
+
+    def test_large_file_concentration_matches_paper_direction(self):
+        """§1.2 quotes Arlitt & Jin: large files are a tiny count fraction
+        but most of the bytes.  Our generator must reproduce the direction:
+        few large files, large byte share."""
+        cat = generate_catalog(5000, rng=RngStream(6), mix=STATIC_MIX)
+        stats = cat.large_file_stats()
+        assert stats["large_fraction"] < 0.15
+        assert stats["byte_fraction"] > 0.5
+
+    def test_video_files_are_big(self):
+        cat = generate_catalog(2000, rng=RngStream(7), mix=STATIC_MIX)
+        videos = cat.by_type(ContentType.VIDEO)
+        assert videos
+        assert min(v.size_bytes for v in videos) >= 512 * 1024
+
+    def test_some_critical_and_mutable(self):
+        cat = generate_catalog(2000, rng=RngStream(8), mix=DYNAMIC_MIX)
+        from repro.content import Priority
+        crit = [i for i in cat if i.priority is Priority.CRITICAL]
+        mut = [i for i in cat if i.mutable]
+        assert crit and mut
+
+    def test_paper_catalog_scale(self):
+        cat = paper_catalog(rng=RngStream(9))
+        assert len(cat) == 8700
+
+    @given(n=st.integers(1, 300))
+    @settings(max_examples=20, deadline=None)
+    def test_property_exact_count_any_n(self, n):
+        cat = generate_catalog(n, rng=RngStream(10), mix=DYNAMIC_MIX)
+        assert len(cat) == n
+        # every path unique and absolute
+        paths = cat.paths()
+        assert len(set(paths)) == n
+        assert all(p.startswith("/") for p in paths)

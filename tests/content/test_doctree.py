@@ -1,0 +1,199 @@
+"""Tests for the single-system-image document tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.content import (ContentItem, ContentType, DocTree, DocTreeError,
+                           FileNode, generate_catalog)
+from repro.sim import RngStream
+
+
+def item(path, size=100, ctype=ContentType.HTML):
+    return ContentItem(path, size, ctype)
+
+
+@pytest.fixture
+def tree():
+    t = DocTree()
+    t.insert(item("/index.html"))
+    t.insert(item("/docs/a.html"), locations={"n1"})
+    t.insert(item("/docs/b.html"), locations={"n1", "n2"})
+    t.insert(item("/images/logo.gif", ctype=ContentType.IMAGE))
+    return t
+
+
+class TestInsertLookup:
+    def test_insert_creates_parents(self, tree):
+        node = tree.lookup("/docs/a.html")
+        assert isinstance(node, FileNode)
+        assert node.item.path == "/docs/a.html"
+
+    def test_duplicate_insert_rejected(self, tree):
+        with pytest.raises(DocTreeError):
+            tree.insert(item("/index.html"))
+
+    def test_lookup_missing_raises(self, tree):
+        with pytest.raises(DocTreeError):
+            tree.lookup("/nope.html")
+
+    def test_lookup_root(self, tree):
+        assert tree.lookup("/") is tree.root
+
+    def test_relative_path_rejected(self, tree):
+        with pytest.raises(DocTreeError):
+            tree.lookup("docs/a.html")
+
+    def test_file_vs_directory(self, tree):
+        with pytest.raises(DocTreeError):
+            tree.file("/docs")
+        with pytest.raises(DocTreeError):
+            tree.list_dir("/index.html")
+
+    def test_file_as_directory_component_rejected(self, tree):
+        with pytest.raises(DocTreeError):
+            tree.insert(item("/index.html/sub.html"))
+
+    def test_exists(self, tree):
+        assert tree.exists("/docs/a.html")
+        assert tree.exists("/docs")
+        assert not tree.exists("/ghost")
+
+    def test_insert_at_root_rejected(self, tree):
+        with pytest.raises(DocTreeError):
+            tree.insert(item("/"))
+
+
+class TestLocations:
+    def test_locations_recorded(self, tree):
+        assert tree.locations_of("/docs/b.html") == {"n1", "n2"}
+
+    def test_replicated_flag(self, tree):
+        assert tree.file("/docs/b.html").replicated
+        assert not tree.file("/docs/a.html").replicated
+
+    def test_locations_copy_not_alias(self, tree):
+        locs = tree.locations_of("/docs/a.html")
+        locs.add("evil")
+        assert tree.locations_of("/docs/a.html") == {"n1"}
+
+
+class TestDelete:
+    def test_delete_file(self, tree):
+        tree.delete("/index.html")
+        assert not tree.exists("/index.html")
+
+    def test_delete_directory_subtree(self, tree):
+        tree.delete("/docs")
+        assert not tree.exists("/docs/a.html")
+        assert not tree.exists("/docs")
+
+    def test_delete_missing_raises(self, tree):
+        with pytest.raises(DocTreeError):
+            tree.delete("/nope")
+
+    def test_delete_root_rejected(self, tree):
+        with pytest.raises(DocTreeError):
+            tree.delete("/")
+
+
+class TestRename:
+    def test_rename_file_updates_item_path(self, tree):
+        tree.rename("/index.html", "/home.html")
+        assert tree.exists("/home.html")
+        assert not tree.exists("/index.html")
+        assert tree.file("/home.html").item.path == "/home.html"
+
+    def test_rename_directory_repaths_subtree(self, tree):
+        tree.rename("/docs", "/archive/docs2")
+        assert tree.file("/archive/docs2/a.html").item.path == \
+            "/archive/docs2/a.html"
+        assert not tree.exists("/docs")
+
+    def test_rename_to_existing_rejected(self, tree):
+        with pytest.raises(DocTreeError):
+            tree.rename("/index.html", "/docs/a.html")
+
+    def test_rename_preserves_locations(self, tree):
+        tree.rename("/docs/b.html", "/docs/b2.html")
+        assert tree.locations_of("/docs/b2.html") == {"n1", "n2"}
+
+
+class TestTraversal:
+    def test_walk_yields_all_files(self, tree):
+        assert set(tree.files()) == {"/index.html", "/docs/a.html",
+                                     "/docs/b.html", "/images/logo.gif"}
+
+    def test_walk_subtree(self, tree):
+        paths = [p for p, _ in tree.walk("/docs")]
+        assert set(paths) == {"/docs/a.html", "/docs/b.html"}
+
+    def test_walk_single_file(self, tree):
+        paths = [p for p, _ in tree.walk("/index.html")]
+        assert paths == ["/index.html"]
+
+    def test_list_dir(self, tree):
+        assert tree.list_dir("/") == ["docs", "images", "index.html"]
+        assert tree.list_dir("/docs") == ["a.html", "b.html"]
+
+    def test_mkdir(self, tree):
+        tree.mkdir("/new/deep/dir")
+        assert tree.list_dir("/new/deep/dir") == []
+
+    def test_render_contains_entries(self, tree):
+        text = tree.render()
+        assert "/docs/a.html" in text
+        assert "n1,n2" in text
+
+    def test_render_truncates(self, tree):
+        text = tree.render(max_entries=1)
+        assert "more)" in text
+
+
+class TestFromCatalog:
+    def test_tree_mirrors_catalog(self):
+        cat = generate_catalog(300, rng=RngStream(1))
+        tree = DocTree()
+        for it in cat:
+            tree.insert(it)
+        assert set(tree.files()) == set(cat.paths())
+
+
+@st.composite
+def path_lists(draw):
+    names = st.sampled_from(["a", "b", "c", "d"])
+    paths = draw(st.lists(
+        st.tuples(names, names, names).map(lambda t: "/" + "/".join(t)),
+        min_size=1, max_size=12, unique=True))
+    return paths
+
+
+class TestPropertyBased:
+    @given(paths=path_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_insert_then_walk_roundtrip(self, paths):
+        tree = DocTree()
+        inserted = []
+        for p in paths:
+            try:
+                tree.insert(item(p))
+                inserted.append(p)
+            except DocTreeError:
+                pass  # a prefix of p is already a file -- legal rejection
+        assert set(tree.files()) == set(inserted)
+
+    @given(paths=path_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_delete_is_inverse_of_insert(self, paths):
+        tree = DocTree()
+        inserted = []
+        for p in paths:
+            try:
+                tree.insert(item(p))
+                inserted.append(p)
+            except DocTreeError:
+                pass
+        for p in inserted:
+            tree.delete(p)
+            assert not tree.exists(p)
+        assert tree.files() == []

@@ -1,0 +1,79 @@
+"""Tests for content items and type classification."""
+
+import pytest
+
+from repro.content import (DYNAMIC_WEIGHTS, STATIC_WEIGHTS, ContentItem,
+                           ContentType, Priority)
+
+
+class TestContentType:
+    def test_dynamic_classification(self):
+        assert ContentType.CGI.is_dynamic
+        assert ContentType.ASP.is_dynamic
+        assert not ContentType.HTML.is_dynamic
+        assert not ContentType.VIDEO.is_dynamic
+
+    def test_multimedia_classification(self):
+        assert ContentType.VIDEO.is_multimedia
+        assert ContentType.AUDIO.is_multimedia
+        assert not ContentType.CGI.is_multimedia
+
+    def test_static_is_complement_of_dynamic(self):
+        for t in ContentType:
+            assert t.is_static == (not t.is_dynamic)
+
+    def test_load_weights_match_paper(self):
+        # §3.3: static CPU=1/Disk=9, dynamic CPU=10/Disk=5
+        assert ContentType.HTML.load_weights == STATIC_WEIGHTS
+        assert STATIC_WEIGHTS.cpu == 1.0 and STATIC_WEIGHTS.disk == 9.0
+        assert ContentType.CGI.load_weights == DYNAMIC_WEIGHTS
+        assert DYNAMIC_WEIGHTS.cpu == 10.0 and DYNAMIC_WEIGHTS.disk == 5.0
+        assert STATIC_WEIGHTS.total == 10.0
+        assert DYNAMIC_WEIGHTS.total == 15.0
+
+    @pytest.mark.parametrize("path,expected", [
+        ("/index.html", ContentType.HTML),
+        ("/a/b/page.htm", ContentType.HTML),
+        ("/images/logo.gif", ContentType.IMAGE),
+        ("/images/photo.JPG", ContentType.IMAGE),
+        ("/cgi-bin/search", ContentType.CGI),
+        ("/scripts/run.cgi", ContentType.CGI),
+        ("/shop/cart.asp", ContentType.ASP),
+        ("/video/trailer.mpg", ContentType.VIDEO),
+        ("/audio/theme.mp3", ContentType.AUDIO),
+        ("/no/extension", ContentType.HTML),
+    ])
+    def test_from_path(self, path, expected):
+        assert ContentType.from_path(path) is expected
+
+
+class TestContentItem:
+    def test_valid_item(self):
+        item = ContentItem("/a.html", 1024, ContentType.HTML)
+        assert item.priority is Priority.NORMAL
+        assert not item.mutable
+        assert not item.is_large
+
+    def test_relative_path_rejected(self):
+        with pytest.raises(ValueError):
+            ContentItem("a.html", 10, ContentType.HTML)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            ContentItem("/a", -1, ContentType.HTML)
+
+    def test_negative_cpu_work_rejected(self):
+        with pytest.raises(ValueError):
+            ContentItem("/a", 1, ContentType.CGI, cpu_work=-0.1)
+
+    def test_is_large_threshold(self):
+        assert not ContentItem("/a", 64 * 1024, ContentType.HTML).is_large
+        assert ContentItem("/a", 64 * 1024 + 1, ContentType.HTML).is_large
+
+    def test_hashable_by_path(self):
+        a = ContentItem("/x", 1, ContentType.HTML)
+        b = ContentItem("/x", 2, ContentType.IMAGE)
+        assert hash(a) == hash(b)
+
+    def test_priority_ordering(self):
+        assert Priority.CRITICAL < Priority.NORMAL < Priority.LOW

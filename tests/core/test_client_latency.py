@@ -1,0 +1,62 @@
+"""Tests for the WAN client-latency knob on the front ends."""
+
+import pytest
+
+from repro.cluster import BackendServer, distributor_spec, paper_testbed_specs
+from repro.content import ContentItem, ContentType
+from repro.core import ContentAwareDistributor, UrlTable
+from repro.net import HttpRequest, Lan, Nic
+from repro.sim import Simulator
+
+
+def build(client_latency):
+    sim = Simulator()
+    lan = Lan(sim)
+    spec = paper_testbed_specs()[5]
+    server = BackendServer(sim, lan, spec)
+    table = UrlTable()
+    item = ContentItem("/x.html", 2048, ContentType.HTML)
+    server.place(item)
+    table.insert(item, {spec.name})
+    dist = ContentAwareDistributor(sim, lan, distributor_spec(),
+                                   {spec.name: server}, table,
+                                   client_latency=client_latency)
+    nic = Nic(sim, 100, name="client")
+    return sim, dist, item, nic
+
+
+def fetch(sim, dist, url, nic):
+    out = []
+
+    def go():
+        out.append((yield sim.process(dist.submit(HttpRequest(url), nic))))
+
+    sim.process(go())
+    sim.run()
+    return out[0]
+
+
+class TestClientLatency:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            build(-0.01)
+
+    def test_lan_default_is_zero(self):
+        sim, dist, item, nic = build(0.0)
+        assert dist.client_latency == 0.0
+
+    def test_wan_latency_adds_exactly_four_one_way_delays(self):
+        """Handshake (3 one-way legs: SYN, SYN-ACK, ACK+request piggyback
+        counted as 3) plus the response leg = 4 one-way delays."""
+        rtt = 0.050
+        sim0, dist0, item0, nic0 = build(0.0)
+        base = fetch(sim0, dist0, item0.path, nic0).latency
+        sim1, dist1, item1, nic1 = build(rtt)
+        wan = fetch(sim1, dist1, item1.path, nic1).latency
+        assert wan - base == pytest.approx(4 * rtt, rel=0.01)
+
+    def test_response_still_correct_over_wan(self):
+        sim, dist, item, nic = build(0.030)
+        outcome = fetch(sim, dist, item.path, nic)
+        assert outcome.response.ok
+        assert outcome.response.content_length == 2048

@@ -1,0 +1,162 @@
+"""Tests for the LARD extension router and the load-aware replica policy."""
+
+import pytest
+
+from repro.cluster import BackendServer, distributor_spec, paper_testbed_specs
+from repro.content import ContentItem, ContentType, generate_catalog
+from repro.core import (LardRouter, LoadAccountant, LoadAwareReplica,
+                        RoutingView, apply_plan, full_replication)
+from repro.net import HttpRequest, HttpResponse, Lan, Nic
+from repro.sim import RngStream, Simulator
+
+
+def build_lard(n_specs=3, **kw):
+    sim = Simulator()
+    lan = Lan(sim)
+    specs = paper_testbed_specs()[:n_specs]
+    servers = {s.name: BackendServer(sim, lan, s) for s in specs}
+    catalog = generate_catalog(40, rng=RngStream(5))
+    plan = full_replication(catalog, [s.name for s in specs])
+    apply_plan(plan, catalog, servers)
+
+    def resolver(url):
+        path = url.split("?")[0]
+        return catalog.get(path) if path in catalog else None
+
+    router = LardRouter(sim, lan, distributor_spec(), servers, resolver,
+                        **kw)
+    client_nic = Nic(sim, 100, name="client")
+    return sim, specs, servers, catalog, router, client_nic
+
+
+def fetch(sim, router, url, client_nic):
+    out = []
+
+    def go():
+        out.append((yield sim.process(router.submit(HttpRequest(url),
+                                                    client_nic))))
+
+    sim.process(go())
+    sim.run()
+    return out[0]
+
+
+class TestLardRouting:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            build_lard(t_low=5, t_high=5)
+
+    def test_first_request_assigns_document(self):
+        sim, specs, servers, catalog, router, nic = build_lard()
+        url = catalog.paths()[0]
+        outcome = fetch(sim, router, url, nic)
+        assert outcome.response.ok
+        assert router.assignment[url] == outcome.backend
+        assert router.first_assignments == 1
+
+    def test_repeat_requests_stick_to_assigned_node(self):
+        """The locality property: same document -> same server."""
+        sim, specs, servers, catalog, router, nic = build_lard()
+        url = catalog.paths()[0]
+        backends = {fetch(sim, router, url, nic).backend for _ in range(6)}
+        assert len(backends) == 1
+        assert router.reassignments == 0
+
+    def test_different_documents_spread_under_concurrency(self):
+        sim, specs, servers, catalog, router, nic = build_lard()
+        outcomes = []
+
+        def one(url):
+            outcomes.append((yield sim.process(
+                router.submit(HttpRequest(url), nic))))
+
+        for url in catalog.paths()[:12]:
+            sim.process(one(url))
+        sim.run()
+        assert len({o.backend for o in outcomes}) >= 2
+
+    def test_locality_produces_cache_hits(self):
+        sim, specs, servers, catalog, router, nic = build_lard()
+        url = catalog.paths()[0]
+        first = fetch(sim, router, url, nic)
+        second = fetch(sim, router, url, nic)
+        assert not first.response.cache_hit
+        assert second.response.cache_hit
+
+    def test_overload_triggers_reassignment(self):
+        sim, specs, servers, catalog, router, nic = build_lard(
+            t_low=1, t_high=2, weighted=False)
+        url = catalog.paths()[0]
+        fetch(sim, router, url, nic)  # assign
+        home = router.assignment[url]
+        # fabricate overload on the assigned node
+        for _ in range(5):
+            router.view.connection_started(home)
+        outcome = fetch(sim, router, url, nic)
+        assert router.reassignments == 1
+        assert outcome.backend != home
+        assert router.assignment[url] == outcome.backend
+
+    def test_dead_assigned_node_reassigned(self):
+        sim, specs, servers, catalog, router, nic = build_lard()
+        url = catalog.paths()[0]
+        fetch(sim, router, url, nic)
+        home = router.assignment[url]
+        servers[home].crash()
+        router.view.mark_down(home)
+        outcome = fetch(sim, router, url, nic)
+        assert outcome.response.ok
+        assert outcome.backend != home
+
+    def test_all_dead_is_503(self):
+        sim, specs, servers, catalog, router, nic = build_lard()
+        for s in specs:
+            router.view.mark_down(s.name)
+        outcome = fetch(sim, router, catalog.paths()[0], nic)
+        assert outcome.response.status == 503
+
+    def test_unknown_url_is_404(self):
+        sim, specs, servers, catalog, router, nic = build_lard()
+        outcome = fetch(sim, router, "/no/such/doc.html", nic)
+        assert outcome.response.status == 404
+
+    def test_weighted_assignment_prefers_capable_nodes(self):
+        sim, specs, servers, catalog, router, nic = build_lard(
+            n_specs=9, weighted=True)
+        for url in catalog.paths():
+            fetch(sim, router, url, nic)
+        from collections import Counter
+        per_node = Counter(router.assignment.values())
+        fast = sum(v for k, v in per_node.items() if k.startswith("s350"))
+        slow = sum(v for k, v in per_node.items() if k.startswith("s150"))
+        assert fast > slow
+
+
+class TestLoadAwareReplica:
+    def make_view(self):
+        return RoutingView({"a": 1.0, "b": 1.0})
+
+    def test_picks_lowest_interval_load(self):
+        acc = LoadAccountant({"a": 1.0, "b": 1.0})
+        item = ContentItem("/x.html", 100, ContentType.HTML)
+        resp = HttpResponse(request=HttpRequest("/x.html"), served_by="a",
+                            service_time=0.1)
+        acc.record(item, resp)
+        policy = LoadAwareReplica(acc)
+        assert policy.select(["a", "b"], self.make_view()) == "b"
+
+    def test_falls_back_to_connections_when_no_load(self):
+        acc = LoadAccountant({"a": 1.0, "b": 1.0})
+        view = self.make_view()
+        view.connection_started("a")
+        policy = LoadAwareReplica(acc)
+        assert policy.select(["a", "b"], view) == "b"
+
+    def test_skips_dead_nodes(self):
+        acc = LoadAccountant({"a": 1.0, "b": 1.0})
+        view = self.make_view()
+        view.mark_down("b")
+        policy = LoadAwareReplica(acc)
+        assert policy.select(["a", "b"], view) == "a"
+        view.mark_down("a")
+        assert policy.select(["a", "b"], view) is None

@@ -1,0 +1,226 @@
+"""Tests for the §3.3 load metrics and auto-replication."""
+
+import pytest
+
+from repro.content import ContentItem, ContentType
+from repro.core import (AutoReplicator, LoadAccountant, UrlTable)
+from repro.net import HttpRequest, HttpResponse
+from repro.sim import Simulator
+
+
+def response(path, server, service_time, status=200):
+    req = HttpRequest(path)
+    return HttpResponse(request=req, status=status, content_length=1000,
+                        served_by=server, service_time=service_time)
+
+
+def static_item(path, size=1000):
+    return ContentItem(path, size, ContentType.HTML)
+
+
+def cgi_item(path):
+    return ContentItem(path, 1000, ContentType.CGI, cpu_work=0.05)
+
+
+class TestLoadAccountant:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadAccountant({})
+        with pytest.raises(ValueError):
+            LoadAccountant({"a": 0.0})
+
+    def test_li_formula_static(self):
+        """l_i = (1 + 9) x processing_time for static content (§3.3)."""
+        acc = LoadAccountant({"s1": 1.0})
+        acc.record(static_item("/a.html"), response("/a.html", "s1", 0.02))
+        assert acc.interval_loads()["s1"] == pytest.approx(10 * 0.02)
+
+    def test_li_formula_dynamic(self):
+        """l_i = (10 + 5) x processing_time for dynamic content (§3.3)."""
+        acc = LoadAccountant({"s1": 1.0})
+        acc.record(cgi_item("/c.cgi"), response("/c.cgi", "s1", 0.1))
+        assert acc.interval_loads()["s1"] == pytest.approx(15 * 0.1)
+
+    def test_weight_divides_load(self):
+        """L_j = sum(l_i x freq) / Weight."""
+        acc = LoadAccountant({"big": 2.0, "small": 0.5})
+        acc.record(static_item("/a"), response("/a", "big", 0.02))
+        acc.record(static_item("/a"), response("/a", "small", 0.02))
+        loads = acc.interval_loads()
+        assert loads["small"] == pytest.approx(4 * loads["big"])
+
+    def test_frequency_accumulates(self):
+        acc = LoadAccountant({"s1": 1.0})
+        for _ in range(5):
+            acc.record(static_item("/a"), response("/a", "s1", 0.01))
+        assert acc.interval_loads()["s1"] == pytest.approx(5 * 10 * 0.01)
+        assert acc.requests_seen == 5
+
+    def test_failures_and_unknown_servers_ignored(self):
+        acc = LoadAccountant({"s1": 1.0})
+        acc.record(static_item("/a"), response("/a", "s1", 0.01, status=404))
+        acc.record(static_item("/a"), response("/a", "ghost", 0.01))
+        acc.record(None, response("/a", "s1", 0.01))
+        assert acc.interval_loads()["s1"] == 0.0
+        assert acc.requests_seen == 0
+
+    def test_reset(self):
+        acc = LoadAccountant({"s1": 1.0})
+        acc.record(static_item("/a"), response("/a", "s1", 0.01))
+        acc.reset()
+        assert acc.interval_loads()["s1"] == 0.0
+        assert acc.requests_seen == 0
+
+
+class RecordingActuator:
+    """Test double satisfying the ReplicationActuator protocol."""
+
+    def __init__(self, url_table):
+        self.url_table = url_table
+        self.calls = []
+
+    def replicate(self, path, node):
+        self.calls.append(("replicate", path, node))
+        self.url_table.add_location(path, node)
+        return
+        yield
+
+    def offload(self, path, node):
+        self.calls.append(("offload", path, node))
+        self.url_table.remove_location(path, node)
+        return
+        yield
+
+
+def build_balancer(threshold=0.3, min_requests=1, max_actions=4):
+    sim = Simulator()
+    table = UrlTable()
+    hot = static_item("/hot.html")
+    cold = static_item("/cold.html")
+    table.insert(hot, {"s1"})
+    table.insert(cold, {"s2"})
+    acc = LoadAccountant({"s1": 1.0, "s2": 1.0, "s3": 1.0})
+    actuator = RecordingActuator(table)
+    balancer = AutoReplicator(sim, acc, table, actuator,
+                              interval=1.0, threshold=threshold,
+                              min_requests=min_requests,
+                              max_actions_per_interval=max_actions)
+    return sim, table, acc, actuator, balancer, hot, cold
+
+
+class TestClassification:
+    def test_overloaded_and_underutilized_detected(self):
+        sim, table, acc, actuator, balancer, hot, cold = build_balancer()
+        # s1 very hot, s2 mild, s3 idle
+        for _ in range(10):
+            acc.record(hot, response(hot.path, "s1", 0.05))
+        acc.record(cold, response(cold.path, "s2", 0.02))
+        over, under, loads = balancer.classify()
+        assert over == ["s1"]
+        assert "s3" in under
+
+    def test_balanced_cluster_has_no_actions(self):
+        sim, table, acc, actuator, balancer, hot, cold = build_balancer()
+        for server in ("s1", "s2", "s3"):
+            acc.record(hot, response(hot.path, server, 0.02))
+        over, under, _ = balancer.classify()
+        assert over == [] and under == []
+
+    def test_idle_cluster_classifies_nothing(self):
+        sim, table, acc, actuator, balancer, hot, cold = build_balancer()
+        over, under, _ = balancer.classify()
+        assert over == [] and under == []
+
+
+class TestRebalanceOnce:
+    def run_once(self, balancer, sim):
+        proc = sim.process(balancer.rebalance_once())
+        sim.run()
+        return proc
+
+    def test_replicates_hot_content_to_underutilized_node(self):
+        sim, table, acc, actuator, balancer, hot, cold = build_balancer()
+        table.lookup(hot.path)  # give it a hit so it ranks as popular
+        for _ in range(10):
+            acc.record(hot, response(hot.path, "s1", 0.05))
+        self.run_once(balancer, sim)
+        kinds = [c[0] for c in actuator.calls]
+        assert "replicate" in kinds
+        replicated = [c for c in actuator.calls if c[0] == "replicate"]
+        # hot content got copied to an idle node
+        assert replicated[0][1] == hot.path
+        assert replicated[0][2] in ("s2", "s3")
+        assert balancer.history
+
+    def test_offloads_from_overloaded_when_replicated(self):
+        sim, table, acc, actuator, balancer, hot, cold = build_balancer()
+        table.add_location(hot.path, "s2")   # hot already has 2 copies
+        table.lookup(hot.path)
+        for _ in range(10):
+            acc.record(hot, response(hot.path, "s1", 0.05))
+        acc.record(cold, response(cold.path, "s2", 0.02))
+        self.run_once(balancer, sim)
+        offloads = [c for c in actuator.calls if c[0] == "offload"]
+        assert ("offload", hot.path, "s1") in offloads
+
+    def test_every_document_keeps_at_least_one_copy(self):
+        """Offloading may follow a replicate (a migration), but no document
+        may ever end up with zero locations."""
+        sim, table, acc, actuator, balancer, hot, cold = build_balancer()
+        table.lookup(cold.path)
+        for _ in range(10):
+            acc.record(cold, response(cold.path, "s2", 0.05))
+        acc.record(hot, response(hot.path, "s1", 0.001))
+        self.run_once(balancer, sim)
+        for record in table.records():
+            assert len(record.locations) >= 1
+
+    def test_min_requests_gates_rebalancing(self):
+        sim, table, acc, actuator, balancer, hot, cold = build_balancer(
+            min_requests=100)
+        for _ in range(10):
+            acc.record(hot, response(hot.path, "s1", 0.05))
+        self.run_once(balancer, sim)
+        assert actuator.calls == []
+        assert acc.requests_seen == 0  # interval still resets
+
+    def test_max_actions_cap(self):
+        sim, table, acc, actuator, balancer, hot, cold = build_balancer(
+            max_actions=1)
+        table.lookup(hot.path)
+        table.lookup(cold.path)
+        for _ in range(10):
+            acc.record(hot, response(hot.path, "s1", 0.05))
+            acc.record(cold, response(cold.path, "s2", 0.04))
+        self.run_once(balancer, sim)
+        assert len(actuator.calls) <= 1
+
+    def test_interval_resets_after_rebalance(self):
+        sim, table, acc, actuator, balancer, hot, cold = build_balancer()
+        for _ in range(10):
+            acc.record(hot, response(hot.path, "s1", 0.05))
+        self.run_once(balancer, sim)
+        assert acc.requests_seen == 0
+
+
+class TestPeriodicLoop:
+    def test_start_runs_intervals(self):
+        sim, table, acc, actuator, balancer, hot, cold = build_balancer()
+        balancer.start()
+        sim.run(until=3.5)
+        assert balancer.intervals_run == 3
+
+    def test_stop_halts_loop(self):
+        sim, table, acc, actuator, balancer, hot, cold = build_balancer()
+        balancer.start()
+        sim.run(until=1.5)
+        balancer.stop()
+        sim.run(until=10.0)
+        assert balancer.intervals_run == 1
+
+    def test_validation(self):
+        sim, table, acc, actuator, balancer, hot, cold = build_balancer()
+        with pytest.raises(ValueError):
+            AutoReplicator(sim, acc, table, actuator, interval=0)
+        with pytest.raises(ValueError):
+            AutoReplicator(sim, acc, table, actuator, threshold=0)

@@ -1,0 +1,147 @@
+"""Tests for the mapping table's splice state machine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MappingError, MappingState, MappingTable
+from repro.net import Address
+
+
+def addr(port=5000):
+    return Address("192.168.1.10", port)
+
+
+@pytest.fixture
+def table():
+    return MappingTable()
+
+
+class TestLifecycle:
+    def test_create_on_syn(self, table):
+        entry = table.create(addr(), now=1.0, client_isn=100, vip_isn=200)
+        assert entry.state is MappingState.SYN_RECEIVED
+        assert entry.client_isn == 100
+        assert entry.vip_isn == 200
+        assert len(table) == 1
+        assert addr() in table
+
+    def test_duplicate_connection_rejected(self, table):
+        table.create(addr(), now=0.0)
+        with pytest.raises(MappingError):
+            table.create(addr(), now=1.0)
+
+    def test_full_happy_path(self, table):
+        """SYN_RECEIVED -> ESTABLISHED -> BOUND -> FIN_RECEIVED ->
+        HALF_CLOSED -> CLOSED, the §2.2 sequence."""
+        entry = table.create(addr(), now=0.0)
+        table.transition(entry, MappingState.ESTABLISHED)
+        table.bind(entry, object(), "s1")
+        assert entry.state is MappingState.BOUND
+        assert entry.backend == "s1"
+        table.transition(entry, MappingState.FIN_RECEIVED)
+        table.transition(entry, MappingState.HALF_CLOSED)
+        table.transition(entry, MappingState.CLOSED)
+        table.delete(addr())
+        assert len(table) == 0
+        assert table.deleted == 1
+
+    def test_get_missing_raises(self, table):
+        with pytest.raises(MappingError):
+            table.get(addr())
+
+    def test_delete_requires_closed(self, table):
+        entry = table.create(addr(), now=0.0)
+        table.transition(entry, MappingState.ESTABLISHED)
+        with pytest.raises(MappingError):
+            table.delete(addr())
+
+    def test_abort_from_any_state(self, table):
+        entry = table.create(addr(), now=0.0)
+        table.transition(entry, MappingState.ESTABLISHED)
+        table.abort(addr())
+        assert len(table) == 0
+        assert entry.state is MappingState.CLOSED
+
+
+class TestIllegalTransitions:
+    @pytest.mark.parametrize("bad", [
+        MappingState.BOUND,          # must establish first
+        MappingState.HALF_CLOSED,    # must see FIN first
+    ])
+    def test_from_syn_received(self, table, bad):
+        entry = table.create(addr(), now=0.0)
+        with pytest.raises(MappingError):
+            table.transition(entry, bad)
+
+    def test_no_transition_out_of_closed(self, table):
+        entry = table.create(addr(), now=0.0)
+        table.transition(entry, MappingState.CLOSED)
+        with pytest.raises(MappingError):
+            table.transition(entry, MappingState.ESTABLISHED)
+
+    def test_cannot_skip_half_closed(self, table):
+        entry = table.create(addr(), now=0.0)
+        table.transition(entry, MappingState.ESTABLISHED)
+        table.transition(entry, MappingState.FIN_RECEIVED)
+        with pytest.raises(MappingError):
+            table.transition(entry, MappingState.BOUND)
+
+    def test_bind_requires_established(self, table):
+        entry = table.create(addr(), now=0.0)
+        with pytest.raises(MappingError):
+            table.bind(entry, object(), "s1")
+
+    def test_double_bind_rejected(self, table):
+        entry = table.create(addr(), now=0.0)
+        table.transition(entry, MappingState.ESTABLISHED)
+        table.bind(entry, object(), "s1")
+        with pytest.raises(MappingError):
+            table.bind(entry, object(), "s2")
+
+
+class TestBookkeeping:
+    def test_peak_size(self, table):
+        for port in range(5):
+            table.create(addr(port), now=0.0)
+        for port in range(5):
+            table.abort(addr(port))
+        assert table.peak_size == 5
+        assert table.created == 5
+        assert table.deleted == 5
+
+    def test_bind_records_deltas(self, table):
+        entry = table.create(addr(), now=0.0)
+        table.transition(entry, MappingState.ESTABLISHED)
+        conn = object()
+        table.bind(entry, conn, "s2", seq_delta=17, ack_delta=-3)
+        assert entry.pooled_conn is conn
+        assert entry.seq_delta_c2s == 17
+        assert entry.ack_delta_c2s == -3
+        assert entry.bound
+
+    def test_entries_listing(self, table):
+        table.create(addr(1), now=0.0)
+        table.create(addr(2), now=0.0)
+        assert len(table.entries()) == 2
+
+
+class TestPropertyBased:
+    @given(ops=st.lists(st.sampled_from(["open", "close"]), min_size=1,
+                        max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_size_never_negative_and_counts_consistent(self, ops):
+        table = MappingTable()
+        live = []
+        port = 0
+        for op in ops:
+            if op == "open":
+                port += 1
+                table.create(addr(port), now=0.0)
+                live.append(port)
+            elif live:
+                p = live.pop()
+                table.abort(addr(p))
+        assert len(table) == len(live)
+        assert table.created - table.deleted == len(table)
+        assert table.peak_size <= table.created

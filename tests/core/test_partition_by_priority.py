@@ -1,0 +1,77 @@
+"""Tests for the §1.2 priority-based partitioning policy."""
+
+import pytest
+
+from repro.cluster import paper_testbed_specs
+from repro.content import (ContentItem, ContentType, DYNAMIC_MIX, Priority,
+                           SiteCatalog, generate_catalog)
+from repro.core import partition_by_priority
+from repro.sim import RngStream
+
+
+@pytest.fixture
+def specs():
+    return paper_testbed_specs()
+
+
+@pytest.fixture
+def catalog():
+    cat = generate_catalog(300, rng=RngStream(3), mix=DYNAMIC_MIX)
+    # add explicit LOW-priority content (the generator only makes
+    # CRITICAL/NORMAL)
+    for i in range(20):
+        cat.add(ContentItem(f"/archive/old{i:02d}.html", 3000,
+                            ContentType.HTML, priority=Priority.LOW))
+    return cat
+
+
+class TestPartitionByPriority:
+    def test_validation(self, catalog, specs):
+        with pytest.raises(ValueError):
+            partition_by_priority(catalog, [])
+        with pytest.raises(ValueError):
+            partition_by_priority(catalog, specs, critical_replicas=0)
+
+    def test_plan_covers_catalog(self, catalog, specs):
+        plan = partition_by_priority(catalog, specs)
+        plan.validate(catalog, [s.name for s in specs])
+
+    def test_critical_on_powerful_nodes_replicated(self, catalog, specs):
+        plan = partition_by_priority(catalog, specs, critical_replicas=2)
+        by_power = sorted(specs, key=lambda s: (s.weight, s.name),
+                          reverse=True)
+        powerful = {s.name for s in by_power[:3]}
+        for item in catalog:
+            if item.priority is Priority.CRITICAL:
+                nodes = plan.nodes_for(item.path)
+                assert len(nodes) >= 2
+                assert nodes <= powerful
+
+    def test_low_priority_confined_to_weak_nodes(self, catalog, specs):
+        plan = partition_by_priority(catalog, specs)
+        by_power = sorted(specs, key=lambda s: (s.weight, s.name),
+                          reverse=True)
+        weak = {s.name for s in by_power[-3:]}
+        for item in catalog:
+            if item.priority is Priority.LOW:
+                assert plan.nodes_for(item.path) <= weak
+
+    def test_normal_content_uses_whole_cluster(self, catalog, specs):
+        plan = partition_by_priority(catalog, specs)
+        used = set()
+        for item in catalog:
+            if item.priority is Priority.NORMAL:
+                used |= plan.nodes_for(item.path)
+        assert used == {s.name for s in specs}
+
+    def test_dynamic_content_never_on_slow_cpus(self, catalog, specs):
+        plan = partition_by_priority(catalog, specs)
+        fast = {s.name for s in specs if s.cpu_mhz == 350}
+        for item in catalog.dynamic_items():
+            assert plan.nodes_for(item.path) <= fast
+            assert plan.nodes_for(item.path)  # never empty
+
+    def test_deterministic(self, catalog, specs):
+        a = partition_by_priority(catalog, specs)
+        b = partition_by_priority(catalog, specs)
+        assert a.locations == b.locations

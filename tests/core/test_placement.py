@@ -1,0 +1,167 @@
+"""Tests for placement schemes and plan application."""
+
+import pytest
+
+from repro.cluster import (BackendServer, NfsServer, NodeSpec,
+                           paper_testbed_specs, distributor_spec)
+from repro.content import (ContentItem, ContentType, DYNAMIC_MIX, Priority,
+                           SiteCatalog, generate_catalog)
+from repro.core import (apply_plan, full_replication, partial_replication,
+                        partition_by_type, shared_nfs)
+from repro.net import Lan
+from repro.sim import RngStream, Simulator
+
+
+@pytest.fixture
+def specs():
+    return paper_testbed_specs()
+
+
+@pytest.fixture
+def catalog():
+    return generate_catalog(400, rng=RngStream(1), mix=DYNAMIC_MIX)
+
+
+@pytest.fixture
+def names(specs):
+    return [s.name for s in specs]
+
+
+class TestFullReplication:
+    def test_every_item_everywhere(self, catalog, names):
+        plan = full_replication(catalog, names)
+        for item in catalog:
+            assert plan.nodes_for(item.path) == set(names)
+        plan.validate(catalog, names)
+
+    def test_empty_nodes_rejected(self, catalog):
+        with pytest.raises(ValueError):
+            full_replication(catalog, [])
+
+
+class TestSharedNfs:
+    def test_routable_everywhere_but_uses_nfs(self, catalog, names):
+        plan = shared_nfs(catalog, names)
+        assert plan.uses_nfs
+        for item in catalog:
+            assert plan.nodes_for(item.path) == set(names)
+
+
+class TestPartitionByType:
+    def test_dynamic_content_on_fastest_nodes(self, catalog, specs):
+        plan = partition_by_type(catalog, specs)
+        fast = {s.name for s in specs if s.cpu_mhz == 350}
+        for item in catalog.dynamic_items():
+            assert plan.nodes_for(item.path) <= fast
+
+    def test_multimedia_on_fast_disk_nodes(self, catalog, specs):
+        plan = partition_by_type(catalog, specs)
+        fast_disk = {s.name for s in specs
+                     if s.disk.transfer_mbps >= 14.0}
+        for item in catalog:
+            if item.ctype.is_multimedia:
+                assert plan.nodes_for(item.path) <= fast_disk
+
+    def test_plain_static_on_slower_nodes_when_dynamic_present(
+            self, catalog, specs):
+        plan = partition_by_type(catalog, specs)
+        slow = {s.name for s in specs if s.cpu_mhz < 350}
+        for item in catalog.static_items():
+            if not item.ctype.is_multimedia and not item.is_large \
+                    and item.priority is not Priority.CRITICAL:
+                assert plan.nodes_for(item.path) <= slow
+
+    def test_static_only_catalog_uses_all_nodes(self, specs):
+        catalog = generate_catalog(300, rng=RngStream(2))  # STATIC_MIX
+        plan = partition_by_type(catalog, specs)
+        used = set()
+        for item in catalog:
+            used |= plan.nodes_for(item.path)
+        assert used == {s.name for s in specs}
+
+    def test_critical_content_replicated(self, catalog, specs):
+        plan = partition_by_type(catalog, specs, replicate_critical=True)
+        criticals = [i for i in catalog if i.priority is Priority.CRITICAL]
+        assert criticals
+        for item in criticals:
+            assert plan.replica_count(item.path) >= 2
+
+    def test_no_replication_when_disabled(self, catalog, specs):
+        plan = partition_by_type(catalog, specs, replicate_critical=False)
+        for item in catalog:
+            assert plan.replica_count(item.path) == 1
+
+    def test_partition_spreads_by_weight(self, specs):
+        catalog = generate_catalog(900, rng=RngStream(3))
+        plan = partition_by_type(catalog, specs, replicate_critical=False)
+        counts = {s.name: len(plan.paths_on(s.name)) for s in specs}
+        # every node hosts something, and the heavy nodes host more
+        assert all(c > 0 for c in counts.values())
+        assert counts["s350-0"] > counts["s150-0"]
+
+    def test_plan_covers_catalog(self, catalog, specs):
+        plan = partition_by_type(catalog, specs)
+        plan.validate(catalog, [s.name for s in specs])
+
+
+class TestPartialReplication:
+    def test_adds_replicas(self, catalog, specs):
+        plan = partition_by_type(catalog, specs, replicate_critical=False)
+        target = catalog.paths()[0]
+        partial_replication(plan, [target], ["s350-0", "s350-1"])
+        assert {"s350-0", "s350-1"} <= plan.nodes_for(target)
+
+    def test_unknown_path_rejected(self, catalog, specs):
+        plan = partition_by_type(catalog, specs)
+        with pytest.raises(KeyError):
+            partial_replication(plan, ["/ghost"], ["s350-0"])
+
+
+class TestApplyPlan:
+    def make_cluster(self, specs):
+        sim = Simulator()
+        lan = Lan(sim)
+        servers = {s.name: BackendServer(sim, lan, s) for s in specs}
+        return sim, lan, servers
+
+    def test_apply_full_replication(self, catalog, specs, names):
+        sim, lan, servers = self.make_cluster(specs)
+        plan = full_replication(catalog, names)
+        url_table, doctree = apply_plan(plan, catalog, servers)
+        assert len(url_table) == len(catalog)
+        assert len(doctree.files()) == len(catalog)
+        for server in servers.values():
+            assert len(server.store) == len(catalog)
+
+    def test_apply_partition_places_subsets(self, catalog, specs):
+        sim, lan, servers = self.make_cluster(specs)
+        plan = partition_by_type(catalog, specs)
+        url_table, _ = apply_plan(plan, catalog, servers)
+        total_copies = sum(len(s.store) for s in servers.values())
+        assert total_copies < len(catalog) * len(servers)  # not replicated
+        # URL table locations agree with the stores
+        for record in url_table.records():
+            for node in record.locations:
+                assert servers[node].holds(record.path)
+
+    def test_apply_nfs_exports_and_leaves_stores_empty(
+            self, catalog, specs, names):
+        sim, lan, servers = self.make_cluster(specs)
+        nfs = NfsServer(sim, lan, distributor_spec())
+        plan = shared_nfs(catalog, names)
+        apply_plan(plan, catalog, servers, nfs=nfs)
+        assert len(nfs.store) == len(catalog)
+        for server in servers.values():
+            assert len(server.store) == 0
+
+    def test_nfs_plan_without_server_rejected(self, catalog, specs, names):
+        sim, lan, servers = self.make_cluster(specs)
+        plan = shared_nfs(catalog, names)
+        with pytest.raises(ValueError):
+            apply_plan(plan, catalog, servers)
+
+    def test_invalid_plan_rejected(self, catalog, specs):
+        sim, lan, servers = self.make_cluster(specs)
+        plan = full_replication(catalog, ["ghost-node"])
+        with pytest.raises(ValueError):
+            apply_plan(plan, catalog, servers)

@@ -1,0 +1,79 @@
+"""Tests for placement-plan persistence and diffing (ops tooling)."""
+
+import pytest
+
+from repro.cluster import paper_testbed_specs
+from repro.content import generate_catalog, DYNAMIC_MIX
+from repro.core import (PlacementPlan, full_replication, partition_by_type,
+                        shared_nfs)
+from repro.sim import RngStream
+
+
+@pytest.fixture
+def catalog():
+    return generate_catalog(150, rng=RngStream(1), mix=DYNAMIC_MIX)
+
+
+@pytest.fixture
+def specs():
+    return paper_testbed_specs()
+
+
+class TestSerialization:
+    def test_roundtrip_partition(self, catalog, specs, tmp_path):
+        plan = partition_by_type(catalog, specs)
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        loaded = PlacementPlan.load(path)
+        assert loaded.locations == plan.locations
+        assert loaded.uses_nfs == plan.uses_nfs
+
+    def test_roundtrip_nfs_flag(self, catalog, specs, tmp_path):
+        plan = shared_nfs(catalog, [s.name for s in specs])
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert PlacementPlan.load(path).uses_nfs
+
+    def test_json_dict_is_sorted_and_plain(self, catalog, specs):
+        plan = partition_by_type(catalog, specs)
+        data = plan.to_json_dict()
+        paths = list(data["locations"])
+        assert paths == sorted(paths)
+        for nodes in data["locations"].values():
+            assert nodes == sorted(nodes)
+            assert isinstance(nodes, list)
+
+    def test_loaded_plan_validates(self, catalog, specs, tmp_path):
+        plan = partition_by_type(catalog, specs)
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        PlacementPlan.load(path).validate(catalog,
+                                          [s.name for s in specs])
+
+
+class TestDiff:
+    def test_identical_plans_have_empty_diff(self, catalog, specs):
+        plan = partition_by_type(catalog, specs)
+        assert plan.diff(plan) == {}
+
+    def test_diff_reports_added_and_removed(self, catalog, specs):
+        before = partition_by_type(catalog, specs, replicate_critical=False)
+        after = PlacementPlan.from_json_dict(before.to_json_dict())
+        target = catalog.paths()[0]
+        old_node = next(iter(before.locations[target]))
+        after.locations[target] = {"s350-0", "s350-1"}
+        changes = before.diff(after)
+        assert target in changes
+        added, removed = changes[target]
+        assert added == {"s350-0", "s350-1"} - before.locations[target]
+        assert removed == before.locations[target] - {"s350-0", "s350-1"}
+
+    def test_diff_between_schemes_is_total(self, catalog, specs):
+        partition = partition_by_type(catalog, specs,
+                                      replicate_critical=False)
+        replication = full_replication(catalog, [s.name for s in specs])
+        changes = partition.diff(replication)
+        # moving to full replication adds copies for every document
+        assert len(changes) == len(catalog)
+        for added, removed in changes.values():
+            assert added and not removed

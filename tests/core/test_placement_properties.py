@@ -1,0 +1,72 @@
+"""Property-based tests for the placement planners."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import paper_testbed_specs
+from repro.content import DYNAMIC_MIX, STATIC_MIX, generate_catalog
+from repro.core import (full_replication, partition_by_priority,
+                        partition_by_type, shared_nfs)
+from repro.sim import RngStream
+
+
+SPECS = paper_testbed_specs()
+NAMES = [s.name for s in SPECS]
+
+
+@st.composite
+def catalogs(draw):
+    n = draw(st.integers(10, 120))
+    seed = draw(st.integers(0, 50))
+    mix = draw(st.sampled_from([STATIC_MIX, DYNAMIC_MIX]))
+    return generate_catalog(n, rng=RngStream(seed), mix=mix)
+
+
+class TestPlannerProperties:
+    @given(catalog=catalogs())
+    @settings(max_examples=25, deadline=None)
+    def test_every_planner_produces_valid_total_plans(self, catalog):
+        for plan in (full_replication(catalog, NAMES),
+                     shared_nfs(catalog, NAMES),
+                     partition_by_type(catalog, SPECS),
+                     partition_by_priority(catalog, SPECS)):
+            plan.validate(catalog, NAMES)
+            for item in catalog:
+                assert plan.replica_count(item.path) >= 1
+
+    @given(catalog=catalogs())
+    @settings(max_examples=25, deadline=None)
+    def test_partition_dynamic_constraint_always_holds(self, catalog):
+        fast = {s.name for s in SPECS if s.cpu_mhz == 350}
+        for plan in (partition_by_type(catalog, SPECS),
+                     partition_by_priority(catalog, SPECS)):
+            for item in catalog.dynamic_items():
+                assert plan.nodes_for(item.path) <= fast
+
+    @given(catalog=catalogs())
+    @settings(max_examples=25, deadline=None)
+    def test_partition_uses_fewer_copies_than_replication(self, catalog):
+        partition = partition_by_type(catalog, SPECS,
+                                      replicate_critical=False)
+        total_copies = sum(partition.replica_count(i.path) for i in catalog)
+        assert total_copies == len(catalog)  # exactly one copy each
+        replication = full_replication(catalog, NAMES)
+        assert sum(replication.replica_count(i.path) for i in catalog) == \
+            len(catalog) * len(NAMES)
+
+    @given(catalog=catalogs())
+    @settings(max_examples=25, deadline=None)
+    def test_plan_serialization_roundtrip_property(self, catalog):
+        from repro.core import PlacementPlan
+        plan = partition_by_type(catalog, SPECS)
+        clone = PlacementPlan.from_json_dict(plan.to_json_dict())
+        assert clone.locations == plan.locations
+        assert plan.diff(clone) == {}
+
+    @given(catalog=catalogs(), seed=st.integers(0, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_bytes_accounting_consistent(self, catalog, seed):
+        plan = partition_by_type(catalog, SPECS, replicate_critical=False)
+        per_node = sum(plan.bytes_on(name, catalog) for name in NAMES)
+        assert per_node == catalog.total_bytes  # single-copy partition

@@ -1,0 +1,116 @@
+"""Tests for the backend-selection policies."""
+
+import pytest
+
+from repro.core import (LeastConnections, LeastLoadedReplica, RandomChoice,
+                        RoundRobin, RoutingView, WeightedLeastConnection)
+from repro.sim import RngStream
+
+
+@pytest.fixture
+def view():
+    return RoutingView({"slow": 0.5, "mid": 1.0, "fast": 2.0})
+
+
+class TestRoutingView:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RoutingView({})
+        with pytest.raises(ValueError):
+            RoutingView({"a": 0.0})
+
+    def test_connection_accounting(self, view):
+        view.connection_started("fast")
+        view.connection_started("fast")
+        assert view.active["fast"] == 2
+        assert view.dispatched["fast"] == 2
+        view.connection_finished("fast")
+        assert view.active["fast"] == 1
+
+    def test_finish_without_start_rejected(self, view):
+        with pytest.raises(ValueError):
+            view.connection_finished("fast")
+
+    def test_liveness(self, view):
+        view.mark_down("mid")
+        assert view.alive_nodes() == ["slow", "fast"]
+        view.mark_up("mid")
+        assert set(view.alive_nodes()) == {"slow", "mid", "fast"}
+
+
+class TestWeightedLeastConnection:
+    def test_prefers_higher_weight_when_idle(self, view):
+        # (0+1)/2.0 = 0.5 beats (0+1)/1.0 and (0+1)/0.5
+        assert WeightedLeastConnection().select(
+            ["slow", "mid", "fast"], view) == "fast"
+
+    def test_accounts_for_active_connections(self, view):
+        p = WeightedLeastConnection()
+        view.connection_started("fast")
+        view.connection_started("fast")
+        view.connection_started("fast")
+        # fast: 4/2=2.0; mid: 1/1=1.0; slow: 1/0.5=2.0 -> mid
+        assert p.select(["slow", "mid", "fast"], view) == "mid"
+
+    def test_skips_dead_nodes(self, view):
+        view.mark_down("fast")
+        assert WeightedLeastConnection().select(["fast", "mid"],
+                                                view) == "mid"
+
+    def test_all_dead_returns_none(self, view):
+        for n in ("slow", "mid", "fast"):
+            view.mark_down(n)
+        assert WeightedLeastConnection().select(["slow", "mid", "fast"],
+                                                view) is None
+
+    def test_candidates_restrict_choice(self, view):
+        assert WeightedLeastConnection().select(["slow"], view) == "slow"
+
+    def test_deterministic_tiebreak(self):
+        view = RoutingView({"a": 1.0, "b": 1.0})
+        assert WeightedLeastConnection().select(["b", "a"], view) == "a"
+
+
+class TestLeastConnections:
+    def test_ignores_weights(self, view):
+        p = LeastConnections()
+        view.connection_started("fast")
+        # slow and mid both at 0 active; tie -> lexicographic 'mid' vs 'slow'
+        assert p.select(["slow", "mid", "fast"], view) == "mid"
+
+
+class TestRoundRobin:
+    def test_cycles(self, view):
+        p = RoundRobin()
+        picks = [p.select(["slow", "mid", "fast"], view) for _ in range(6)]
+        assert picks == ["slow", "mid", "fast", "slow", "mid", "fast"]
+
+    def test_skips_dead(self, view):
+        p = RoundRobin()
+        view.mark_down("mid")
+        picks = {p.select(["slow", "mid", "fast"], view) for _ in range(4)}
+        assert "mid" not in picks
+
+
+class TestRandomChoice:
+    def test_uniform_ish(self, view):
+        p = RandomChoice(rng=RngStream(1, "t"))
+        picks = [p.select(["slow", "mid", "fast"], view) for _ in range(300)]
+        for node in ("slow", "mid", "fast"):
+            assert picks.count(node) > 50
+
+    def test_empty_returns_none(self, view):
+        for n in ("slow", "mid", "fast"):
+            view.mark_down(n)
+        assert RandomChoice().select(["slow"], view) is None
+
+
+class TestLeastLoadedReplica:
+    def test_is_weighted_least_connection_over_replicas(self, view):
+        p = LeastLoadedReplica()
+        view.connection_started("fast")
+        view.connection_started("fast")
+        view.connection_started("fast")
+        # restricted to replicas {slow, fast}: fast 4/2=2.0, slow 1/0.5=2.0
+        # -> lexicographic tiebreak picks 'fast'
+        assert p.select(["slow", "fast"], view) == "fast"

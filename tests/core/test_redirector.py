@@ -1,0 +1,91 @@
+"""Tests for the HTTP-redirection baseline front end."""
+
+import pytest
+
+from repro.cluster import BackendServer, distributor_spec, paper_testbed_specs
+from repro.content import ContentItem, ContentType
+from repro.core import (ContentAwareDistributor, HttpRedirector, UrlTable)
+from repro.net import HttpRequest, Lan, Nic
+from repro.sim import Simulator
+
+
+def build(front="redirect", client_latency=0.0):
+    sim = Simulator()
+    lan = Lan(sim)
+    specs = paper_testbed_specs()[5:8]  # three 350 MHz nodes
+    servers = {s.name: BackendServer(sim, lan, s) for s in specs}
+    table = UrlTable()
+    item = ContentItem("/page.html", 8192, ContentType.HTML)
+    holder = specs[0].name
+    servers[holder].place(item)
+    table.insert(item, {holder})
+    if front == "redirect":
+        fe = HttpRedirector(sim, lan, distributor_spec(), servers, table,
+                            client_latency=client_latency)
+    else:
+        fe = ContentAwareDistributor(sim, lan, distributor_spec(), servers,
+                                     table, client_latency=client_latency)
+    nic = Nic(sim, 100, name="client")
+    return sim, servers, item, holder, fe, nic
+
+
+def fetch(sim, fe, url, nic):
+    out = []
+
+    def go():
+        out.append((yield sim.process(fe.submit(HttpRequest(url), nic))))
+
+    sim.process(go())
+    sim.run()
+    return out[0]
+
+
+class TestRedirector:
+    def test_serves_via_redirect(self):
+        sim, servers, item, holder, fe, nic = build()
+        outcome = fetch(sim, fe, item.path, nic)
+        assert outcome.response.ok
+        assert outcome.backend == holder
+        assert fe.redirects_issued == 1
+
+    def test_unknown_url_503(self):
+        sim, servers, item, holder, fe, nic = build()
+        outcome = fetch(sim, fe, "/ghost.html", nic)
+        assert outcome.response.status == 503
+        assert fe.redirects_issued == 0
+
+    def test_data_path_bypasses_front_end(self):
+        """The 302 leg touches the front end; the content bytes do not."""
+        sim, servers, item, holder, fe, nic = build()
+        fetch(sim, fe, item.path, nic)
+        # front end sent only the redirect, never the 8 KB body
+        assert fe.nic.bytes_sent < 1024
+        assert servers[holder].nic.bytes_sent >= item.size_bytes
+
+    def test_extra_round_trips_cost_latency_for_wan_clients(self):
+        """§2.1: 'an extra round-trip latency' plus a new connection --
+        for WAN clients redirection must be clearly slower than splicing."""
+        rtt = 0.040
+        sim_r, _, item, _, redirector, nic_r = build("redirect",
+                                                     client_latency=rtt)
+        # warm the backend cache so only the protocol overhead differs
+        fetch(sim_r, redirector, item.path, nic_r)
+        redirect_latency = fetch(sim_r, redirector, item.path, nic_r).latency
+
+        sim_s, _, item_s, _, splicer, nic_s = build("splice",
+                                                    client_latency=rtt)
+        fetch(sim_s, splicer, item_s.path, nic_s)
+        splice_latency = fetch(sim_s, splicer, item_s.path, nic_s).latency
+
+        assert redirect_latency > 1.5 * splice_latency
+
+    def test_crashed_front_end_rejects(self):
+        sim, servers, item, holder, fe, nic = build()
+        fe.crash()
+        with pytest.raises(RuntimeError):
+            next(iter(fe.submit(HttpRequest(item.path), nic)))
+
+    def test_per_class_metering(self):
+        sim, servers, item, holder, fe, nic = build()
+        fetch(sim, fe, item.path, nic)
+        assert fe.class_meters[ContentType.HTML].completions == 1

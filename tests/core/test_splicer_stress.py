@@ -1,0 +1,121 @@
+"""Stress/property tests for the packet-level splicing distributor.
+
+Random fleets of clients fetch random documents through the VIP; whatever
+the interleaving, the §2.2 invariants must hold: every request served by a
+node that owns the document, every mapping entry torn down, every
+pre-forked connection back on the available list with its sequence numbers
+advanced consistently.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.content import ContentItem, ContentType
+from repro.core import SplicingDistributor, UrlTable
+from repro.net import Address, Host, HttpRequest, HttpResponse, Network, TcpState
+from repro.net.http import HttpVersion
+from repro.sim import Simulator
+
+
+def start_backend(sim, net, ip, name):
+    host = Host(net, ip)
+
+    def app(sock):
+        def loop():
+            while sock.state in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT):
+                payload, nbytes = yield sock.recv()
+                response = HttpResponse(request=payload,
+                                        content_length=512, served_by=name)
+                sock.send(response, response.wire_bytes)
+
+        sim.process(loop())
+
+    host.listen(80, app)
+    return host
+
+
+def build_world(n_backends, prefork):
+    sim = Simulator()
+    net = Network(sim)
+    table = UrlTable()
+    addrs = {}
+    for i in range(n_backends):
+        name = f"s{i}"
+        start_backend(sim, net, f"10.0.1.{i + 1}", name)
+        addrs[name] = Address(f"10.0.1.{i + 1}", 80)
+    dist = SplicingDistributor(sim, net, table, addrs, prefork=prefork)
+    done = []
+    dist.prefork_all().add_callback(lambda ev: done.append(True))
+    sim.run(until=0.05)
+    assert done
+    return sim, net, table, dist
+
+
+def spawn_client(sim, net, ip, urls, results, versions):
+    host = Host(net, ip)
+
+    def go():
+        for url, version in zip(urls, versions):
+            sock = host.socket()
+            yield sock.connect(Address("10.0.0.100", 80))
+            request = HttpRequest(url, version=version)
+            sock.send(request, request.wire_bytes)
+            payload, _ = yield sock.recv()
+            results.append((url, payload.served_by))
+            if version is HttpVersion.HTTP_1_0:
+                while sock.state is not TcpState.CLOSE_WAIT:
+                    yield sim.timeout(1e-4)
+                yield sock.close()
+            else:
+                yield sock.close()
+
+    return sim.process(go())
+
+
+class TestSplicerStress:
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_random_fleets_preserve_invariants(self, data):
+        n_backends = data.draw(st.integers(1, 3), label="backends")
+        n_docs = data.draw(st.integers(1, 5), label="docs")
+        n_clients = data.draw(st.integers(1, 5), label="clients")
+        prefork = data.draw(st.integers(1, 3), label="prefork")
+        sim, net, table, dist = build_world(n_backends, prefork)
+
+        docs = []
+        for d in range(n_docs):
+            item = ContentItem(f"/d{d}.html", 512, ContentType.HTML)
+            owner = f"s{d % n_backends}"
+            table.insert(item, {owner})
+            docs.append((item.path, owner))
+
+        results = []
+        for c in range(n_clients):
+            picks = data.draw(st.lists(st.integers(0, n_docs - 1),
+                                       min_size=1, max_size=3),
+                              label=f"picks{c}")
+            urls = [docs[p][0] for p in picks]
+            versions = [data.draw(st.sampled_from(
+                [HttpVersion.HTTP_1_0, HttpVersion.HTTP_1_1]),
+                label=f"v{c}") for _ in picks]
+            spawn_client(sim, net, f"10.0.2.{c + 1}", urls, results,
+                         versions)
+        sim.run(until=30.0)
+
+        expected = {path: owner for path, owner in docs}
+        # every request served by the document's owner
+        for url, served_by in results:
+            assert served_by == expected[url]
+        total_requests = len(results)
+        assert dist.relayed_to_server == total_requests
+        assert dist.relayed_to_client == total_requests
+        # every connection torn down, every leg back on the free list
+        assert len(dist.mapping) == 0
+        for backend in expected.values():
+            assert dist.idle_legs(backend) == prefork
+        # sequence numbers on every leg advanced past the ISN exactly by
+        # the bytes spliced through it
+        for leg in dist._legs.values():
+            assert leg.snd_nxt >= leg.isn + 1
+            assert leg.bound_entry is None

@@ -1,0 +1,238 @@
+"""Tests for the multi-level URL table and its lookup cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.content import ContentItem, ContentType, generate_catalog
+from repro.core import UrlTable, UrlTableError
+from repro.sim import RngStream
+
+
+def item(path, size=1000, ctype=ContentType.HTML):
+    return ContentItem(path, size, ctype)
+
+
+@pytest.fixture
+def table():
+    t = UrlTable()
+    t.insert(item("/index.html"), {"n1"})
+    t.insert(item("/docs/guide/ch1.html"), {"n1", "n2"})
+    t.insert(item("/docs/guide/ch2.html"), {"n2"})
+    t.insert(item("/cgi-bin/search.cgi", ctype=ContentType.CGI), {"n3"})
+    return t
+
+
+class TestInsertRemove:
+    def test_insert_and_len(self, table):
+        assert len(table) == 4
+
+    def test_duplicate_rejected(self, table):
+        with pytest.raises(UrlTableError):
+            table.insert(item("/index.html"), {"n9"})
+
+    def test_empty_locations_rejected(self):
+        with pytest.raises(UrlTableError):
+            UrlTable().insert(item("/a.html"), set())
+
+    def test_document_as_directory_rejected(self, table):
+        with pytest.raises(UrlTableError):
+            table.insert(item("/index.html/sub.html"), {"n1"})
+
+    def test_remove(self, table):
+        table.remove("/docs/guide/ch1.html")
+        assert len(table) == 3
+        assert "/docs/guide/ch1.html" not in table
+        assert "/docs/guide/ch2.html" in table
+
+    def test_remove_prunes_empty_levels(self, table):
+        table.remove("/docs/guide/ch1.html")
+        table.remove("/docs/guide/ch2.html")
+        # the /docs/guide and /docs levels must be gone
+        assert "docs" not in table._root.children
+
+    def test_remove_missing_raises(self, table):
+        with pytest.raises(UrlTableError):
+            table.remove("/ghost.html")
+        with pytest.raises(UrlTableError):
+            table.remove("/docs/ghost/x.html")
+
+    def test_contains(self, table):
+        assert "/index.html" in table
+        assert "/docs" not in table       # directories are not documents
+        assert "/nope" not in table
+
+    def test_version_bumps_on_mutation(self, table):
+        v0 = table.version
+        table.insert(item("/new.html"), {"n1"})
+        assert table.version == v0 + 1
+        table.add_location("/new.html", "n2")
+        table.remove_location("/new.html", "n1")
+        table.remove("/new.html")
+        assert table.version == v0 + 4
+
+
+class TestLookup:
+    def test_lookup_finds_record(self, table):
+        rec = table.lookup("/docs/guide/ch1.html")
+        assert rec.locations == {"n1", "n2"}
+        assert rec.size_bytes == 1000
+
+    def test_lookup_counts_hits(self, table):
+        for _ in range(3):
+            table.lookup("/index.html")
+        assert table.lookup("/index.html").hits == 4
+
+    def test_lookup_unknown_raises(self, table):
+        with pytest.raises(UrlTableError):
+            table.lookup("/no/such/doc.html")
+
+    def test_lookup_directory_raises(self, table):
+        with pytest.raises(UrlTableError):
+            table.lookup("/docs/guide")
+
+    def test_query_string_ignored(self, table):
+        rec = table.lookup("/cgi-bin/search.cgi?q=hello")
+        assert rec.item.ctype is ContentType.CGI
+
+    def test_lookup_cost_levels(self, table):
+        assert table.lookup_cost_levels("/docs/guide/ch1.html") == 3
+        assert table.lookup_cost_levels("/index.html") == 1
+
+
+class TestLookupCache:
+    def test_repeat_lookup_hits_cache(self, table):
+        table.lookup("/index.html")
+        assert table.cache_hits == 0
+        table.lookup("/index.html")
+        assert table.cache_hits == 1
+        assert table.cache_hit_rate == 0.5
+
+    def test_cache_capacity_evicts_lru(self):
+        t = UrlTable(cache_entries=2)
+        for p in ("/a.html", "/b.html", "/c.html"):
+            t.insert(item(p), {"n"})
+        t.lookup("/a.html")
+        t.lookup("/b.html")
+        t.lookup("/c.html")     # evicts /a.html from the entry cache
+        t.lookup("/a.html")     # must walk the levels again
+        assert t.cache_hits == 0
+
+    def test_cache_disabled(self):
+        t = UrlTable(cache_entries=0)
+        t.insert(item("/a.html"), {"n"})
+        t.lookup("/a.html")
+        t.lookup("/a.html")
+        assert t.cache_hits == 0
+
+    def test_remove_invalidates_cache(self, table):
+        table.lookup("/index.html")
+        table.remove("/index.html")
+        with pytest.raises(UrlTableError):
+            table.lookup("/index.html")
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            UrlTable(cache_entries=-1)
+
+    def test_cached_lookup_skips_level_walk(self, table):
+        table.lookup("/docs/guide/ch1.html")
+        levels_before = table.levels_touched
+        table.lookup("/docs/guide/ch1.html")
+        assert table.levels_touched == levels_before
+
+
+class TestLocations:
+    def test_add_location(self, table):
+        table.add_location("/index.html", "n5")
+        assert table.locations("/index.html") == {"n1", "n5"}
+
+    def test_remove_location(self, table):
+        table.remove_location("/docs/guide/ch1.html", "n2")
+        assert table.locations("/docs/guide/ch1.html") == {"n1"}
+
+    def test_remove_last_location_refused(self, table):
+        with pytest.raises(UrlTableError):
+            table.remove_location("/index.html", "n1")
+
+    def test_remove_absent_location_raises(self, table):
+        with pytest.raises(UrlTableError):
+            table.remove_location("/index.html", "n9")
+
+
+class TestReporting:
+    def test_records_iterates_all(self, table):
+        assert len(list(table.records())) == 4
+
+    def test_top_by_hits(self, table):
+        for _ in range(5):
+            table.lookup("/docs/guide/ch2.html")
+        for _ in range(2):
+            table.lookup("/index.html")
+        top = table.top_by_hits(2)
+        assert top[0].path == "/docs/guide/ch2.html"
+        assert top[1].path == "/index.html"
+
+    def test_memory_footprint_at_paper_scale(self):
+        """§5.2: ~8700 objects -> ~260 KB.  Our estimator should land in
+        the same range (within 2x either way)."""
+        catalog = generate_catalog(8700, rng=RngStream(1))
+        t = UrlTable()
+        for it in catalog:
+            t.insert(it, {"n1"})
+        kb = t.memory_footprint_bytes() / 1024
+        assert 130 <= kb <= 520
+
+    def test_footprint_grows_with_replicas(self, table):
+        before = table.memory_footprint_bytes()
+        table.add_location("/index.html", "n7")
+        assert table.memory_footprint_bytes() > before
+
+
+class TestSyncFrom:
+    def test_sync_copies_records(self, table):
+        backup = UrlTable()
+        assert backup.sync_from(table)
+        assert len(backup) == len(table)
+        assert backup.locations("/index.html") == {"n1"}
+        assert backup.version == table.version
+
+    def test_sync_noop_when_versions_match(self, table):
+        backup = UrlTable()
+        backup.sync_from(table)
+        assert not backup.sync_from(table)
+
+    def test_sync_picks_up_changes(self, table):
+        backup = UrlTable()
+        backup.sync_from(table)
+        table.insert(item("/late.html"), {"n4"})
+        assert backup.sync_from(table)
+        assert "/late.html" in backup
+
+
+class TestPropertyBased:
+    @given(paths=st.lists(
+        st.tuples(st.sampled_from("abcd"), st.sampled_from("wxyz"))
+        .map(lambda t: f"/{t[0]}/{t[1]}.html"),
+        min_size=1, max_size=16, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_insert_lookup_remove_roundtrip(self, paths):
+        t = UrlTable()
+        for p in paths:
+            t.insert(item(p), {"n1"})
+        for p in paths:
+            assert t.lookup(p).path == p
+        for p in paths:
+            t.remove(p)
+        assert len(t) == 0
+        assert not t._root.children  # fully pruned
+
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_count_matches_records(self, data):
+        t = UrlTable()
+        n = data.draw(st.integers(1, 30))
+        catalog = generate_catalog(n, rng=RngStream(7))
+        for it in catalog:
+            t.insert(it, {"n1"})
+        assert len(t) == n == len(list(t.records()))

@@ -1,0 +1,77 @@
+"""Tests for the figure-reproduction harness (reduced scales for speed).
+
+The full-scale shape assertions (who wins, by what factor) live in
+``benchmarks/``; here we check the harness mechanics and the §5.2 table,
+which is cheap at full scale.
+"""
+
+import pytest
+
+from repro.experiments import (figure2, figure3, figure4, render_table,
+                               url_table_overhead)
+from repro.experiments.figures import DEFAULT_CLIENTS
+
+
+class TestRenderTable:
+    def test_renders_rows(self):
+        text = render_table("T", ["a", "bee"], [[1, 2.5], [30, 4.0]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "bee" in lines[1]
+        assert "30" in lines[-1]
+
+    def test_empty_rows(self):
+        text = render_table("T", ["a"], [])
+        assert "a" in text
+
+
+class TestFigureHarness:
+    def test_figure2_small_scale_structure(self):
+        fig = figure2(clients=(4, 8), duration=2.5, warmup=0.5)
+        assert set(fig["series"]) == {"replication-l4", "nfs-l4",
+                                      "partition-ca"}
+        for series in fig["series"].values():
+            assert len(series) == 2
+            assert all(v > 0 for v in series)
+        assert "Figure 2" in fig["rendered"]
+
+    def test_figure3_small_scale_structure(self):
+        fig = figure3(clients=(4, 8), duration=2.5, warmup=0.5)
+        assert set(fig["series"]) == {"replication-l4", "partition-ca"}
+        assert "Figure 3" in fig["rendered"]
+
+    def test_figure4_small_scale_structure(self):
+        fig = figure4(n_clients=12, duration=2.5, warmup=0.5)
+        assert set(fig["classes"]) == {"cgi", "asp", "static"}
+        for cls in fig["classes"].values():
+            assert cls["baseline_rps"] > 0
+            assert cls["segregated_rps"] > 0
+        assert "Figure 4" in fig["rendered"]
+
+    def test_default_client_counts_match_paper_saturation(self):
+        assert DEFAULT_CLIENTS[-1] == 120  # §5.3: saturated by 120 clients
+
+
+class TestUrlTableOverhead:
+    def test_paper_scale_footprint(self):
+        """§5.2: ~8700 objects -> ~260 KB table."""
+        result = url_table_overhead(n_objects=8700, lookups=4000)
+        assert result["n_objects"] == 8700
+        assert 130 <= result["memory_kb"] <= 520
+
+    def test_lookup_latency_order_of_magnitude(self):
+        """§5.2 reports 4.32 us on a 350 MHz kernel implementation; our
+        Python table on modern hardware should land within 0.1-50 us."""
+        result = url_table_overhead(n_objects=2000, lookups=4000)
+        assert 0.05 <= result["mean_lookup_us"] <= 50.0
+
+    def test_cache_ablation_changes_hit_rate(self):
+        with_cache = url_table_overhead(n_objects=1500, lookups=3000)
+        without = url_table_overhead(n_objects=1500, lookups=3000,
+                                     cache_entries=0)
+        assert with_cache["cache_hit_rate"] > 0.3
+        assert without["cache_hit_rate"] == 0.0
+
+    def test_rendered_table(self):
+        result = url_table_overhead(n_objects=500, lookups=500)
+        assert "URL table overhead" in result["rendered"]

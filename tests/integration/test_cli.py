@@ -1,0 +1,78 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_clients_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--clients", "abc"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--clients", "0"])
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheme", "magic"])
+
+
+class TestCommands:
+    def test_schemes(self, capsys):
+        assert run_cli("schemes") == 0
+        out = capsys.readouterr().out
+        assert "partition-ca" in out
+        assert "config 3" in out
+
+    def test_overhead(self, capsys):
+        assert run_cli("overhead", "--objects", "500",
+                       "--lookups", "500") == 0
+        out = capsys.readouterr().out
+        assert "URL table overhead" in out
+        assert "260 KB" in out  # the paper reference line
+
+    def test_run_cell(self, capsys):
+        assert run_cli("run", "--scheme", "partition-ca",
+                       "--workload", "A", "--clients", "8",
+                       "--duration", "2.5", "--warmup", "0.5",
+                       "--objects", "300") == 0
+        out = capsys.readouterr().out
+        assert "throughput req/s" in out
+        assert "partition-ca / workload A / 8 clients" in out
+
+    def test_figures_single(self, capsys):
+        assert run_cli("figures", "--figure", "4", "--clients", "6,10",
+                       "--duration", "2.5", "--warmup", "0.5") == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "Figure 2" not in out
+
+    def test_sweep_writes_csv(self, tmp_path, capsys):
+        target = tmp_path / "out.csv"
+        assert run_cli("sweep", "--scheme", "partition-ca",
+                       "--workload", "A", "--clients", "4,8",
+                       "--duration", "2.5", "--warmup", "0.5",
+                       "--objects", "300", "--output", str(target)) == 0
+        lines = target.read_text().splitlines()
+        assert lines[0].startswith("scheme,workload,n_clients")
+        assert len(lines) == 3
+
+
+class TestEntryPoint:
+    def test_module_invocation(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "schemes"],
+            capture_output=True, text=True, timeout=120)
+        assert result.returncode == 0
+        assert "replication-lard" in result.stdout

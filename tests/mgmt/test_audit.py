@@ -1,0 +1,93 @@
+"""Tests for the cluster-wide consistency audit."""
+
+import pytest
+
+from repro.cluster import BackendServer, paper_testbed_specs
+from repro.content import ContentItem, ContentType, DocTree
+from repro.core import UrlTable
+from repro.mgmt import Broker, Controller
+from repro.net import Lan, Nic
+from repro.sim import Simulator
+
+
+def build(n_nodes=3):
+    sim = Simulator()
+    lan = Lan(sim)
+    specs = paper_testbed_specs()[:n_nodes]
+    servers = {s.name: BackendServer(sim, lan, s) for s in specs}
+    nic = Nic(sim, 100, name="controller")
+    controller = Controller(sim, nic, UrlTable(), DocTree())
+    registry = {}
+    for server in servers.values():
+        controller.register_broker(Broker(sim, lan, server, nic, registry))
+    return sim, servers, controller
+
+
+def run_audit(sim, controller):
+    proc = sim.process(controller.audit())
+    sim.run(until=sim.now + 30.0)
+    assert proc.processed
+    return proc.value
+
+
+def run_op(sim, controller, op):
+    proc = sim.process(op)
+    sim.run(until=sim.now + 30.0)
+    return proc.value
+
+
+def item(path, size=2048):
+    return ContentItem(path, size, ContentType.HTML)
+
+
+class TestAudit:
+    def test_clean_cluster_audits_clean(self):
+        sim, servers, controller = build()
+        names = sorted(servers)
+        run_op(sim, controller, controller.place(item("/a.html"), names[0]))
+        run_op(sim, controller, controller.place(item("/b.html"), names[1]))
+        result = run_audit(sim, controller)
+        assert result == {"missing": [], "orphaned": [],
+                          "nodes_audited": 3}
+
+    def test_missing_copy_detected(self):
+        sim, servers, controller = build()
+        names = sorted(servers)
+        doc = item("/lost.html")
+        run_op(sim, controller, controller.place(doc, names[0]))
+        # the file disappears behind the controller's back
+        servers[names[0]].store.remove(doc.path)
+        result = run_audit(sim, controller)
+        assert result["missing"] == [(doc.path, names[0])]
+        assert result["orphaned"] == []
+
+    def test_orphaned_copy_detected(self):
+        sim, servers, controller = build()
+        names = sorted(servers)
+        # content shows up on a node without any management record
+        servers[names[2]].place(item("/rogue.html"))
+        result = run_audit(sim, controller)
+        assert result["orphaned"] == [("/rogue.html", names[2])]
+        assert result["missing"] == []
+
+    def test_replica_drift_both_directions(self):
+        sim, servers, controller = build()
+        names = sorted(servers)
+        doc = item("/drift.html")
+        run_op(sim, controller, controller.place(doc, names[0]))
+        run_op(sim, controller, controller.replicate(doc.path, names[1]))
+        servers[names[1]].store.remove(doc.path)      # copy vanished
+        servers[names[2]].place(doc)                  # stray copy appeared
+        result = run_audit(sim, controller)
+        assert (doc.path, names[1]) in result["missing"]
+        assert (doc.path, names[2]) in result["orphaned"]
+
+    def test_audit_takes_one_round_trip_per_node(self):
+        sim, servers, controller = build()
+        names = sorted(servers)
+        for i in range(10):
+            run_op(sim, controller,
+                   controller.place(item(f"/f{i}.html"), names[i % 3]))
+        dispatches_before = controller.dispatches
+        run_audit(sim, controller)
+        assert controller.dispatches == dispatches_before + 3

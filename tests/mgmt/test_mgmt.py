@@ -1,0 +1,253 @@
+"""Tests for the controller / broker / agent management system."""
+
+import pytest
+
+from repro.cluster import (BackendServer, distributor_spec,
+                           paper_testbed_specs)
+from repro.content import ContentItem, ContentType, DocTree
+from repro.core import UrlTable, UrlTableError
+from repro.mgmt import (Broker, Controller, ManagementError, RemoteConsole,
+                        StatusAgent, StatusReport)
+from repro.net import Lan, Nic
+from repro.sim import Simulator
+
+
+def build(n_nodes=3):
+    sim = Simulator()
+    lan = Lan(sim)
+    specs = paper_testbed_specs()[:n_nodes]
+    servers = {s.name: BackendServer(sim, lan, s) for s in specs}
+    controller_nic = Nic(sim, 100, name="controller")
+    url_table = UrlTable()
+    doctree = DocTree()
+    controller = Controller(sim, controller_nic, url_table, doctree)
+    registry: dict[str, Broker] = {}
+    for server in servers.values():
+        broker = Broker(sim, lan, server, controller_nic, registry)
+        controller.register_broker(broker)
+    return sim, servers, controller, registry
+
+
+def run_op(sim, controller, op):
+    """Execute one management generator to completion; return its value."""
+    proc = sim.process(op)
+    sim.run()
+    return proc.value
+
+
+def item(path, size=8192, ctype=ContentType.HTML):
+    return ContentItem(path, size, ctype)
+
+
+class TestPlace:
+    def test_place_installs_and_registers(self):
+        sim, servers, controller, registry = build()
+        node = next(iter(servers))
+        doc = item("/new/page.html")
+        run_op(sim, controller, controller.place(doc, node))
+        assert servers[node].holds(doc.path)
+        assert controller.url_table.locations(doc.path) == {node}
+        assert controller.doctree.locations_of(doc.path) == {node}
+
+    def test_place_takes_simulated_time(self):
+        sim, servers, controller, registry = build()
+        node = next(iter(servers))
+        run_op(sim, controller, controller.place(item("/t.html"), node))
+        assert sim.now > 0.0
+
+    def test_place_on_unknown_node_rejected(self):
+        sim, servers, controller, registry = build()
+        gen = controller.place(item("/x.html"), "ghost")
+        with pytest.raises(ManagementError):
+            run_op(sim, controller, gen)
+
+    def test_place_second_node_adds_location(self):
+        sim, servers, controller, registry = build()
+        names = sorted(servers)
+        doc = item("/shared.html")
+        run_op(sim, controller, controller.place(doc, names[0]))
+        run_op(sim, controller, controller.place(doc, names[1],
+                                                 source=names[0]))
+        assert controller.url_table.locations(doc.path) == set(names[:2])
+
+
+class TestReplicateOffload:
+    def test_replicate_copies_from_existing_holder(self):
+        sim, servers, controller, registry = build()
+        names = sorted(servers)
+        doc = item("/hot.html")
+        run_op(sim, controller, controller.place(doc, names[0]))
+        run_op(sim, controller, controller.replicate(doc.path, names[1]))
+        assert servers[names[1]].holds(doc.path)
+        assert controller.url_table.locations(doc.path) == set(names[:2])
+
+    def test_replicate_to_holder_is_noop(self):
+        sim, servers, controller, registry = build()
+        names = sorted(servers)
+        doc = item("/hot.html")
+        run_op(sim, controller, controller.place(doc, names[0]))
+        dispatches_before = controller.dispatches
+        run_op(sim, controller, controller.replicate(doc.path, names[0]))
+        assert controller.dispatches == dispatches_before
+
+    def test_offload_removes_copy_and_location(self):
+        sim, servers, controller, registry = build()
+        names = sorted(servers)
+        doc = item("/hot.html")
+        run_op(sim, controller, controller.place(doc, names[0]))
+        run_op(sim, controller, controller.replicate(doc.path, names[1]))
+        run_op(sim, controller, controller.offload(doc.path, names[0]))
+        assert not servers[names[0]].holds(doc.path)
+        assert controller.url_table.locations(doc.path) == {names[1]}
+
+    def test_offload_last_copy_refused(self):
+        sim, servers, controller, registry = build()
+        names = sorted(servers)
+        doc = item("/only.html")
+        run_op(sim, controller, controller.place(doc, names[0]))
+        with pytest.raises(UrlTableError):
+            run_op(sim, controller, controller.offload(doc.path, names[0]))
+        assert servers[names[0]].holds(doc.path)  # copy untouched
+
+
+class TestRemoveRename:
+    def test_remove_document_everywhere(self):
+        sim, servers, controller, registry = build()
+        names = sorted(servers)
+        doc = item("/gone.html")
+        run_op(sim, controller, controller.place(doc, names[0]))
+        run_op(sim, controller, controller.replicate(doc.path, names[1]))
+        run_op(sim, controller, controller.remove_document(doc.path))
+        assert doc.path not in controller.url_table
+        assert not controller.doctree.exists(doc.path)
+        for name in names[:2]:
+            assert not servers[name].holds(doc.path)
+
+    def test_rename_document(self):
+        sim, servers, controller, registry = build()
+        names = sorted(servers)
+        doc = item("/old-name.html")
+        run_op(sim, controller, controller.place(doc, names[0]))
+        new = item("/new-name.html")
+        run_op(sim, controller, controller.rename_document(doc.path, new))
+        assert "/new-name.html" in controller.url_table
+        assert "/old-name.html" not in controller.url_table
+        assert servers[names[0]].holds("/new-name.html")
+        assert not servers[names[0]].holds("/old-name.html")
+
+
+class TestUpdateContent:
+    def test_update_propagates_to_all_replicas(self):
+        sim, servers, controller, registry = build()
+        names = sorted(servers)
+        doc = item("/mutable.html", size=4096)
+        run_op(sim, controller, controller.place(doc, names[0]))
+        run_op(sim, controller, controller.replicate(doc.path, names[1]))
+        # warm a cache so invalidation is observable
+        servers[names[0]].cache.admit(doc.path, doc.size_bytes)
+        new_version = item("/mutable.html", size=6000)
+        run_op(sim, controller, controller.update_content(new_version))
+        assert doc.path not in servers[names[0]].cache
+        assert servers[names[0]].store.get(doc.path).size_bytes == 6000
+        assert servers[names[1]].store.get(doc.path).size_bytes == 6000
+
+
+class TestStatusAndVerify:
+    def test_status_all_reports_every_node(self):
+        sim, servers, controller, registry = build()
+        reports = run_op(sim, controller, controller.status_all())
+        assert set(reports) == set(servers)
+        for name, report in reports.items():
+            assert isinstance(report, StatusReport)
+            assert report.node == name
+            assert report.alive
+
+    def test_verify_placement_consistent(self):
+        sim, servers, controller, registry = build()
+        node = sorted(servers)[0]
+        doc = item("/v.html")
+        run_op(sim, controller, controller.place(doc, node))
+        bad = run_op(sim, controller, controller.verify_placement(doc.path))
+        assert bad == []
+
+    def test_verify_placement_detects_drift(self):
+        sim, servers, controller, registry = build()
+        names = sorted(servers)
+        doc = item("/drift.html")
+        run_op(sim, controller, controller.place(doc, names[0]))
+        # someone deletes the file behind the controller's back
+        servers[names[0]].store.remove(doc.path)
+        bad = run_op(sim, controller, controller.verify_placement(doc.path))
+        assert bad == [names[0]]
+
+
+class TestMobileCodeCaching:
+    def test_agent_class_downloaded_once_per_broker(self):
+        sim, servers, controller, registry = build()
+        node = sorted(servers)[0]
+        for i in range(3):
+            run_op(sim, controller,
+                   controller.place(item(f"/f{i}.html"), node))
+        broker = registry[node]
+        assert broker.agents_executed == 3
+        assert broker.code_downloads == 1  # CopyAgent class cached after 1st
+
+
+class TestRemoteConsole:
+    def make(self):
+        sim, servers, controller, registry = build()
+        return sim, servers, controller, RemoteConsole(controller)
+
+    def test_insert_file_multi_node(self):
+        sim, servers, controller, console = self.make()
+        names = sorted(servers)
+        doc = item("/c/new.html")
+        console.run(console.insert_file(doc, set(names[:2])))
+        assert console.locations_of(doc.path) == set(names[:2])
+        for n in names[:2]:
+            assert servers[n].holds(doc.path)
+
+    def test_insert_needs_nodes(self):
+        sim, servers, controller, console = self.make()
+        with pytest.raises(ManagementError):
+            console.run(console.insert_file(item("/c/x.html"), set()))
+
+    def test_delete_file(self):
+        sim, servers, controller, console = self.make()
+        names = sorted(servers)
+        doc = item("/c/d.html")
+        console.run(console.insert_file(doc, {names[0]}))
+        console.run(console.delete_file(doc.path))
+        assert not console.exists(doc.path)
+
+    def test_rename_file(self):
+        sim, servers, controller, console = self.make()
+        names = sorted(servers)
+        console.run(console.insert_file(item("/c/a.html"), {names[0]}))
+        console.run(console.rename_file("/c/a.html", "/c/b.html"))
+        assert console.exists("/c/b.html")
+        assert not console.exists("/c/a.html")
+
+    def test_assign_reaches_exact_replica_set(self):
+        sim, servers, controller, console = self.make()
+        names = sorted(servers)
+        doc = item("/c/assign.html")
+        console.run(console.insert_file(doc, {names[0]}))
+        console.run(console.assign(doc.path, {names[1], names[2]}))
+        assert console.locations_of(doc.path) == {names[1], names[2]}
+        assert not servers[names[0]].holds(doc.path)
+        assert servers[names[1]].holds(doc.path)
+
+    def test_view_renders_locations(self):
+        sim, servers, controller, console = self.make()
+        names = sorted(servers)
+        console.run(console.insert_file(item("/c/v.html"), {names[0]}))
+        assert "/c/v.html" in console.view()
+        assert names[0] in console.view()
+
+    def test_list_dir(self):
+        sim, servers, controller, console = self.make()
+        names = sorted(servers)
+        console.run(console.insert_file(item("/c/one.html"), {names[0]}))
+        console.run(console.insert_file(item("/c/two.html"), {names[0]}))
+        assert console.list_dir("/c") == ["one.html", "two.html"]

@@ -1,0 +1,159 @@
+"""Tests for the cluster monitor: failure detection + re-replication."""
+
+import pytest
+
+from repro.cluster import BackendServer, paper_testbed_specs
+from repro.content import ContentItem, ContentType, DocTree
+from repro.core import RoutingView, UrlTable
+from repro.mgmt import Broker, ClusterMonitor, Controller
+from repro.net import Lan, Nic
+from repro.sim import Simulator
+
+
+def build(n_nodes=3):
+    sim = Simulator()
+    lan = Lan(sim)
+    specs = paper_testbed_specs()[:n_nodes]
+    servers = {s.name: BackendServer(sim, lan, s) for s in specs}
+    nic = Nic(sim, 100, name="controller")
+    url_table = UrlTable()
+    doctree = DocTree()
+    controller = Controller(sim, nic, url_table, doctree)
+    registry = {}
+    for server in servers.values():
+        controller.register_broker(
+            Broker(sim, lan, server, nic, registry))
+    view = RoutingView({s.name: s.weight for s in specs})
+    return sim, servers, controller, view
+
+
+def place(sim, controller, item, node):
+    proc = sim.process(controller.place(item, node))
+    sim.run(until=sim.now + 10.0)
+    assert proc.processed
+
+
+def item(path, size=4096):
+    return ContentItem(path, size, ContentType.HTML)
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        sim, servers, controller, view = build()
+        with pytest.raises(ValueError):
+            ClusterMonitor(sim, controller, view, interval=0)
+        with pytest.raises(ValueError):
+            ClusterMonitor(sim, controller, view, misses_to_fail=0)
+
+
+class TestHealthySweeps:
+    def test_all_healthy_no_events(self):
+        sim, servers, controller, view = build()
+        monitor = ClusterMonitor(sim, controller, view, interval=0.5)
+        monitor.start()
+        sim.run(until=3.0)
+        monitor.stop()
+        assert monitor.rounds >= 4
+        assert monitor.events == []
+        assert monitor.down_nodes == set()
+
+    def test_view_untouched_while_healthy(self):
+        sim, servers, controller, view = build()
+        monitor = ClusterMonitor(sim, controller, view, interval=0.5)
+        monitor.start()
+        sim.run(until=2.0)
+        monitor.stop()
+        assert set(view.alive_nodes()) == set(servers)
+
+
+class TestFailureDetection:
+    def test_crash_detected_and_marked_down(self):
+        sim, servers, controller, view = build()
+        names = sorted(servers)
+        monitor = ClusterMonitor(sim, controller, view, interval=0.5,
+                                 misses_to_fail=2, re_replicate=False)
+        monitor.start()
+        sim.schedule(1.0, servers[names[0]].crash)
+        sim.run(until=4.0)
+        monitor.stop()
+        assert names[0] in monitor.down_nodes
+        assert names[0] not in view.alive_nodes()
+        kinds = [e.kind for e in monitor.events]
+        assert kinds == ["down"]
+        # detection needed >= misses_to_fail rounds after the crash
+        down_event = monitor.events[0]
+        assert down_event.at >= 1.0 + 2 * 0.5 - 0.5
+
+    def test_recovery_marks_back_up(self):
+        sim, servers, controller, view = build()
+        names = sorted(servers)
+        monitor = ClusterMonitor(sim, controller, view, interval=0.5,
+                                 misses_to_fail=2, re_replicate=False)
+        monitor.start()
+        sim.schedule(1.0, servers[names[0]].crash)
+        sim.schedule(3.0, servers[names[0]].recover)
+        sim.run(until=6.0)
+        monitor.stop()
+        kinds = [e.kind for e in monitor.events]
+        assert kinds == ["down", "up"]
+        assert names[0] in view.alive_nodes()
+        assert monitor.down_nodes == set()
+
+    def test_single_miss_not_enough(self):
+        sim, servers, controller, view = build()
+        names = sorted(servers)
+        monitor = ClusterMonitor(sim, controller, view, interval=1.0,
+                                 misses_to_fail=3, re_replicate=False)
+        monitor.start()
+        # down for less than one full round
+
+        def blip():
+            servers[names[0]].crash()
+
+        def heal():
+            servers[names[0]].recover()
+
+        sim.schedule(0.9, blip)
+        sim.schedule(1.1, heal)
+        sim.run(until=5.0)
+        monitor.stop()
+        assert monitor.events == []
+
+
+class TestReReplication:
+    def test_lost_replica_restored_elsewhere(self):
+        sim, servers, controller, view = build()
+        names = sorted(servers)
+        doc = item("/ha/critical.html")
+        place(sim, controller, doc, names[0])
+        proc = sim.process(controller.replicate(doc.path, names[1]))
+        sim.run(until=sim.now + 10.0)
+        monitor = ClusterMonitor(sim, controller, view, interval=0.5,
+                                 misses_to_fail=1)
+        monitor.start()
+        servers[names[1]].crash()
+        sim.run(until=sim.now + 5.0)
+        monitor.stop()
+        locations = controller.url_table.locations(doc.path)
+        assert names[1] not in locations
+        assert len(locations) == 2  # replica count restored
+        assert names[0] in locations
+        restored = (locations - {names[0]}).pop()
+        assert servers[restored].holds(doc.path)
+        assert any(e.kind == "re-replicated" for e in monitor.events)
+
+    def test_single_copy_on_dead_node_reported_lost(self):
+        sim, servers, controller, view = build()
+        names = sorted(servers)
+        doc = item("/only/copy.html")
+        place(sim, controller, doc, names[0])
+        monitor = ClusterMonitor(sim, controller, view, interval=0.5,
+                                 misses_to_fail=1)
+        monitor.start()
+        servers[names[0]].crash()
+        sim.run(until=sim.now + 3.0)
+        monitor.stop()
+        lost = [e for e in monitor.events if e.kind == "lost"]
+        assert lost and lost[0].detail == doc.path
+        # the record remains (the copy is still on the dead node's disk)
+        assert controller.url_table.locations(doc.path) == {names[0]}

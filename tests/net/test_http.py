@@ -1,0 +1,86 @@
+"""Tests for the HTTP message model."""
+
+import pytest
+
+from repro.net import (HttpMethod, HttpRequest, HttpResponse, HttpVersion,
+                       parent_dirs, split_path)
+from repro.net.http import REQUEST_HEADER_BYTES, RESPONSE_HEADER_BYTES
+
+
+class TestSplitPath:
+    def test_simple(self):
+        assert split_path("/a/b/c.html") == ("a", "b", "c.html")
+
+    def test_root(self):
+        assert split_path("/") == ()
+
+    def test_query_string_stripped(self):
+        assert split_path("/cgi-bin/search.cgi?q=x&y=2") == (
+            "cgi-bin", "search.cgi")
+
+    def test_fragment_stripped(self):
+        assert split_path("/doc.html#sec2") == ("doc.html",)
+
+    def test_relative_rejected(self):
+        with pytest.raises(ValueError):
+            split_path("doc.html")
+
+    def test_double_slashes_collapsed(self):
+        assert split_path("//a//b/") == ("a", "b")
+
+
+class TestParentDirs:
+    def test_nested(self):
+        assert parent_dirs("/a/b/c.html") == ["/", "/a", "/a/b"]
+
+    def test_top_level_file(self):
+        assert parent_dirs("/index.html") == ["/"]
+
+
+class TestHttpRequest:
+    def test_defaults(self):
+        r = HttpRequest("/index.html")
+        assert r.method is HttpMethod.GET
+        assert r.version is HttpVersion.HTTP_1_1
+        assert r.persistent is True
+
+    def test_http10_not_persistent_by_default(self):
+        r = HttpRequest("/x.html", version=HttpVersion.HTTP_1_0)
+        assert r.persistent is False
+
+    def test_explicit_keep_alive_overrides_version(self):
+        r = HttpRequest("/x.html", version=HttpVersion.HTTP_1_0,
+                        keep_alive=True)
+        assert r.persistent is True
+        r = HttpRequest("/x.html", version=HttpVersion.HTTP_1_1,
+                        keep_alive=False)
+        assert r.persistent is False
+
+    def test_malformed_url_rejected_at_creation(self):
+        with pytest.raises(ValueError):
+            HttpRequest("no-leading-slash")
+
+    def test_request_ids_unique(self):
+        a, b = HttpRequest("/a"), HttpRequest("/b")
+        assert a.request_id != b.request_id
+
+    def test_path_segments(self):
+        assert HttpRequest("/d/e.gif").path_segments == ("d", "e.gif")
+
+    def test_wire_bytes(self):
+        r = HttpRequest("/p", method=HttpMethod.POST, body_bytes=500)
+        assert r.wire_bytes == REQUEST_HEADER_BYTES + 500
+
+
+class TestHttpResponse:
+    def test_ok_range(self):
+        req = HttpRequest("/a")
+        assert HttpResponse(req, status=200).ok
+        assert HttpResponse(req, status=204).ok
+        assert not HttpResponse(req, status=404).ok
+        assert not HttpResponse(req, status=500).ok
+
+    def test_wire_bytes(self):
+        req = HttpRequest("/a")
+        resp = HttpResponse(req, content_length=1000)
+        assert resp.wire_bytes == RESPONSE_HEADER_BYTES + 1000

@@ -1,0 +1,133 @@
+"""Tests for the NIC/LAN bandwidth model."""
+
+import pytest
+
+from repro.net import Lan, Nic
+from repro.net.lan import WIRE_OVERHEAD
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestNic:
+    def test_rate_validation(self, sim):
+        with pytest.raises(ValueError):
+            Nic(sim, mbps=0)
+
+    def test_serialization_time(self, sim):
+        nic = Nic(sim, mbps=100.0)
+        # 100 Mbps = 12.5 MB/s; 12500 bytes ~ 1 ms (plus framing overhead)
+        assert nic.serialization_time(12500) == pytest.approx(
+            1e-3 * WIRE_OVERHEAD)
+
+    def test_byte_rate(self, sim):
+        assert Nic(sim, mbps=8).bytes_per_second == 1e6
+
+
+class TestLanTransfer:
+    def test_transfer_duration(self, sim):
+        lan = Lan(sim, latency=0.0)
+        a, b = Nic(sim, 100), Nic(sim, 100)
+        done = []
+
+        def go():
+            yield from lan.transfer(a, b, 125000)
+            done.append(sim.now)
+
+        sim.process(go())
+        sim.run()
+        assert done[0] == pytest.approx(0.01 * WIRE_OVERHEAD)
+
+    def test_bottleneck_is_slower_nic(self, sim):
+        lan = Lan(sim, latency=0.0)
+        fast, slow = Nic(sim, 1000), Nic(sim, 10)
+        assert lan.transfer_time(fast, slow, 1000) == pytest.approx(
+            lan.transfer_time(slow, fast, 1000))
+        assert lan.transfer_time(fast, slow, 1250) == pytest.approx(
+            1250 * WIRE_OVERHEAD / (10e6 / 8))
+
+    def test_transfers_serialize_on_shared_sender(self, sim):
+        lan = Lan(sim, latency=0.0)
+        src = Nic(sim, 100)
+        d1, d2 = Nic(sim, 100), Nic(sim, 100)
+        done = []
+
+        def go(dst, name):
+            yield from lan.transfer(src, dst, 125000)  # 10 ms each
+            done.append((name, sim.now))
+
+        sim.process(go(d1, "first"))
+        sim.process(go(d2, "second"))
+        sim.run()
+        assert done[0][0] == "first"
+        assert done[1][1] == pytest.approx(2 * 0.01 * WIRE_OVERHEAD)
+
+    def test_transfers_to_distinct_hosts_share_nothing(self, sim):
+        lan = Lan(sim, latency=0.0)
+        s1, s2 = Nic(sim, 100), Nic(sim, 100)
+        d1, d2 = Nic(sim, 100), Nic(sim, 100)
+        done = []
+
+        def go(src, dst):
+            yield from lan.transfer(src, dst, 125000)
+            done.append(sim.now)
+
+        sim.process(go(s1, d1))
+        sim.process(go(s2, d2))
+        sim.run()
+        assert done[0] == done[1] == pytest.approx(0.01 * WIRE_OVERHEAD)
+
+    def test_opposite_direction_transfers_do_not_deadlock(self, sim):
+        lan = Lan(sim, latency=0.0)
+        a, b = Nic(sim, 100), Nic(sim, 100)
+        done = []
+
+        def go(src, dst):
+            yield from lan.transfer(src, dst, 1250000)
+            done.append(sim.now)
+
+        sim.process(go(a, b))
+        sim.process(go(b, a))
+        sim.run()
+        assert len(done) == 2  # both completed: full duplex, no deadlock
+
+    def test_latency_added(self, sim):
+        lan = Lan(sim, latency=5e-3)
+        a, b = Nic(sim, 100), Nic(sim, 100)
+        done = []
+
+        def go():
+            yield from lan.transfer(a, b, 0)
+            done.append(sim.now)
+
+        sim.process(go())
+        sim.run()
+        assert done[0] == pytest.approx(5e-3)
+
+    def test_negative_bytes_rejected(self, sim):
+        lan = Lan(sim)
+        a, b = Nic(sim, 100), Nic(sim, 100)
+
+        def go():
+            yield from lan.transfer(a, b, -1)
+
+        sim.process(go())
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_accounting(self, sim):
+        lan = Lan(sim, latency=0.0)
+        a, b = Nic(sim, 100), Nic(sim, 100)
+
+        def go():
+            yield from lan.transfer(a, b, 1000)
+
+        sim.process(go())
+        sim.run()
+        assert lan.total_transfers == 1
+        assert lan.total_bytes == 1000
+        assert a.bytes_sent == 1000
+        assert b.bytes_received == 1000

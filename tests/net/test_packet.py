@@ -1,0 +1,70 @@
+"""Tests for the packet model and header rewriting."""
+
+from repro.net import Address, Segment, TcpFlags, rewrite
+
+
+def seg(**kw):
+    defaults = dict(src=Address("10.0.0.2", 5000),
+                    dst=Address("10.0.0.1", 80),
+                    seq=100, ack=200, flags=TcpFlags.ACK)
+    defaults.update(kw)
+    return Segment(**defaults)
+
+
+class TestSegment:
+    def test_flag_properties(self):
+        s = seg(flags=TcpFlags.SYN)
+        assert s.is_syn and not s.is_ack and not s.is_fin and not s.is_rst
+        s = seg(flags=TcpFlags.FIN | TcpFlags.ACK)
+        assert s.is_fin and s.is_ack
+        assert seg(flags=TcpFlags.RST).is_rst
+
+    def test_seq_space_plain_data(self):
+        assert seg(payload_len=100).seq_space() == 100
+
+    def test_seq_space_syn_and_fin_consume_one(self):
+        assert seg(flags=TcpFlags.SYN).seq_space() == 1
+        assert seg(flags=TcpFlags.FIN | TcpFlags.ACK).seq_space() == 1
+        assert seg(flags=TcpFlags.SYN | TcpFlags.FIN,
+                   payload_len=10).seq_space() == 12
+
+    def test_flow_id(self):
+        s = seg()
+        assert s.flow_id() == (Address("10.0.0.2", 5000),
+                               Address("10.0.0.1", 80))
+
+    def test_address_str(self):
+        assert str(Address("1.2.3.4", 80)) == "1.2.3.4:80"
+
+
+class TestRewrite:
+    def test_rewrite_addresses(self):
+        s = seg()
+        r = rewrite(s, src=Address("10.0.0.1", 9000),
+                    dst=Address("10.0.0.5", 80))
+        assert r.src == Address("10.0.0.1", 9000)
+        assert r.dst == Address("10.0.0.5", 80)
+        assert r.seq == s.seq and r.ack == s.ack
+
+    def test_rewrite_sequence_deltas(self):
+        s = seg(seq=1000, ack=2000)
+        r = rewrite(s, seq_delta=50, ack_delta=-30)
+        assert r.seq == 1050
+        assert r.ack == 1970
+
+    def test_rewrite_preserves_payload_identity(self):
+        payload = {"request": "GET /"}
+        s = seg(payload=payload, payload_len=64)
+        r = rewrite(s, seq_delta=1)
+        assert r.payload is payload
+        assert r.payload_len == 64
+
+    def test_rewrite_does_not_mutate_original(self):
+        s = seg(seq=7)
+        rewrite(s, seq_delta=100, src=Address("9.9.9.9", 1))
+        assert s.seq == 7
+        assert s.src == Address("10.0.0.2", 5000)
+
+    def test_rewrite_preserves_flags(self):
+        s = seg(flags=TcpFlags.FIN | TcpFlags.ACK | TcpFlags.PSH)
+        assert rewrite(s, seq_delta=1).flags == s.flags

@@ -1,0 +1,252 @@
+"""Tests for the simplified TCP implementation."""
+
+import pytest
+
+from repro.net import Address, Host, Network, ProtocolError, TcpState
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def net(sim):
+    return Network(sim)
+
+
+def make_pair(sim, net):
+    """Client host + server host with a listener collecting accepts."""
+    client = Host(net, "10.0.0.2")
+    server = Host(net, "10.0.0.1")
+    accepted = []
+    server.listen(80, accepted.append)
+    return client, server, accepted
+
+
+class TestHandshake:
+    def test_three_way_handshake_establishes_both_ends(self, sim, net):
+        client, server, accepted = make_pair(sim, net)
+        sock = client.socket()
+        results = []
+
+        def go():
+            yield sock.connect(Address("10.0.0.1", 80))
+            results.append(sock.state)
+
+        sim.process(go())
+        sim.run()
+        assert results == [TcpState.ESTABLISHED]
+        assert len(accepted) == 1
+        assert accepted[0].state is TcpState.ESTABLISHED
+        assert accepted[0].remote == sock.local
+
+    def test_connect_to_dark_port_gets_rst(self, sim, net):
+        client, server, _ = make_pair(sim, net)
+        sock = client.socket()
+
+        def go():
+            yield sock.connect(Address("10.0.0.1", 81))
+
+        sim.process(go())
+        sim.run(until=1.0)
+        assert sock.reset
+        assert sock.state is TcpState.CLOSED
+
+    def test_connect_twice_raises(self, sim, net):
+        client, server, _ = make_pair(sim, net)
+        sock = client.socket()
+        sock.connect(Address("10.0.0.1", 80))
+        with pytest.raises(ProtocolError):
+            sock.connect(Address("10.0.0.1", 80))
+        sim.run()
+
+    def test_distinct_isns(self, sim, net):
+        client, _, _ = make_pair(sim, net)
+        a, b = client.socket(), client.socket()
+        assert a.isn != b.isn
+
+
+class TestDataTransfer:
+    def test_payload_delivered_in_order(self, sim, net):
+        client, server, accepted = make_pair(sim, net)
+        sock = client.socket()
+        got = []
+
+        def client_proc():
+            yield sock.connect(Address("10.0.0.1", 80))
+            sock.send("hello", 5)
+            sock.send("world", 5)
+
+        def server_proc():
+            while len(accepted) == 0:
+                yield sim.timeout(1e-4)
+            srv = accepted[0]
+            for _ in range(2):
+                payload, nbytes = yield srv.recv()
+                got.append((payload, nbytes))
+
+        sim.process(client_proc())
+        sim.process(server_proc())
+        sim.run()
+        assert got == [("hello", 5), ("world", 5)]
+
+    def test_sequence_numbers_advance_with_payload(self, sim, net):
+        client, server, accepted = make_pair(sim, net)
+        sock = client.socket()
+
+        def go():
+            yield sock.connect(Address("10.0.0.1", 80))
+            start = sock.snd_nxt
+            sock.send("x" , 100)
+            assert sock.snd_nxt == start + 100
+
+        sim.process(go())
+        sim.run()
+
+    def test_send_before_connect_raises(self, sim, net):
+        client, _, _ = make_pair(sim, net)
+        sock = client.socket()
+        with pytest.raises(ProtocolError):
+            sock.send("x", 1)
+
+    def test_send_zero_bytes_rejected(self, sim, net):
+        client, server, accepted = make_pair(sim, net)
+        sock = client.socket()
+
+        def go():
+            yield sock.connect(Address("10.0.0.1", 80))
+            with pytest.raises(ValueError):
+                sock.send("x", 0)
+
+        sim.process(go())
+        sim.run()
+
+    def test_bidirectional_transfer(self, sim, net):
+        client, server, accepted = make_pair(sim, net)
+        sock = client.socket()
+        got = []
+
+        def client_proc():
+            yield sock.connect(Address("10.0.0.1", 80))
+            sock.send("ping", 4)
+            payload, _ = yield sock.recv()
+            got.append(payload)
+
+        def server_proc():
+            while len(accepted) == 0:
+                yield sim.timeout(1e-4)
+            srv = accepted[0]
+            payload, _ = yield srv.recv()
+            got.append(payload)
+            srv.send("pong", 4)
+
+        sim.process(client_proc())
+        sim.process(server_proc())
+        sim.run()
+        assert got == ["ping", "pong"]
+
+
+class TestClose:
+    def test_orderly_close_four_way(self, sim, net):
+        client, server, accepted = make_pair(sim, net)
+        sock = client.socket()
+
+        def client_proc():
+            yield sock.connect(Address("10.0.0.1", 80))
+            yield sock.close()
+
+        def server_proc():
+            while len(accepted) == 0:
+                yield sim.timeout(1e-4)
+            srv = accepted[0]
+            # wait until we see the client's FIN
+            while srv.state is not TcpState.CLOSE_WAIT:
+                yield sim.timeout(1e-4)
+            yield srv.close()
+
+        sim.process(client_proc())
+        sim.process(server_proc())
+        sim.run()
+        assert sock.state is TcpState.CLOSED
+        assert accepted[0].state is TcpState.CLOSED
+
+    def test_close_closed_socket_is_noop(self, sim, net):
+        client, _, _ = make_pair(sim, net)
+        sock = client.socket()
+        ev = sock.close()
+        sim.run()
+        assert ev.triggered
+
+    def test_abort_sends_rst(self, sim, net):
+        client, server, accepted = make_pair(sim, net)
+        sock = client.socket()
+
+        def go():
+            yield sock.connect(Address("10.0.0.1", 80))
+            sock.abort()
+
+        sim.process(go())
+        sim.run()
+        assert sock.state is TcpState.CLOSED
+        assert accepted[0].state is TcpState.CLOSED
+        assert accepted[0].reset
+
+    def test_half_close_peer_can_still_send(self, sim, net):
+        client, server, accepted = make_pair(sim, net)
+        sock = client.socket()
+        got = []
+
+        def client_proc():
+            yield sock.connect(Address("10.0.0.1", 80))
+            sock.close()  # half close: FIN_WAIT
+            payload, _ = yield sock.recv()
+            got.append(payload)
+
+        def server_proc():
+            while len(accepted) == 0:
+                yield sim.timeout(1e-4)
+            srv = accepted[0]
+            while srv.state is not TcpState.CLOSE_WAIT:
+                yield sim.timeout(1e-4)
+            srv.send("late-data", 9)
+            yield srv.close()
+
+        sim.process(client_proc())
+        sim.process(server_proc())
+        sim.run()
+        assert got == ["late-data"]
+        assert sock.state is TcpState.CLOSED
+
+
+class TestNetwork:
+    def test_duplicate_ip_registration_rejected(self, sim, net):
+        Host(net, "10.0.0.9")
+        with pytest.raises(ValueError):
+            Host(net, "10.0.0.9")
+
+    def test_segment_counter(self, sim, net):
+        client, server, _ = make_pair(sim, net)
+        sock = client.socket()
+
+        def go():
+            yield sock.connect(Address("10.0.0.1", 80))
+
+        sim.process(go())
+        sim.run()
+        assert net.segments_sent == 3  # SYN, SYN-ACK, ACK
+
+    def test_latency_applied(self, sim, net):
+        client, server, _ = make_pair(sim, net)
+        sock = client.socket()
+        done = []
+
+        def go():
+            yield sock.connect(Address("10.0.0.1", 80))
+            done.append(sim.now)
+
+        sim.process(go())
+        sim.run()
+        # handshake = 1.5 RTT = 3 one-way latencies... client sees 2
+        assert done[0] == pytest.approx(2 * net.latency)

@@ -1,0 +1,180 @@
+"""Tests for the metrics collectors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (Counter, Histogram, MetricSet, SummaryStats,
+                       ThroughputMeter, TimeWeighted)
+
+
+class TestCounter:
+    def test_increment(self):
+        c = Counter("reqs")
+        c.increment()
+        c.increment(4)
+        assert c.count == 5
+
+    def test_negative_increment_rejected(self):
+        c = Counter()
+        with pytest.raises(ValueError):
+            c.increment(-1)
+
+    def test_rate(self):
+        c = Counter()
+        c.increment(10)
+        assert c.rate(5.0) == 2.0
+        assert c.rate(0.0) == 0.0
+
+
+class TestSummaryStats:
+    def test_empty(self):
+        s = SummaryStats()
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+
+    def test_known_values(self):
+        s = SummaryStats()
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+            s.observe(x)
+        assert s.mean == pytest.approx(5.0)
+        assert s.n == 8
+        assert s.min == 2.0
+        assert s.max == 9.0
+        assert s.variance == pytest.approx(32.0 / 7.0)
+
+    def test_merge_equals_combined_stream(self):
+        xs = [1.0, 2.0, 3.5, 9.0]
+        ys = [0.5, 7.0, 2.2]
+        a, b, combined = SummaryStats(), SummaryStats(), SummaryStats()
+        for x in xs:
+            a.observe(x)
+            combined.observe(x)
+        for y in ys:
+            b.observe(y)
+            combined.observe(y)
+        merged = a.merge(b)
+        assert merged.n == combined.n
+        assert merged.mean == pytest.approx(combined.mean)
+        assert merged.variance == pytest.approx(combined.variance)
+        assert merged.min == combined.min
+        assert merged.max == combined.max
+
+    def test_merge_with_empty(self):
+        a = SummaryStats()
+        a.observe(3.0)
+        merged = a.merge(SummaryStats())
+        assert merged.n == 1
+        assert merged.mean == 3.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_property_mean_within_bounds(self, xs):
+        s = SummaryStats()
+        for x in xs:
+            s.observe(x)
+        assert s.min - 1e-6 <= s.mean <= s.max + 1e-6
+        assert s.variance >= -1e-9
+
+
+class TestHistogram:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(low=0)
+        with pytest.raises(ValueError):
+            Histogram(low=10, high=1)
+
+    def test_percentile_bounds(self):
+        h = Histogram()
+        with pytest.raises(ValueError):
+            h.percentile(101)
+        assert h.percentile(50) == 0.0  # empty
+
+    def test_out_of_range_values_clamped(self):
+        h = Histogram(low=1.0, high=100.0)
+        h.observe(0.001)
+        h.observe(1e9)
+        assert h.total == 2
+        assert h.counts[0] == 1
+        assert h.counts[-1] == 1
+
+    def test_percentile_accuracy(self):
+        h = Histogram(low=1e-3, high=1e3)
+        for i in range(1, 1001):
+            h.observe(i / 10.0)  # 0.1 .. 100.0 uniform
+        assert h.percentile(50) == pytest.approx(50.0, rel=0.15)
+        assert h.percentile(95) == pytest.approx(95.0, rel=0.15)
+
+    def test_stats_embedded(self):
+        h = Histogram()
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.stats.mean == pytest.approx(3.0)
+
+    @given(st.lists(st.floats(1e-5, 1e2), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_property_percentiles_monotone(self, xs):
+        h = Histogram(low=1e-6, high=1e3)
+        for x in xs:
+            h.observe(x)
+        ps = [h.percentile(p) for p in (10, 50, 90, 99)]
+        assert all(a <= b + 1e-9 for a, b in zip(ps, ps[1:]))
+
+
+class TestTimeWeighted:
+    def test_constant_signal(self):
+        tw = TimeWeighted(now=0.0, value=3.0)
+        assert tw.average(10.0) == pytest.approx(3.0)
+
+    def test_step_signal(self):
+        tw = TimeWeighted(now=0.0, value=0.0)
+        tw.update(5.0, 10.0)
+        assert tw.average(10.0) == pytest.approx(5.0)
+        assert tw.peak == 10.0
+
+    def test_monotone_time_enforced(self):
+        tw = TimeWeighted(now=5.0)
+        with pytest.raises(ValueError):
+            tw.update(4.0, 1.0)
+
+    def test_average_at_start_time(self):
+        tw = TimeWeighted(now=2.0, value=7.0)
+        assert tw.average(2.0) == 7.0
+
+
+class TestThroughputMeter:
+    def test_warmup_excluded(self):
+        m = ThroughputMeter(warmup=10.0)
+        m.record(5.0)
+        m.record(15.0, nbytes=100)
+        m.record(20.0, nbytes=50)
+        assert m.completions == 2
+        assert m.bytes == 150
+        assert m.requests_per_second(20.0) == pytest.approx(0.2)
+        assert m.bytes_per_second(20.0) == pytest.approx(15.0)
+
+    def test_empty_window(self):
+        m = ThroughputMeter(warmup=10.0)
+        assert m.requests_per_second(5.0) == 0.0
+        assert m.bytes_per_second(10.0) == 0.0
+
+    def test_first_last_timestamps(self):
+        m = ThroughputMeter()
+        m.record(1.0)
+        m.record(9.0)
+        assert m.first_t == 1.0
+        assert m.last_t == 9.0
+
+
+class TestMetricSet:
+    def test_lazy_creation_and_reuse(self):
+        ms = MetricSet()
+        ms.counter("a").increment()
+        ms.counter("a").increment()
+        assert ms.counter("a").count == 2
+        ms.stats("lat").observe(1.0)
+        ms.histogram("h").observe(0.5)
+        snap = ms.snapshot()
+        assert snap["counters"]["a"] == 2
+        assert snap["stats"]["lat"]["n"] == 1
+        assert snap["histograms"]["h"]["n"] == 1

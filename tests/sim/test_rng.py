@@ -1,0 +1,150 @@
+"""Tests (including property-based) for RNG streams and samplers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (HybridSizeSampler, LognormalSampler, ParetoSampler,
+                       RngStream, ZipfSampler)
+
+
+class TestRngStream:
+    def test_same_seed_same_sequence(self):
+        a = RngStream(7, "x")
+        b = RngStream(7, "x")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_labels_differ(self):
+        a = RngStream(7, "x")
+        b = RngStream(7, "y")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = RngStream(1, "x")
+        b = RngStream(2, "x")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_substream_is_deterministic(self):
+        a = RngStream(3).substream("clients")
+        b = RngStream(3).substream("clients")
+        assert a.random() == b.random()
+
+    def test_substream_independent_of_parent_consumption(self):
+        parent1 = RngStream(3)
+        _ = [parent1.random() for _ in range(100)]
+        sub1 = parent1.substream("s")
+        sub2 = RngStream(3).substream("s")
+        assert sub1.random() == sub2.random()
+
+    def test_passthroughs_work(self):
+        r = RngStream(1)
+        assert 0 <= r.random() < 1
+        assert 1 <= r.randint(1, 3) <= 3
+        assert r.choice([5]) == 5
+        assert r.uniform(2, 2) == 2
+        assert r.expovariate(1.0) > 0
+        assert r.paretovariate(2.0) >= 1.0
+        assert r.lognormvariate(0, 1) > 0
+        seq = [1, 2, 3]
+        r.shuffle(seq)
+        assert sorted(seq) == [1, 2, 3]
+        assert len(r.sample(range(10), 3)) == 3
+        assert isinstance(r.gauss(0, 1), float)
+
+
+class TestZipfSampler:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, alpha=-1)
+
+    def test_probabilities_sum_to_one(self):
+        z = ZipfSampler(50, alpha=0.9)
+        total = sum(z.probability(k) for k in range(1, 51))
+        assert total == pytest.approx(1.0)
+
+    def test_probability_monotone_decreasing(self):
+        z = ZipfSampler(100, alpha=1.0)
+        probs = [z.probability(k) for k in range(1, 101)]
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_probability_rank_bounds(self):
+        z = ZipfSampler(10)
+        with pytest.raises(ValueError):
+            z.probability(0)
+        with pytest.raises(ValueError):
+            z.probability(11)
+
+    def test_samples_in_range(self):
+        z = ZipfSampler(20, rng=RngStream(1, "z"))
+        for _ in range(1000):
+            assert 1 <= z.sample() <= 20
+
+    def test_empirical_skew_matches_zipf(self):
+        z = ZipfSampler(100, alpha=1.0, rng=RngStream(2, "z"))
+        counts = [0] * 101
+        n = 20000
+        for _ in range(n):
+            counts[z.sample()] += 1
+        # rank 1 should receive roughly p(1) of requests (within 20 %)
+        expected = z.probability(1)
+        assert counts[1] / n == pytest.approx(expected, rel=0.2)
+        # top 10 ranks should dominate the bottom 50
+        assert sum(counts[1:11]) > sum(counts[51:101])
+
+    def test_alpha_zero_is_uniform(self):
+        z = ZipfSampler(4, alpha=0.0)
+        for k in range(1, 5):
+            assert z.probability(k) == pytest.approx(0.25)
+
+    @given(n=st.integers(1, 200), alpha=st.floats(0.0, 2.0))
+    @settings(max_examples=40, deadline=None)
+    def test_property_cdf_valid(self, n, alpha):
+        z = ZipfSampler(n, alpha=alpha)
+        assert z._cdf[-1] == pytest.approx(1.0)
+        assert all(b >= a - 1e-12 for a, b in zip(z._cdf, z._cdf[1:]))
+        assert 1 <= z.sample() <= n
+
+
+class TestSizeSamplers:
+    def test_pareto_validation(self):
+        with pytest.raises(ValueError):
+            ParetoSampler(alpha=0)
+        with pytest.raises(ValueError):
+            ParetoSampler(x_min=0)
+
+    def test_pareto_min_respected(self):
+        p = ParetoSampler(alpha=1.5, x_min=100, rng=RngStream(1, "p"))
+        assert all(p.sample() >= 100 for _ in range(500))
+
+    def test_lognormal_mean(self):
+        ln = LognormalSampler(mu=1.0, sigma=0.5)
+        assert ln.mean() == pytest.approx(math.exp(1.0 + 0.125))
+
+    def test_hybrid_validation(self):
+        with pytest.raises(ValueError):
+            HybridSizeSampler(tail_prob=1.5)
+
+    def test_hybrid_bounds_respected(self):
+        h = HybridSizeSampler(rng=RngStream(5, "h"), min_bytes=128,
+                              max_bytes=1 << 20)
+        sizes = [h.sample() for _ in range(2000)]
+        assert all(128 <= s <= (1 << 20) for s in sizes)
+        assert all(isinstance(s, int) for s in sizes)
+
+    def test_hybrid_is_heavy_tailed(self):
+        """A small fraction of files should hold most of the bytes --
+        the paper quotes 0.3 % of files taking 53.9 % of storage."""
+        h = HybridSizeSampler(rng=RngStream(6, "h"))
+        sizes = sorted((h.sample() for _ in range(5000)), reverse=True)
+        total = sum(sizes)
+        top_5pct = sum(sizes[:len(sizes) // 20])
+        assert top_5pct / total > 0.5
+
+    def test_hybrid_deterministic(self):
+        a = HybridSizeSampler(rng=RngStream(7, "h"))
+        b = HybridSizeSampler(rng=RngStream(7, "h"))
+        assert [a.sample() for _ in range(50)] == [b.sample() for _ in range(50)]
