@@ -6,6 +6,7 @@ Commands
 ``overhead``  the §5.2 URL-table overhead table
 ``run``       one experiment cell (scheme x workload x clients)
 ``schemes``   list available placement/routing schemes
+``check``     run the repro.analysis correctness passes (exit 1 on findings)
 """
 
 from __future__ import annotations
@@ -56,7 +57,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     workload = WORKLOAD_A if args.workload == "A" else WORKLOAD_B
     config = ExperimentConfig(scheme=args.scheme, workload=workload,
                               duration=args.duration, warmup=args.warmup,
-                              seed=args.seed, n_objects=args.objects)
+                              seed=args.seed, n_objects=args.objects,
+                              debug_invariants=args.debug_invariants)
     deployment = build_deployment(config)
     result = deployment.run(args.clients[-1])
     rows = [["throughput req/s", round(result["throughput_rps"], 1)],
@@ -82,6 +84,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     write_csv(result, args.output)
     print(f"wrote {len(result.rows)} rows to {args.output}")
     return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from .analysis.__main__ import main as analysis_main
+    argv = ["--pass", args.passes]
+    if args.smoke_duration is not None:
+        argv += ["--smoke-duration", str(args.smoke_duration)]
+    return analysis_main(argv)
 
 
 def cmd_schemes(args: argparse.Namespace) -> int:
@@ -129,6 +139,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--scheme", choices=SCHEMES, default="partition-ca")
     p_run.add_argument("--workload", choices=("A", "B"), default="A")
     p_run.add_argument("--objects", type=int, default=None)
+    p_run.add_argument("--debug-invariants", action="store_true",
+                       help="run the repro.analysis coherence checks "
+                            "periodically during the simulation")
     common(p_run)
     p_run.set_defaults(func=cmd_run)
 
@@ -143,6 +156,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sch = sub.add_parser("schemes", help="list placement/routing schemes")
     p_sch.set_defaults(func=cmd_schemes)
+
+    p_chk = sub.add_parser("check",
+                           help="determinism lint + state-machine check + "
+                                "runtime invariants")
+    p_chk.add_argument("--pass", dest="passes",
+                       choices=("determinism", "state-machine",
+                                "invariants", "all"),
+                       default="all")
+    p_chk.add_argument("--smoke-duration", type=float, default=None)
+    p_chk.set_defaults(func=cmd_check)
     return parser
 
 

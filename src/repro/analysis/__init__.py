@@ -1,0 +1,44 @@
+"""Static analysis and runtime verification for the reproduction.
+
+Three cooperating passes enforce the properties the paper demands but code
+review alone cannot:
+
+* :mod:`repro.analysis.determinism` -- an AST linter that flags wall-clock
+  reads, global-random use outside ``sim/rng.py``, unsorted set iteration
+  feeding scheduling/replica-selection decisions, and identity-based
+  ordering keys (the hazards that break bit-reproducibility across
+  ``PYTHONHASHSEED`` values);
+* :mod:`repro.analysis.statemachine` -- statically extracts declared
+  ``*_TRANSITIONS`` lifecycle tables (the §2.2 splice machine in
+  ``core/mapping_table.py``, the pre-forked-leg machine in
+  ``core/splicer.py``) and verifies reachability, absorbing terminals,
+  exact agreement with the paper's teardown sequence, and that every
+  ``.transition(...)`` call site requests a declared transition;
+* :mod:`repro.analysis.invariants` -- a runtime verifier asserting URL-table
+  / catalog / server-store coherence and connection-pool lease balance,
+  wired into the simulation engine's debug hook.
+
+Run all three from the command line::
+
+    python -m repro.analysis          # exits nonzero on any violation
+
+or individually via ``--pass determinism|state-machine|invariants``.
+"""
+
+from .determinism import lint_file, lint_source, lint_tree
+from .invariants import (InvariantError, check_invariants,
+                         install_invariants, smoke_check, verify_invariants)
+from .statemachine import (PAPER_SPLICE_TABLE, PAPER_TEARDOWN, StateMachine,
+                           check_callsites, check_machine,
+                           check_state_machines, discover_machines)
+from .violations import Violation, render_report
+
+__all__ = [
+    "Violation", "render_report",
+    "lint_source", "lint_file", "lint_tree",
+    "StateMachine", "PAPER_SPLICE_TABLE", "PAPER_TEARDOWN",
+    "discover_machines", "check_machine", "check_callsites",
+    "check_state_machines",
+    "InvariantError", "check_invariants", "verify_invariants",
+    "install_invariants", "smoke_check",
+]

@@ -1,0 +1,61 @@
+"""CLI: ``python -m repro.analysis`` -- run the correctness passes.
+
+Exits 0 when every pass is clean, 1 on any violation, so the command can
+gate CI and future PRs.  The determinism and state-machine passes are
+purely static; the invariants pass builds a small live deployment with the
+engine's debug hook enabled and drives real traffic through it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .determinism import DEFAULT_ROOT, lint_tree
+from .invariants import smoke_check
+from .statemachine import check_state_machines
+from .violations import Violation, render_report
+
+PASSES = ("determinism", "state-machine", "invariants", "all")
+
+
+def run_passes(which: str = "all", root: Path | None = None,
+               smoke_duration: float = 1.0) -> list[Violation]:
+    root = root or DEFAULT_ROOT
+    violations: list[Violation] = []
+    if which in ("determinism", "all"):
+        violations.extend(lint_tree(root))
+    if which in ("state-machine", "all"):
+        violations.extend(check_state_machines(root))
+    if which in ("invariants", "all"):
+        violations.extend(smoke_check(duration=smoke_duration))
+    return violations
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="Determinism linter, state-machine checker, and "
+                    "runtime invariant verifier for the simulator")
+    parser.add_argument("--pass", dest="which", choices=PASSES,
+                        default="all",
+                        help="which analysis pass to run (default: all)")
+    parser.add_argument("--root", type=Path, default=None,
+                        help="source root to analyse "
+                             "(default: the installed repro package)")
+    parser.add_argument("--smoke-duration", type=float, default=1.0,
+                        help="simulated seconds for the invariants "
+                             "smoke deployment")
+    args = parser.parse_args(argv)
+    if args.root is not None and not args.root.is_dir():
+        parser.error(f"--root {args.root}: not a directory")
+
+    violations = run_passes(args.which, root=args.root,
+                            smoke_duration=args.smoke_duration)
+    print(render_report(violations))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,299 @@
+"""Determinism linter: an AST pass over the simulator's source tree.
+
+The reproduction's benchmark numbers (URL-table lookups, the Figure 2-4
+throughput curves) must be bit-reproducible across runs and across
+``PYTHONHASHSEED`` values.  Four hazard classes break that contract:
+
+* **DET001 wall-clock reads** -- ``time.time()``, ``time.monotonic()``,
+  ``datetime.now()`` and friends observe the host, not the simulation.
+* **DET002 global random module** -- any use of :mod:`random`'s module-level
+  generator (or ``os.urandom``/``uuid.uuid4``/``secrets``) outside the one
+  sanctioned seeding point, ``repro/sim/rng.py``.  A seeded
+  ``random.Random(...)`` instance is allowed anywhere.
+* **DET003 unsorted set iteration feeding decisions** -- iterating a
+  ``set``-typed expression (the ``UrlRecord.locations`` idiom, a ``set(...)``
+  constructor, or a set-algebra expression) in a ``for`` loop or
+  comprehension without an intervening ``sorted(...)``.  Replica-selection
+  and scheduling decisions driven by such iteration vary with the hash
+  seed.  (Plain ``dict`` iteration is insertion-ordered in Python and is
+  deliberately *not* flagged.)
+* **DET004 identity ordering keys** -- ``id()`` or ``hash()`` used inside a
+  ``sorted``/``min``/``max`` key; both vary run to run.
+
+Intentional exceptions carry an inline pragma on the offending line::
+
+    elapsed = time.perf_counter() - start  # det: allow[wall-clock]
+
+Tags: ``wall-clock`` (DET001), ``rng`` (DET002), ``set-order`` (DET003),
+``identity-order`` (DET004), or ``*`` for all.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Optional
+
+from .violations import Violation
+
+__all__ = ["lint_source", "lint_file", "lint_tree", "DEFAULT_ROOT"]
+
+#: The package root the CLI and tests lint by default.
+DEFAULT_ROOT = Path(__file__).resolve().parent.parent
+
+#: Modules allowed to touch the global random module (the seeding point).
+RNG_ALLOWED_SUFFIXES = ("sim/rng.py",)
+
+#: time-module functions that read the host clock.
+WALL_CLOCK_TIME_FNS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "clock_gettime", "clock_gettime_ns",
+})
+
+#: datetime-class constructors that read the host clock.
+WALL_CLOCK_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+
+#: random-module attributes that are *not* the global generator.
+RANDOM_SAFE_ATTRS = frozenset({"Random"})
+
+#: Set-typed attributes whose iteration order feeds routing/placement
+#: decisions in this codebase.
+KNOWN_SET_ATTRS = frozenset({"locations"})
+
+#: Consumers that neutralize iteration-order hazards: ``sorted`` imposes an
+#: order; the rest are order-insensitive reductions (over hashable uniques).
+ORDER_SAFE_CONSUMERS = frozenset({
+    "sorted", "set", "frozenset", "len", "any", "all", "min", "max",
+})
+
+_PRAGMA = re.compile(r"det:\s*allow\[([^\]]*)\]")
+
+_RULE_TAGS = {
+    "DET001": "wall-clock",
+    "DET002": "rng",
+    "DET003": "set-order",
+    "DET004": "identity-order",
+}
+
+
+class _Linter(ast.NodeVisitor):
+    """One file's worth of hazard detection."""
+
+    def __init__(self, path: str, lines: list[str], rng_allowed: bool):
+        self.path = path
+        self.lines = lines
+        self.rng_allowed = rng_allowed
+        self.violations: list[Violation] = []
+        # import tracking
+        self._time_aliases: set[str] = set()       # import time [as t]
+        self._time_fn_names: dict[str, str] = {}   # from time import X [as y]
+        self._datetime_mod_aliases: set[str] = set()
+        self._datetime_class_names: set[str] = set()
+        self._random_aliases: set[str] = set()
+        self._uuid_aliases: set[str] = set()
+        self._secrets_aliases: set[str] = set()
+        self._os_aliases: set[str] = set()
+        # iteration expressions blessed by an enclosing safe consumer
+        self._sanitized: set[int] = set()
+
+    # -- reporting ---------------------------------------------------------
+    def _flag(self, rule: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        if 1 <= line <= len(self.lines):
+            match = _PRAGMA.search(self.lines[line - 1])
+            if match is not None:
+                tags = {t.strip() for t in match.group(1).split(",")}
+                if "*" in tags or _RULE_TAGS[rule] in tags:
+                    return
+        self.violations.append(Violation(
+            rule=rule, path=self.path, line=line, message=message,
+            pass_name="determinism"))
+
+    # -- imports -----------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "time":
+                self._time_aliases.add(bound)
+            elif alias.name == "datetime":
+                self._datetime_mod_aliases.add(bound)
+            elif alias.name == "random":
+                self._random_aliases.add(bound)
+            elif alias.name == "uuid":
+                self._uuid_aliases.add(bound)
+            elif alias.name == "secrets":
+                self._secrets_aliases.add(bound)
+            elif alias.name == "os":
+                self._os_aliases.add(bound)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in WALL_CLOCK_TIME_FNS:
+                    self._time_fn_names[alias.asname or alias.name] = \
+                        alias.name
+        elif node.module == "datetime":
+            for alias in node.names:
+                if alias.name in ("datetime", "date"):
+                    self._datetime_class_names.add(alias.asname or alias.name)
+        elif node.module == "random" and not self.rng_allowed:
+            for alias in node.names:
+                if alias.name not in RANDOM_SAFE_ATTRS:
+                    self._flag("DET002", node,
+                               f"import of random.{alias.name}: the global "
+                               "random module is reserved for sim/rng.py")
+        elif node.module == "secrets" and not self.rng_allowed:
+            self._flag("DET002", node,
+                       "secrets draws OS entropy; use a seeded RngStream")
+        self.generic_visit(node)
+
+    # -- call-level rules --------------------------------------------------
+    def _is_datetime_class(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self._datetime_class_names
+        if isinstance(node, ast.Attribute) and \
+                isinstance(node.value, ast.Name):
+            return (node.value.id in self._datetime_mod_aliases and
+                    node.attr in ("datetime", "date"))
+        return False
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            if isinstance(value, ast.Name):
+                if value.id in self._time_aliases and \
+                        func.attr in WALL_CLOCK_TIME_FNS:
+                    self._flag("DET001", node,
+                               f"wall-clock read time.{func.attr}(); "
+                               "use Simulator.now for simulated time")
+                elif value.id in self._os_aliases and func.attr == "urandom":
+                    self._flag("DET002", node,
+                               "os.urandom draws OS entropy; "
+                               "use a seeded RngStream")
+                elif value.id in self._uuid_aliases and \
+                        func.attr in ("uuid1", "uuid4"):
+                    self._flag("DET002", node,
+                               f"uuid.{func.attr}() is nondeterministic")
+            if func.attr in WALL_CLOCK_DATETIME_FNS and \
+                    self._is_datetime_class(value):
+                self._flag("DET001", node,
+                           f"wall-clock read datetime {func.attr}(); "
+                           "use Simulator.now for simulated time")
+        elif isinstance(func, ast.Name):
+            if func.id in self._time_fn_names:
+                self._flag("DET001", node,
+                           f"wall-clock read "
+                           f"{self._time_fn_names[func.id]}(); "
+                           "use Simulator.now for simulated time")
+        # DET004: identity used as an ordering key
+        if isinstance(func, ast.Name) and func.id in ("sorted", "min", "max"):
+            for kw in node.keywords:
+                if kw.arg == "key" and self._uses_identity(kw.value):
+                    self._flag("DET004", node,
+                               f"{func.id}() key uses id()/hash(); "
+                               "identity varies across runs")
+            # bless order-safe consumption of hazardous iterables
+            self._bless_args(node)
+        elif isinstance(func, ast.Name) and func.id in ORDER_SAFE_CONSUMERS:
+            self._bless_args(node)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # DET002: any global-random attribute (call or reference)
+        if isinstance(node.value, ast.Name) and not self.rng_allowed:
+            if node.value.id in self._random_aliases and \
+                    node.attr not in RANDOM_SAFE_ATTRS:
+                self._flag("DET002", node,
+                           f"random.{node.attr}: the global random module "
+                           "is reserved for sim/rng.py; use RngStream")
+            elif node.value.id in self._secrets_aliases:
+                self._flag("DET002", node,
+                           "secrets draws OS entropy; use a seeded RngStream")
+        self.generic_visit(node)
+
+    @staticmethod
+    def _uses_identity(key_expr: ast.expr) -> bool:
+        if isinstance(key_expr, ast.Name) and key_expr.id in ("id", "hash"):
+            return True
+        for sub in ast.walk(key_expr):
+            if isinstance(sub, ast.Call) and \
+                    isinstance(sub.func, ast.Name) and \
+                    sub.func.id in ("id", "hash"):
+                return True
+        return False
+
+    # -- DET003: unsorted set iteration ------------------------------------
+    def _bless_args(self, call: ast.Call) -> None:
+        """Mark iterables consumed by an order-safe callable as sanitized."""
+        for arg in call.args:
+            self._sanitized.add(id(arg))
+            if isinstance(arg, (ast.GeneratorExp, ast.ListComp,
+                                ast.SetComp)):
+                for comp in arg.generators:
+                    self._sanitized.add(id(comp.iter))
+
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Attribute) and node.attr in KNOWN_SET_ATTRS:
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node, ast.BinOp) and \
+                isinstance(node.op, (ast.BitOr, ast.BitAnd,
+                                     ast.BitXor, ast.Sub)):
+            return self._is_set_expr(node.left) or \
+                self._is_set_expr(node.right)
+        return False
+
+    def _check_iter(self, iter_expr: ast.expr) -> None:
+        if id(iter_expr) in self._sanitized:
+            return
+        if self._is_set_expr(iter_expr):
+            self._flag("DET003", iter_expr,
+                       "iteration over a set-typed expression without "
+                       "sorted(); order varies with PYTHONHASHSEED")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node) -> None:
+        for comp in node.generators:
+            self._check_iter(comp.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Violation]:
+    """Lint one module's source text; ``path`` anchors the findings."""
+    tree = ast.parse(source, filename=path)
+    normalized = path.replace("\\", "/")
+    rng_allowed = any(normalized.endswith(sfx)
+                      for sfx in RNG_ALLOWED_SUFFIXES)
+    linter = _Linter(path, source.splitlines(), rng_allowed)
+    linter.visit(tree)
+    return linter.violations
+
+
+def lint_file(path: Path | str) -> list[Violation]:
+    path = Path(path)
+    return lint_source(path.read_text(), str(path))
+
+
+def lint_tree(root: Optional[Path | str] = None,
+              exclude: Iterable[str] = ("__pycache__",)) -> list[Violation]:
+    """Lint every ``*.py`` under ``root`` (default: the repro package)."""
+    root = Path(root) if root is not None else DEFAULT_ROOT
+    violations: list[Violation] = []
+    for path in sorted(root.rglob("*.py")):
+        if any(part in exclude for part in path.parts):
+            continue
+        violations.extend(lint_file(path))
+    return violations

@@ -1,0 +1,349 @@
+"""State-machine checker: verify declared lifecycle tables statically.
+
+The splice state machine in :mod:`repro.core.mapping_table` must match the
+paper's §2.2 lifecycle exactly: entries are created in SYN_RECEIVED, reach
+ESTABLISHED after the handshake, optionally BOUND once a pre-forked
+connection is leased, and tear down FIN_RECEIVED -> HALF_CLOSED -> CLOSED,
+with CLOSED absorbing.  The pre-forked backend legs in
+:mod:`repro.core.splicer` have their own (string-keyed) lifecycle,
+``_LEG_TRANSITIONS``.
+
+This pass discovers every module-level ``*_TRANSITIONS`` table under the
+source root and verifies, per machine:
+
+* **SM001** every declared state appears as a table key;
+* **SM002** every transition target is a declared state;
+* **SM003** every state is reachable from the initial state;
+* **SM004** terminal states are absorbing (no outgoing edges, or only a
+  self-loop), and at least one terminal exists;
+* **SM005** the splice table equals the paper's §2.2 table verbatim;
+* **SM006** every ``.transition(...)`` call site in the tree requests a
+  declared transition *target* (and is a literal enum member, not a
+  dynamic expression -- **SM007**);
+* **SM008** no module other than the declaring one assigns ``.state``
+  directly (state changes must go through ``transition()``); string-state
+  assignments in the declaring module must name a declared state.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import Path
+from typing import Optional
+
+from .determinism import DEFAULT_ROOT
+from .violations import Violation
+
+__all__ = ["StateMachine", "PAPER_SPLICE_TABLE", "PAPER_TEARDOWN",
+           "discover_machines", "check_machine", "check_callsites",
+           "check_state_machines"]
+
+#: §2.2's splice lifecycle, verbatim.  SYN_RECEIVED is entry creation;
+#: every state may abort straight to CLOSED (RST / failure path); the
+#: orderly teardown is FIN_RECEIVED -> HALF_CLOSED -> CLOSED.
+PAPER_SPLICE_TABLE: dict[str, frozenset[str]] = {
+    "SYN_RECEIVED": frozenset({"ESTABLISHED", "CLOSED"}),
+    "ESTABLISHED": frozenset({"BOUND", "FIN_RECEIVED", "CLOSED"}),
+    "BOUND": frozenset({"FIN_RECEIVED", "CLOSED"}),
+    "FIN_RECEIVED": frozenset({"HALF_CLOSED", "CLOSED"}),
+    "HALF_CLOSED": frozenset({"CLOSED"}),
+    "CLOSED": frozenset(),
+}
+
+#: The §2.2 teardown sequence that must exist as a chain in the table.
+PAPER_TEARDOWN = ("FIN_RECEIVED", "HALF_CLOSED", "CLOSED")
+
+
+@dataclasses.dataclass
+class StateMachine:
+    """One lifecycle extracted from source."""
+
+    name: str                          # the *_TRANSITIONS variable name
+    path: str                          # module file declaring it
+    line: int
+    enum_name: Optional[str]           # e.g. "MappingState"; None for str keys
+    states: list[str]                  # declaration order; [0] is initial
+    table: dict[str, frozenset[str]]
+
+    @property
+    def initial(self) -> str:
+        return self.states[0]
+
+    @property
+    def terminals(self) -> set[str]:
+        return {s for s, targets in self.table.items()
+                if not (targets - {s})}
+
+    def reachable(self) -> set[str]:
+        seen = {self.initial}
+        frontier = [self.initial]
+        while frontier:
+            state = frontier.pop()
+            for nxt in self.table.get(state, frozenset()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen
+
+    def declared_targets(self) -> set[str]:
+        out: set[str] = set()
+        for targets in self.table.values():
+            out |= targets
+        return out
+
+
+# -- extraction -------------------------------------------------------------
+def _state_name(node: ast.expr, enum_name: Optional[str]) -> Optional[str]:
+    """``MappingState.X`` -> "X"; ``"X"`` -> "X"; else None."""
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        if enum_name is None or node.value.id == enum_name:
+            return node.attr
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _target_set(node: ast.expr, enum_name: Optional[str]) \
+        -> Optional[frozenset[str]]:
+    """Parse ``frozenset({...})``, ``frozenset()``, or a set literal."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) and \
+            node.func.id in ("frozenset", "set"):
+        if not node.args:
+            return frozenset()
+        node = node.args[0]
+    if isinstance(node, (ast.Set, ast.List, ast.Tuple)):
+        names = [_state_name(e, enum_name) for e in node.elts]
+        if all(n is not None for n in names):
+            return frozenset(names)  # type: ignore[arg-type]
+    return None
+
+
+def _enum_members(tree: ast.Module, enum_name: str) -> list[str]:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == enum_name:
+            members = []
+            for stmt in node.body:
+                if isinstance(stmt, ast.Assign):
+                    for tgt in stmt.targets:
+                        if isinstance(tgt, ast.Name) and \
+                                not tgt.id.startswith("_"):
+                            members.append(tgt.id)
+            return members
+    return []
+
+
+def _extract_from_module(tree: ast.Module, path: str) -> list[StateMachine]:
+    machines = []
+    for node in tree.body:
+        targets = node.targets if isinstance(node, ast.Assign) else \
+            [node.target] if isinstance(node, ast.AnnAssign) else []
+        value = getattr(node, "value", None)
+        for tgt in targets:
+            if not (isinstance(tgt, ast.Name) and
+                    tgt.id.endswith("_TRANSITIONS")):
+                continue
+            if not isinstance(value, ast.Dict):
+                continue
+            # does this table use an enum (Attribute keys) or strings?
+            enum_name = None
+            for key in value.keys:
+                if isinstance(key, ast.Attribute) and \
+                        isinstance(key.value, ast.Name):
+                    enum_name = key.value.id
+                    break
+            table: dict[str, frozenset[str]] = {}
+            order: list[str] = []
+            for key, val in zip(value.keys, value.values):
+                state = _state_name(key, enum_name) if key else None
+                tset = _target_set(val, enum_name)
+                if state is None or tset is None:
+                    continue
+                table[state] = tset
+                order.append(state)
+            states = _enum_members(tree, enum_name) if enum_name else order
+            if not states:
+                states = order
+            machines.append(StateMachine(
+                name=tgt.id, path=path, line=node.lineno,
+                enum_name=enum_name, states=states, table=table))
+    return machines
+
+
+def discover_machines(root: Optional[Path | str] = None) \
+        -> list[StateMachine]:
+    """Find every ``*_TRANSITIONS`` table under ``root``."""
+    root = Path(root) if root is not None else DEFAULT_ROOT
+    machines: list[StateMachine] = []
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        machines.extend(_extract_from_module(tree, str(path)))
+    return machines
+
+
+# -- per-machine checks ------------------------------------------------------
+def check_machine(machine: StateMachine,
+                  expected_table: Optional[dict[str, frozenset[str]]] = None,
+                  ) -> list[Violation]:
+    """Structural checks SM001-SM005 on one machine."""
+    out: list[Violation] = []
+
+    def flag(rule: str, message: str) -> None:
+        out.append(Violation(rule=rule, path=machine.path, line=machine.line,
+                             message=f"{machine.name}: {message}",
+                             pass_name="state-machine"))
+
+    declared = set(machine.states)
+    for state in machine.states:
+        if state not in machine.table:
+            flag("SM001", f"state {state} has no transition-table entry")
+    for state, targets in machine.table.items():
+        if state not in declared:
+            flag("SM002", f"table key {state} is not a declared state")
+        for target in targets:
+            if target not in declared:
+                flag("SM002",
+                     f"transition {state} -> {target}: "
+                     f"{target} is not a declared state")
+    reachable = machine.reachable()
+    for state in machine.states:
+        if state not in reachable:
+            flag("SM003", f"state {state} is unreachable from "
+                          f"{machine.initial}")
+    terminals = machine.terminals
+    if not terminals:
+        flag("SM004", "no terminal (absorbing) state: every entry must be "
+                      "able to finish")
+    if expected_table is not None:
+        want_terminals = {s for s, t in expected_table.items()
+                         if not (set(t) - {s})}
+        if terminals and want_terminals and terminals != want_terminals:
+            flag("SM004", f"terminal states {sorted(terminals)} differ from "
+                          f"the paper's {sorted(want_terminals)}; terminals "
+                          "must be absorbing and exact")
+    if expected_table is not None:
+        expected = {s: frozenset(t) for s, t in expected_table.items()}
+        if machine.table != expected:
+            for state in sorted(set(machine.table) | set(expected)):
+                got = machine.table.get(state, frozenset())
+                want = expected.get(state, frozenset())
+                if got != want:
+                    flag("SM005",
+                         f"paper-table mismatch at {state}: declared "
+                         f"{sorted(got)}, §2.2 requires {sorted(want)}")
+        # the teardown chain must be present link by link
+        for a, b in zip(PAPER_TEARDOWN, PAPER_TEARDOWN[1:]):
+            if b not in machine.table.get(a, frozenset()):
+                flag("SM005", f"missing §2.2 teardown edge {a} -> {b}")
+    return out
+
+
+# -- call-site checks --------------------------------------------------------
+def check_callsites(machine: StateMachine,
+                    root: Optional[Path | str] = None) -> list[Violation]:
+    """SM006-SM008 over every module under ``root``.
+
+    Applies to enum-keyed machines (the target of ``.transition(...)`` is a
+    ``<Enum>.<MEMBER>`` literal) and, for string-keyed machines, to direct
+    ``.state = "..."`` assignments in the declaring module.
+    """
+    root = Path(root) if root is not None else DEFAULT_ROOT
+    out: list[Violation] = []
+    legal_targets = machine.declared_targets()
+    declaring = Path(machine.path).name
+
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        in_declaring = path.name == declaring
+        for node in ast.walk(tree):
+            # .transition(entry, <target>) call sites
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "transition" and \
+                    machine.enum_name is not None:
+                if len(node.args) < 2:
+                    continue
+                target = node.args[-1]
+                if isinstance(target, ast.Attribute) and \
+                        isinstance(target.value, ast.Name) and \
+                        target.value.id == machine.enum_name:
+                    if target.attr not in legal_targets:
+                        out.append(Violation(
+                            rule="SM006", path=str(path), line=node.lineno,
+                            message=f"transition to "
+                                    f"{machine.enum_name}.{target.attr} is "
+                                    f"not declared in {machine.name}",
+                            pass_name="state-machine"))
+                elif isinstance(target, ast.Attribute) and \
+                        isinstance(target.value, ast.Name):
+                    pass  # another enum's transition call; not this machine
+                else:
+                    out.append(Violation(
+                        rule="SM007", path=str(path), line=node.lineno,
+                        message="dynamic transition target cannot be "
+                                "verified statically; use a literal "
+                                "enum member",
+                        pass_name="state-machine"))
+            # direct .state = <value> assignments
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                    isinstance(node.targets[0], ast.Attribute) and \
+                    node.targets[0].attr == "state":
+                value = node.value
+                if machine.enum_name is not None and \
+                        isinstance(value, ast.Attribute) and \
+                        isinstance(value.value, ast.Name) and \
+                        value.value.id == machine.enum_name:
+                    if not in_declaring:
+                        out.append(Violation(
+                            rule="SM008", path=str(path), line=node.lineno,
+                            message=f"direct .state assignment of "
+                                    f"{machine.enum_name}.{value.attr} "
+                                    f"outside {declaring}; use "
+                                    "MappingTable.transition()",
+                            pass_name="state-machine"))
+                    elif value.attr not in set(machine.states):
+                        out.append(Violation(
+                            rule="SM002", path=str(path), line=node.lineno,
+                            message=f".state assigned undeclared "
+                                    f"{value.attr}",
+                            pass_name="state-machine"))
+                elif machine.enum_name is None and in_declaring and \
+                        isinstance(value, ast.Constant) and \
+                        isinstance(value.value, str):
+                    if value.value not in set(machine.states):
+                        out.append(Violation(
+                            rule="SM002", path=str(path), line=node.lineno,
+                            message=f".state assigned undeclared "
+                                    f"{value.value!r} (not in "
+                                    f"{machine.name})",
+                            pass_name="state-machine"))
+    return out
+
+
+def check_state_machines(root: Optional[Path | str] = None) \
+        -> list[Violation]:
+    """The full pass: discover, structurally check, then check call sites.
+
+    The splice machine (keyed by ``MappingState``) is additionally held to
+    the paper's §2.2 table, :data:`PAPER_SPLICE_TABLE`.
+    """
+    root = Path(root) if root is not None else DEFAULT_ROOT
+    violations: list[Violation] = []
+    machines = discover_machines(root)
+    if not machines:
+        violations.append(Violation(
+            rule="SM000", path=str(root), line=0,
+            message="no *_TRANSITIONS tables found: the splice state "
+                    "machine declaration is missing",
+            pass_name="state-machine"))
+    for machine in machines:
+        expected = PAPER_SPLICE_TABLE if machine.enum_name == "MappingState" \
+            else None
+        violations.extend(check_machine(machine, expected_table=expected))
+        violations.extend(check_callsites(machine, root))
+    return violations

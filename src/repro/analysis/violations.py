@@ -1,0 +1,45 @@
+"""Shared violation record for all three analysis passes.
+
+Every pass -- the determinism linter, the state-machine checker, and the
+runtime invariant verifier -- reports findings as :class:`Violation`
+records so the CLI, pytest suite, and CI gate can treat them uniformly.
+
+Rule-code namespaces:
+
+* ``DET0xx`` -- determinism linter (:mod:`repro.analysis.determinism`);
+* ``SM0xx``  -- state-machine checker (:mod:`repro.analysis.statemachine`);
+* ``INV0xx`` -- runtime invariant verifier (:mod:`repro.analysis.invariants`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+__all__ = ["Violation", "render_report"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One finding from an analysis pass."""
+
+    rule: str            # e.g. "DET001"
+    path: str            # file (or logical object) the finding is anchored to
+    line: int            # 1-based line, or 0 when not file-anchored
+    message: str
+    pass_name: str       # "determinism" | "state-machine" | "invariants"
+
+    def __str__(self) -> str:
+        where = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{where}: {self.rule} {self.message}"
+
+
+def render_report(violations: Iterable[Violation]) -> str:
+    """Human-readable report, stably ordered for reproducible output."""
+    ordered = sorted(violations,
+                     key=lambda v: (v.pass_name, v.path, v.line, v.rule))
+    if not ordered:
+        return "repro.analysis: 0 violations"
+    lines = [str(v) for v in ordered]
+    lines.append(f"repro.analysis: {len(ordered)} violation(s)")
+    return "\n".join(lines)

@@ -55,6 +55,11 @@ class ConnectionPool:
         self.prefork = prefork
         self.max_size = max_size if max_size is not None else prefork
         self._idle: Store = Store(sim, name=f"pool:{backend}")
+        #: connections currently delivered to a holder and not yet released
+        #: (a conn popped from the idle list but still in flight to its
+        #: acquirer is in neither set -- the invariant verifier relies on
+        #: lease accounting happening at delivery time)
+        self._leased: dict[int, PooledConnection] = {}
         self.total = 0
         self.acquired = 0
         self.released = 0
@@ -76,6 +81,11 @@ class ConnectionPool:
     def busy_count(self) -> int:
         return self.total - self.idle_count
 
+    @property
+    def leased_count(self) -> int:
+        """Connections delivered to a holder and not yet released."""
+        return len(self._leased)
+
     def acquire(self) -> SimEvent:
         """Take an idle connection; yield the returned event.
 
@@ -93,11 +103,11 @@ class ConnectionPool:
         ev.add_callback(self._mark_busy)
         return ev
 
-    @staticmethod
-    def _mark_busy(event: SimEvent) -> None:
+    def _mark_busy(self, event: SimEvent) -> None:
         conn: PooledConnection = event.value
         conn.in_use = True
         conn.uses += 1
+        self._leased[conn.conn_id] = conn
 
     def release(self, conn: PooledConnection) -> None:
         """Return a connection to the available list."""
@@ -108,6 +118,7 @@ class ConnectionPool:
         if not conn.in_use:
             raise ValueError(f"connection {conn.conn_id} is not in use")
         conn.in_use = False
+        self._leased.pop(conn.conn_id, None)
         self.released += 1
         self._idle.put(conn)
 

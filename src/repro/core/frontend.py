@@ -174,6 +174,12 @@ class Frontend:
                 self.sim.process(self.cpu.run(self.costs.teardown_cpu),
                                  name="teardown")
             return self._finish(entry, request, response, started, item)
+        except BaseException:
+            # RST path: a failed or interrupted request must not leak its
+            # mapping entry (the invariant verifier checks lease balance)
+            if entry.client in self.mapping:
+                self.mapping.abort(entry.client)
+            raise
         finally:
             if token is not None:
                 self.release_backend(backend, token)

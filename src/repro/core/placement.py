@@ -98,7 +98,7 @@ class PlacementPlan:
         (added_nodes, removed_nodes).  The management console can turn a
         diff directly into replicate/offload operations."""
         changes: dict[str, tuple[set[str], set[str]]] = {}
-        for path in set(self.locations) | set(other.locations):
+        for path in sorted(set(self.locations) | set(other.locations)):
             before = self.locations.get(path, set())
             after = other.locations.get(path, set())
             if before != after:

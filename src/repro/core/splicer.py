@@ -40,6 +40,25 @@ __all__ = ["SplicingDistributor", "PoolLeg"]
 
 _isns = itertools.count(5_000_000, 2741)
 
+#: Lifecycle of a pre-forked backend leg.  Legs are opened once at prefork
+#: time and then stay ESTABLISHED for the life of the distributor (the
+#: whole point of §2.2's persistent connections); the repro.analysis
+#: state-machine checker verifies every ``leg.state`` assignment against
+#: this table.
+_LEG_TRANSITIONS: dict[str, frozenset[str]] = {
+    "CLOSED": frozenset({"SYN_SENT"}),
+    "SYN_SENT": frozenset({"ESTABLISHED"}),
+    "ESTABLISHED": frozenset(),
+}
+
+
+def _leg_transition(leg: "PoolLeg", new: str) -> None:
+    """Move a leg through its lifecycle, enforcing the declared table."""
+    if new not in _LEG_TRANSITIONS[leg.state]:
+        raise RuntimeError(f"pool leg {leg.local}: illegal transition "
+                           f"{leg.state} -> {new}")
+    leg.state = new
+
 
 class PoolLeg:
     """One pre-forked persistent connection: distributor -> backend."""
@@ -107,7 +126,7 @@ class SplicingDistributor:
         leg = PoolLeg(backend, local, remote)
         leg.established = self.sim.event()
         self._legs[local.port] = leg
-        leg.state = "SYN_SENT"
+        _leg_transition(leg, "SYN_SENT")
         self.net.send(Segment(src=local, dst=remote, seq=leg.snd_nxt,
                               ack=0, flags=TcpFlags.SYN))
         leg.snd_nxt += 1
@@ -249,7 +268,7 @@ class SplicingDistributor:
             return
         if leg.state == "SYN_SENT" and seg.is_syn and seg.is_ack:
             leg.rcv_nxt = seg.seq + 1
-            leg.state = "ESTABLISHED"
+            _leg_transition(leg, "ESTABLISHED")
             self.net.send(Segment(src=leg.local, dst=leg.remote,
                                   seq=leg.snd_nxt, ack=leg.rcv_nxt,
                                   flags=TcpFlags.ACK))

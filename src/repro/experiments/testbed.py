@@ -55,6 +55,10 @@ class ExperimentConfig:
     #: pre-populate memory caches with each node's most-popular content,
     #: so short runs measure steady-state behaviour instead of cold start
     prewarm: bool = True
+    #: run the repro.analysis coherence checks (URL table vs stores, pool
+    #: lease balance) periodically during the simulation; fails fast with
+    #: InvariantError at the first incoherent state
+    debug_invariants: bool = False
 
     def __post_init__(self):
         if self.scheme not in SCHEMES:
@@ -137,7 +141,7 @@ def _prewarm_caches(catalog: SiteCatalog,
 def build_deployment(config: ExperimentConfig) -> Deployment:
     """Construct the §5.1 cluster wired for ``config.scheme``."""
     rng = RngStream(config.seed, f"exp/{config.scheme}/{config.workload.name}")
-    sim = Simulator()
+    sim = Simulator(debug=config.debug_invariants)
     lan = Lan(sim)
     specs = paper_testbed_specs()
     servers: dict[str, BackendServer] = {}
@@ -187,7 +191,12 @@ def build_deployment(config: ExperimentConfig) -> Deployment:
                       warmup=config.warmup,
                       think_time=config.workload.think_time,
                       rng=rng.substream("rig"))
-    return Deployment(config=config, sim=sim, lan=lan, catalog=catalog,
-                      servers=servers, frontend=frontend,
-                      url_table=url_table, doctree=doctree,
-                      sampler=sampler, rig=rig, nfs=nfs)
+    deployment = Deployment(config=config, sim=sim, lan=lan, catalog=catalog,
+                            servers=servers, frontend=frontend,
+                            url_table=url_table, doctree=doctree,
+                            sampler=sampler, rig=rig, nfs=nfs)
+    if config.debug_invariants:
+        # local import keeps the analysis layer optional for plain runs
+        from ..analysis.invariants import install_invariants
+        install_invariants(deployment)
+    return deployment

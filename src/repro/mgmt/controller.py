@@ -200,7 +200,7 @@ class Controller:
         orphaned: list[tuple[str, str]] = []
         routed: dict[str, set[str]] = {n: set() for n in nodes}
         for record in self.url_table.records():
-            for node in record.locations:
+            for node in sorted(record.locations):
                 if node in routed:
                     routed[node].add(record.path)
         for node in nodes:

@@ -321,13 +321,23 @@ class AnyOf(_Condition):
 
 
 class Simulator:
-    """The event loop: virtual clock plus a time-ordered event heap."""
+    """The event loop: virtual clock plus a time-ordered event heap.
 
-    def __init__(self):
+    With ``debug=True`` the engine accepts invariant checks (see
+    :meth:`add_invariant`): zero-argument callables run periodically
+    between events, raising when a cross-structure coherence property
+    (URL table vs stores, pool lease balance, ...) does not hold.  The
+    hook costs nothing when no checks are registered.
+    """
+
+    def __init__(self, debug: bool = False):
         self._now = 0.0
         self._heap: list[tuple[float, int, SimEvent]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        self.debug = debug
+        #: registered checks as mutable [check, every, countdown] triples
+        self._invariants: list[list] = []
 
     @property
     def now(self) -> float:
@@ -376,11 +386,34 @@ class Simulator:
         """Timestamp of the next event, or ``inf`` if the heap is empty."""
         return self._heap[0][0] if self._heap else float("inf")
 
+    # -- debug invariants -----------------------------------------------------
+    def add_invariant(self, check: Callable[[], None],
+                      every: int = 1) -> None:
+        """Run ``check()`` after every ``every``-th event.
+
+        Registering a check implies debug mode; the check should raise
+        (e.g. :class:`AssertionError`) when its invariant is violated,
+        which propagates out of :meth:`run` at the offending event.
+        """
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.debug = True
+        self._invariants.append([check, every, every])
+
+    def _run_invariants(self) -> None:
+        for entry in self._invariants:
+            entry[2] -= 1
+            if entry[2] <= 0:
+                entry[2] = entry[1]
+                entry[0]()
+
     def step(self) -> None:
         """Pop and fire exactly one event."""
         when, _eid, event = heapq.heappop(self._heap)
         self._now = when
         event._fire()
+        if self._invariants:
+            self._run_invariants()
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the heap drains or the clock passes ``until``.

@@ -1,0 +1,59 @@
+"""The analysis CLI gates on violations: exit 0 clean, exit 1 dirty."""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.__main__ import main, run_passes
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_clean_tree_exits_zero(capsys):
+    assert main(["--pass", "determinism"]) == 0
+    assert "0 violations" in capsys.readouterr().out
+
+
+def test_state_machine_pass_exits_zero_on_real_tree(capsys):
+    assert main(["--pass", "state-machine"]) == 0
+
+
+def test_seeded_defect_exits_one(tmp_path, capsys):
+    (tmp_path / "bad.py").write_text(
+        "import time\nSTAMP = time.time()\n")
+    assert main(["--pass", "determinism", "--root", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out and "1 violation" in out
+
+
+def test_run_passes_aggregates(tmp_path):
+    (tmp_path / "bad.py").write_text(
+        "import random\nx = random.random()\n")
+    found = run_passes("all", root=tmp_path, smoke_duration=0.4)
+    rules = {v.rule for v in found}
+    assert "DET002" in rules      # from the determinism pass
+    assert "SM000" in rules       # no transition tables under tmp_path
+
+
+def test_repro_check_subcommand():
+    """``python -m repro check`` wires through to the analysis CLI."""
+    from repro.__main__ import main as repro_main
+    assert repro_main(["check", "--pass", "state-machine"]) == 0
+
+
+# -- external toolchain (configured in pyproject.toml, optional here) -------
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_clean():
+    proc = subprocess.run(["ruff", "check", "src", "tests"], cwd=REPO,
+                          capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_clean():
+    proc = subprocess.run([sys.executable, "-m", "mypy"], cwd=REPO,
+                          capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr

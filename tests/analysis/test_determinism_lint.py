@@ -1,0 +1,164 @@
+"""The determinism linter: seeded hazards are flagged, the tree is clean."""
+
+import textwrap
+
+from repro.analysis import lint_source, lint_tree
+
+
+def lint(code: str, path: str = "module.py"):
+    return lint_source(textwrap.dedent(code), path)
+
+
+def rules(violations):
+    return sorted(v.rule for v in violations)
+
+
+# -- DET001: wall-clock reads ----------------------------------------------
+def test_time_time_flagged():
+    found = lint("""\
+        import time
+
+        def stamp():
+            return time.time()
+        """)
+    assert rules(found) == ["DET001"]
+    assert found[0].line == 4
+
+
+def test_every_time_module_clock_flagged():
+    for fn in ("time", "monotonic", "perf_counter", "time_ns"):
+        found = lint(f"import time\nx = time.{fn}()\n")
+        assert rules(found) == ["DET001"], fn
+
+
+def test_from_time_import_flagged():
+    found = lint("""\
+        from time import perf_counter as pc
+        x = pc()
+        """)
+    assert rules(found) == ["DET001"]
+
+
+def test_datetime_now_flagged():
+    found = lint("""\
+        import datetime
+        from datetime import datetime as dt
+        a = datetime.datetime.now()
+        b = dt.utcnow()
+        """)
+    assert rules(found) == ["DET001", "DET001"]
+
+
+def test_time_sleep_not_flagged():
+    assert lint("import time\ntime.sleep(1)\n") == []
+
+
+# -- DET002: global random module ------------------------------------------
+def test_global_random_flagged():
+    found = lint("""\
+        import random
+        x = random.random()
+        y = random.choice([1, 2])
+        """)
+    assert rules(found) == ["DET002", "DET002"]
+
+
+def test_seeded_random_instance_allowed():
+    assert lint("import random\nrng = random.Random(42)\n") == []
+
+
+def test_from_random_import_flagged():
+    found = lint("from random import shuffle\n")
+    assert rules(found) == ["DET002"]
+
+
+def test_os_urandom_and_uuid4_flagged():
+    found = lint("""\
+        import os
+        import uuid
+        a = os.urandom(8)
+        b = uuid.uuid4()
+        """)
+    assert rules(found) == ["DET002", "DET002"]
+
+
+def test_rng_module_is_the_sanctioned_seeding_point():
+    code = "import random\nx = random.random()\n"
+    assert rules(lint_source(code, "src/repro/sim/rng.py")) == []
+    assert rules(lint_source(code, "src/repro/core/other.py")) == ["DET002"]
+
+
+# -- DET003: unsorted set iteration ----------------------------------------
+def test_unsorted_locations_iteration_flagged():
+    found = lint("""\
+        def pick(record):
+            for node in record.locations:
+                return node
+        """)
+    assert rules(found) == ["DET003"]
+
+
+def test_sorted_locations_iteration_clean():
+    assert lint("""\
+        def pick(record):
+            for node in sorted(record.locations):
+                return node
+        """) == []
+
+
+def test_set_algebra_iteration_flagged():
+    found = lint("""\
+        def diff(a, b):
+            return [p for p in set(a) | set(b)]
+        """)
+    assert rules(found) == ["DET003"]
+
+
+def test_order_insensitive_consumers_clean():
+    assert lint("""\
+        def stats(record):
+            return (len(record.locations),
+                    min(set(record.locations)),
+                    any(n for n in sorted(record.locations)))
+        """) == []
+
+
+# -- DET004: identity ordering ---------------------------------------------
+def test_id_sort_key_flagged():
+    found = lint("xs = sorted(items, key=id)\n")
+    assert rules(found) == ["DET004"]
+    found = lint("xs = min(items, key=lambda o: hash(o))\n")
+    assert rules(found) == ["DET004"]
+
+
+def test_value_sort_key_clean():
+    assert lint("xs = sorted(items, key=lambda o: o.name)\n") == []
+
+
+# -- pragma suppression -----------------------------------------------------
+def test_pragma_suppresses_matching_tag():
+    assert lint("""\
+        import time
+        x = time.perf_counter()  # det: allow[wall-clock]
+        """) == []
+
+
+def test_pragma_star_suppresses_everything():
+    assert lint("""\
+        import time
+        x = time.time()  # det: allow[*]
+        """) == []
+
+
+def test_pragma_wrong_tag_does_not_suppress():
+    found = lint("""\
+        import time
+        x = time.time()  # det: allow[rng]
+        """)
+    assert rules(found) == ["DET001"]
+
+
+# -- the tree itself --------------------------------------------------------
+def test_repro_tree_is_lint_clean():
+    """Satellite: the whole simulator passes its own determinism lint."""
+    assert lint_tree() == []

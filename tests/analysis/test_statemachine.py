@@ -1,0 +1,147 @@
+"""The state-machine checker against the real tree and seeded defects."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import (PAPER_SPLICE_TABLE, check_callsites,
+                            check_machine, check_state_machines,
+                            discover_machines)
+from repro.analysis.determinism import DEFAULT_ROOT
+from repro.core.mapping_table import _TRANSITIONS, MappingState
+
+
+def rules(violations):
+    return sorted(v.rule for v in violations)
+
+
+def splice_machine():
+    machines = [m for m in discover_machines(DEFAULT_ROOT)
+                if m.enum_name == "MappingState"]
+    assert len(machines) == 1
+    return machines[0]
+
+
+# -- discovery on the real tree ---------------------------------------------
+def test_discovers_both_lifecycles():
+    machines = discover_machines(DEFAULT_ROOT)
+    names = {m.name for m in machines}
+    assert "_TRANSITIONS" in names          # the splice machine
+    assert "_LEG_TRANSITIONS" in names      # pre-forked backend legs
+
+
+def test_extracted_table_matches_runtime_table():
+    """The static extraction sees exactly what the interpreter executes."""
+    machine = splice_machine()
+    runtime = {s.name: frozenset(t.name for t in targets)
+               for s, targets in _TRANSITIONS.items()}
+    assert machine.table == runtime
+    assert machine.initial == "SYN_RECEIVED"
+    assert machine.terminals == {"CLOSED"}
+
+
+def test_splice_table_is_the_papers_table():
+    assert splice_machine().table == PAPER_SPLICE_TABLE
+
+
+def test_real_tree_is_clean():
+    assert check_state_machines() == []
+
+
+def test_empty_tree_flags_sm000(tmp_path):
+    assert rules(check_state_machines(tmp_path)) == ["SM000"]
+
+
+# -- seeded structural defects (SM001-SM005) --------------------------------
+BROKEN = textwrap.dedent("""\
+    import enum
+
+    class MappingState(enum.Enum):
+        SYN_RECEIVED = "SYN_RECEIVED"
+        ESTABLISHED = "ESTABLISHED"
+        BOUND = "BOUND"
+        FIN_RECEIVED = "FIN_RECEIVED"
+        HALF_CLOSED = "HALF_CLOSED"
+        CLOSED = "CLOSED"
+
+    _TRANSITIONS = {
+        MappingState.SYN_RECEIVED: frozenset({MappingState.ESTABLISHED}),
+        MappingState.ESTABLISHED: frozenset({MappingState.FIN_RECEIVED}),
+        MappingState.FIN_RECEIVED: frozenset({MappingState.CLOSED}),
+        MappingState.HALF_CLOSED: frozenset({MappingState.CLOSED}),
+        MappingState.CLOSED: frozenset(),
+    }
+    """)
+
+
+def test_seeded_broken_table_is_flagged(tmp_path):
+    (tmp_path / "broken.py").write_text(BROKEN)
+    [machine] = discover_machines(tmp_path)
+    found = check_machine(machine, expected_table=PAPER_SPLICE_TABLE)
+    got = rules(found)
+    assert "SM001" in got      # BOUND missing from the table
+    assert "SM003" in got      # BOUND/HALF_CLOSED unreachable
+    assert "SM005" in got      # deviates from the paper's table
+    # the missing teardown edge is called out explicitly
+    assert any("FIN_RECEIVED -> HALF_CLOSED" in v.message
+               for v in found if v.rule == "SM005")
+
+
+def test_table_without_terminal_flagged(tmp_path):
+    (tmp_path / "loop.py").write_text(textwrap.dedent("""\
+        _SPIN_TRANSITIONS = {
+            "A": frozenset({"B"}),
+            "B": frozenset({"A"}),
+        }
+        """))
+    [machine] = discover_machines(tmp_path)
+    assert "SM004" in rules(check_machine(machine))
+
+
+# -- seeded call-site defects (SM006-SM008) ---------------------------------
+def test_undeclared_transition_callsite_flagged(tmp_path):
+    """SM006: the paper's table never targets SYN_RECEIVED."""
+    (tmp_path / "bad_call.py").write_text(textwrap.dedent("""\
+        def rewind(table, entry):
+            table.transition(entry, MappingState.SYN_RECEIVED)
+        """))
+    found = check_callsites(splice_machine(), tmp_path)
+    assert rules(found) == ["SM006"]
+    assert "SYN_RECEIVED" in found[0].message
+
+
+def test_declared_transition_callsite_clean(tmp_path):
+    (tmp_path / "ok_call.py").write_text(textwrap.dedent("""\
+        def finish(table, entry):
+            table.transition(entry, MappingState.CLOSED)
+        """))
+    assert check_callsites(splice_machine(), tmp_path) == []
+
+
+def test_dynamic_transition_target_flagged(tmp_path):
+    (tmp_path / "dynamic.py").write_text(textwrap.dedent("""\
+        def hop(table, entry, target):
+            table.transition(entry, target)
+        """))
+    assert rules(check_callsites(splice_machine(), tmp_path)) == ["SM007"]
+
+
+def test_direct_state_assignment_outside_declaring_module_flagged(tmp_path):
+    (tmp_path / "poke.py").write_text(textwrap.dedent("""\
+        def force(entry):
+            entry.state = MappingState.CLOSED
+        """))
+    found = check_callsites(splice_machine(), tmp_path)
+    assert rules(found) == ["SM008"]
+
+
+def test_runtime_rejects_what_the_checker_would_flag():
+    """The static rule and the runtime guard agree: SYN_RECEIVED is never
+    a legal transition target."""
+    from repro.core.mapping_table import MappingError, MappingTable
+    from repro.net.packet import Address
+
+    table = MappingTable()
+    entry = table.create(Address("c", 1), now=0.0)
+    with pytest.raises(MappingError):
+        table.transition(entry, MappingState.SYN_RECEIVED)

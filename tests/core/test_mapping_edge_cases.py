@@ -1,0 +1,116 @@
+"""Edge cases of the §2.2 splice state machine and its pool interaction.
+
+Exhaustive transition-legality coverage: every (state, state) pair not in
+the declared table must raise, CLOSED must be absorbing, and deleting an
+entry returns its pre-forked connection to the available list exactly once.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.conn_pool import ConnectionPool
+from repro.core.mapping_table import (_TRANSITIONS, MappingError,
+                                      MappingState, MappingTable)
+from repro.net.packet import Address
+from repro.sim import Simulator
+
+
+def fresh_entry(table, state, port=1):
+    entry = table.create(Address("c", port), now=0.0)
+    entry.state = state   # place the entry for the pair under test
+    return entry
+
+
+def test_every_undeclared_pair_raises():
+    """The runtime guard enforces exactly the declared table -- nothing
+    more, nothing less -- over all 36 (state, state) pairs."""
+    for port, (src, dst) in enumerate(
+            itertools.product(MappingState, MappingState), start=1):
+        table = MappingTable()
+        entry = fresh_entry(table, src, port)
+        if dst in _TRANSITIONS[src]:
+            table.transition(entry, dst)
+            assert entry.state is dst
+        else:
+            with pytest.raises(MappingError):
+                table.transition(entry, dst)
+            assert entry.state is src   # a rejected transition is a no-op
+
+
+def test_closed_is_absorbing():
+    for dst in MappingState:
+        table = MappingTable()
+        entry = fresh_entry(table, MappingState.CLOSED)
+        with pytest.raises(MappingError):
+            table.transition(entry, dst)
+
+
+def test_bind_requires_established():
+    table = MappingTable()
+    entry = fresh_entry(table, MappingState.SYN_RECEIVED)
+    with pytest.raises(MappingError):
+        table.bind(entry, object(), "node-1")
+
+
+def test_delete_requires_closed():
+    table = MappingTable()
+    entry = table.create(Address("c", 1), now=0.0)
+    for state in (MappingState.SYN_RECEIVED, MappingState.ESTABLISHED):
+        entry.state = state
+        with pytest.raises(MappingError):
+            table.delete(entry.client)
+    entry.state = MappingState.CLOSED
+    assert table.delete(entry.client) is entry
+    with pytest.raises(MappingError):       # already gone
+        table.delete(entry.client)
+
+
+def test_deletion_returns_connection_exactly_once():
+    """§2.2: after CLOSED the pre-forked connection goes back to the
+    available list -- once.  A second release must fail loudly."""
+    sim = Simulator()
+    pool = ConnectionPool(sim, "node-1", prefork=2)
+    table = MappingTable()
+    got = []
+
+    def client():
+        conn = yield pool.acquire()
+        entry = table.create(Address("c", 1), now=sim.now)
+        table.transition(entry, MappingState.ESTABLISHED)
+        table.bind(entry, conn, "node-1")
+        got.append((entry, conn))
+
+    sim.process(client())
+    sim.run()
+    (entry, conn) = got[0]
+    assert pool.leased_count == 1 and pool.idle_count == 1
+
+    # orderly teardown, then the one legal release
+    table.transition(entry, MappingState.FIN_RECEIVED)
+    table.transition(entry, MappingState.HALF_CLOSED)
+    table.transition(entry, MappingState.CLOSED)
+    deleted = table.delete(entry.client)
+    pool.release(deleted.pooled_conn)
+    assert pool.leased_count == 0 and pool.idle_count == 2
+    assert pool.released == pool.acquired == 1
+
+    with pytest.raises(ValueError):
+        pool.release(conn)                  # double release
+    assert pool.released == 1               # accounting unchanged
+
+
+def test_release_to_wrong_pool_rejected():
+    sim = Simulator()
+    pool_a = ConnectionPool(sim, "node-a", prefork=1)
+    pool_b = ConnectionPool(sim, "node-b", prefork=1)
+    got = []
+
+    def client():
+        conn = yield pool_a.acquire()
+        got.append(conn)
+
+    sim.process(client())
+    sim.run()
+    with pytest.raises(ValueError):
+        pool_b.release(got[0])

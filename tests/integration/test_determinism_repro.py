@@ -1,0 +1,63 @@
+"""Satellite regression: same seed => bit-identical metrics.
+
+Two layers of protection: (1) two in-process runs of the same cell produce
+identical summary dicts; (2) two *subprocesses with different
+PYTHONHASHSEED values* produce identical JSON -- the property the
+determinism linter (DET003/DET004) exists to protect.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.experiments import ExperimentConfig, build_deployment
+from repro.workload import WORKLOAD_A
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+CELL = dict(scheme="partition-ca", duration=1.5, warmup=0.5,
+            n_objects=120, n_client_machines=4, seed=1234)
+N_CLIENTS = 4
+
+
+def run_cell() -> dict:
+    config = ExperimentConfig(workload=WORKLOAD_A, **CELL)
+    return build_deployment(config).run(N_CLIENTS)
+
+
+def test_same_seed_same_metrics_in_process():
+    first = run_cell()
+    second = run_cell()
+    assert first["completed"] > 0
+    assert first == second
+
+
+_SUBPROCESS_SCRIPT = """\
+import json
+from repro.experiments import ExperimentConfig, build_deployment
+from repro.workload import WORKLOAD_A
+
+config = ExperimentConfig(workload=WORKLOAD_A, scheme="partition-ca",
+                          duration=1.5, warmup=0.5, n_objects=120,
+                          n_client_machines=4, seed=1234)
+summary = build_deployment(config).run(4)
+print(json.dumps(summary, sort_keys=True))
+"""
+
+
+def _run_with_hashseed(seed: str) -> str:
+    env = dict(os.environ, PYTHONHASHSEED=seed, PYTHONPATH=SRC)
+    proc = subprocess.run([sys.executable, "-c", _SUBPROCESS_SCRIPT],
+                          capture_output=True, text=True, env=env,
+                          timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_metrics_identical_across_hash_seeds():
+    out_a = _run_with_hashseed("0")
+    out_b = _run_with_hashseed("31337")
+    assert json.loads(out_a)["completed"] > 0
+    assert out_a == out_b
