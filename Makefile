@@ -1,0 +1,26 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: verify test check chaos-smoke chaos golden
+
+## The full tier-1 gate: unit/integration tests, the repro.analysis
+## correctness passes, and the chaos smoke episodes.
+verify: test check chaos-smoke
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+check:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro check
+
+chaos-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q -m chaos_smoke
+
+## The full fault-injection acceptance run (20 seeded episodes).
+chaos:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro chaos --seed 1 --episodes 20
+
+## Regenerate the golden-metrics fixture after a reviewed model change.
+golden:
+	REPRO_UPDATE_GOLDEN=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		tests/integration/test_golden_metrics.py -q

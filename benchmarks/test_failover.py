@@ -32,9 +32,12 @@ def run_failover(clients=40):
         UrlTable(), prefork=config.prefork,
         max_pool_size=config.max_pool_size, warmup=config.warmup,
         name="dist-backup")
+    # retry_attempts=0: this benchmark measures the *raw* outage window,
+    # so clients must fail fast instead of riding out the takeover
     pair = HaDistributorPair(sim, primary, backup,
                              heartbeat_interval=HEARTBEAT,
-                             misses_to_fail=MISSES)
+                             misses_to_fail=MISSES,
+                             retry_attempts=0)
     rig = WebBenchRig(sim, pair.submit, deployment.sampler,
                       n_machines=config.n_client_machines,
                       warmup=config.warmup, rng=RngStream(42, "rig"))

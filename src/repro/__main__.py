@@ -7,6 +7,7 @@ Commands
 ``run``       one experiment cell (scheme x workload x clients)
 ``schemes``   list available placement/routing schemes
 ``check``     run the repro.analysis correctness passes (exit 1 on findings)
+``chaos``     seeded fault-injection episodes (exit 1 if any fails)
 """
 
 from __future__ import annotations
@@ -94,6 +95,16 @@ def cmd_check(args: argparse.Namespace) -> int:
     return analysis_main(argv)
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from .experiments.chaos import ChaosRunner
+    runner = ChaosRunner(seed=args.seed, episodes=args.episodes,
+                         duration=args.duration, clients=args.clients,
+                         n_objects=args.objects, settle=args.settle)
+    runner.run()
+    print(runner.report())
+    return 0 if runner.all_survived else 1
+
+
 def cmd_schemes(args: argparse.Namespace) -> int:
     descriptions = {
         "replication-l4": "full replication + L4 router (WLC) -- config 1",
@@ -156,6 +167,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sch = sub.add_parser("schemes", help="list placement/routing schemes")
     p_sch.set_defaults(func=cmd_schemes)
+
+    p_cha = sub.add_parser("chaos",
+                           help="run seeded fault-injection episodes and "
+                                "check the survival properties")
+    p_cha.add_argument("--seed", type=int, default=1)
+    p_cha.add_argument("--episodes", type=int, default=20)
+    p_cha.add_argument("--duration", type=float, default=6.0,
+                       help="simulated seconds of load per episode")
+    p_cha.add_argument("--clients", type=int, default=10,
+                       help="closed-loop clients per episode")
+    p_cha.add_argument("--objects", type=int, default=300)
+    p_cha.add_argument("--settle", type=float, default=2.5,
+                       help="drain window after the load stops")
+    p_cha.set_defaults(func=cmd_chaos)
 
     p_chk = sub.add_parser("check",
                            help="determinism lint + state-machine check + "

@@ -1,0 +1,24 @@
+"""Deterministic, seeded fault injection for the simulated testbed.
+
+The paper's architecture exists to survive failures -- §2.3's
+primary/backup distributor, §3.1's broker status loop, §3.3's
+auto-replication -- but hand-picked failure scenarios only cover the
+failures someone thought of.  This package *generates* adversarial
+scenarios: typed faults (:mod:`~repro.chaos.faults`) placed on a seeded
+timeline (:mod:`~repro.chaos.schedule`) and injected through the engine's
+:meth:`~repro.sim.Simulator.add_injection` hook.  The chaos runner in
+:mod:`repro.experiments.chaos` drives whole episodes and asserts the
+survival properties.
+"""
+
+from .faults import (AgentLoss, BackendCrash, ChaosTargets, DiskSlowdown,
+                     Fault, FAULT_KINDS, LanDelay, PacketLoss, Partition,
+                     PrimaryCrash)
+from .schedule import FaultSchedule, generate_schedule
+
+__all__ = [
+    "ChaosTargets", "Fault", "FAULT_KINDS",
+    "BackendCrash", "PrimaryCrash", "PacketLoss", "LanDelay", "Partition",
+    "DiskSlowdown", "AgentLoss",
+    "FaultSchedule", "generate_schedule",
+]

@@ -28,10 +28,21 @@ class Disk:
         self.bytes_read = 0
         self.bytes_written = 0
         self.busy_seconds = 0.0
+        #: service-time multiplier, >= 1.0 (fault injection: degraded disk)
+        self.slowdown = 1.0
+
+    def set_slowdown(self, factor: float) -> None:
+        """Degrade the disk: every read/write takes ``factor``x longer."""
+        if factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1.0, got {factor}")
+        self.slowdown = factor
+
+    def clear_slowdown(self) -> None:
+        self.slowdown = 1.0
 
     def read(self, nbytes: int) -> Generator:
         """Read an object; use ``yield from disk.read(nbytes)``."""
-        duration = self.spec.read_time(nbytes)
+        duration = self.spec.read_time(nbytes) * self.slowdown
         req = yield self._arm.request()
         try:
             yield self.sim.timeout(duration)
@@ -43,7 +54,7 @@ class Disk:
 
     def write(self, nbytes: int) -> Generator:
         """Write an object (content copy landing); same service model."""
-        duration = self.spec.read_time(nbytes)
+        duration = self.spec.read_time(nbytes) * self.slowdown
         req = yield self._arm.request()
         try:
             yield self.sim.timeout(duration)

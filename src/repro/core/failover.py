@@ -12,13 +12,16 @@ Model: the backup probes the primary every heartbeat interval; after
 ``misses_to_fail`` consecutive missed heartbeats it promotes itself.  On
 each successful heartbeat it replicates the primary's URL table (version-
 checked, so unchanged tables cost nothing).  Requests submitted while no
-distributor is active fail with :class:`FrontendDown` -- clients retry,
-which is how the outage window becomes visible in the failover benchmark.
+distributor is active wait out the takeover window with a bounded
+exponential backoff (the default budget covers the worst-case detection
+window); only when the budget is exhausted do they fail with
+:class:`FrontendDown`.  Constructing the pair with ``retry_attempts=0``
+restores the raw fail-fast behaviour the failover benchmark measures.
 """
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Callable, Generator, Optional
 
 from ..net import HttpRequest, Nic
 from ..sim import Simulator
@@ -39,21 +42,33 @@ class HaDistributorPair:
                  primary: Frontend,
                  backup: Frontend,
                  heartbeat_interval: float = 0.25,
-                 misses_to_fail: int = 3):
+                 misses_to_fail: int = 3,
+                 retry_attempts: int = 4,
+                 retry_backoff: float = 0.1,
+                 on_failover: Optional[
+                     Callable[["HaDistributorPair"], None]] = None):
         if heartbeat_interval <= 0:
             raise ValueError("heartbeat_interval must be positive")
         if misses_to_fail < 1:
             raise ValueError("misses_to_fail must be >= 1")
+        if retry_attempts < 0:
+            raise ValueError("retry_attempts must be >= 0")
+        if retry_attempts and retry_backoff <= 0:
+            raise ValueError("retry_backoff must be positive")
         self.sim = sim
         self.primary = primary
         self.backup = backup
         self.heartbeat_interval = heartbeat_interval
         self.misses_to_fail = misses_to_fail
+        self.retry_attempts = retry_attempts
+        self.retry_backoff = retry_backoff
+        self.on_failover = on_failover
         self.active = primary
         self.failed_over = False
         self.failover_at: Optional[float] = None
         self.heartbeats = 0
         self.state_syncs = 0
+        self.retries = 0
         self._monitor = sim.process(self._monitor_loop(), name="ha-monitor")
 
     def stop(self) -> None:
@@ -87,18 +102,31 @@ class HaDistributorPair:
         self.failover_at = self.sim.now
         self.backup.recover()
         self.active = self.backup
+        if self.on_failover is not None:
+            self.on_failover(self)
 
     # -- client-facing API ---------------------------------------------------
     def submit(self, request: HttpRequest, client_nic: Nic) -> Generator:
         """Route a request to whichever distributor is active.
 
-        Raises :class:`FrontendDown` during the outage window (primary
-        dead, backup not yet promoted).
+        During the outage window (primary dead, backup not yet promoted)
+        the request waits with bounded exponential backoff -- up to
+        ``retry_attempts`` sleeps starting at ``retry_backoff`` seconds and
+        doubling -- which outlasts the detection window at the default
+        settings, so clients ride out a failover without seeing an error.
+        Raises :class:`FrontendDown` once the budget is exhausted.
         """
-        if not self.active.alive:
-            raise FrontendDown(
-                f"active distributor {self.active.name} is down")
-        return self.active.submit(request, client_nic)
+        delay = self.retry_backoff
+        attempts = 0
+        while not self.active.alive:
+            if attempts >= self.retry_attempts:
+                raise FrontendDown(
+                    f"active distributor {self.active.name} is down")
+            attempts += 1
+            self.retries += 1
+            yield self.sim.timeout(delay)
+            delay *= 2
+        return (yield from self.active.submit(request, client_nic))
 
     @property
     def outage_duration(self) -> Optional[float]:

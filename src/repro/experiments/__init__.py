@@ -1,5 +1,6 @@
 """Evaluation harness: testbed construction and figure/table reproduction."""
 
+from .chaos import ChaosRunner, EpisodeResult
 from .figures import (DEFAULT_CLIENTS, figure2, figure3, figure4,
                       render_table, url_table_overhead)
 from .runner import SweepResult, grid, sweep_clients, write_csv
@@ -11,4 +12,5 @@ __all__ = [
     "figure2", "figure3", "figure4", "url_table_overhead",
     "render_table", "DEFAULT_CLIENTS",
     "SweepResult", "sweep_clients", "grid", "write_csv",
+    "ChaosRunner", "EpisodeResult",
 ]

@@ -1,0 +1,284 @@
+"""Chaos episodes: seeded fault schedules against the full testbed.
+
+Each episode builds a fresh §5.1 deployment (partition-ca scheme, HA
+distributor pair, management plane with a cluster monitor), drives
+closed-loop WebBench clients through it, injects a generated
+:class:`~repro.chaos.FaultSchedule`, drains the clients, lets the cluster
+reconverge, and then asserts the survival properties:
+
+* every request was eventually answered or cleanly errored (no client
+  process is stuck mid-request after the drain);
+* the routing directory, the catalog, and the physical stores are
+  coherent -- INV001-INV008 from :mod:`repro.analysis.invariants`;
+* no leaked mapping entries or connection-pool leases on either
+  distributor;
+* replicas reconverge after the faults heal (the management plane's
+  audit comes back clean, possibly after a reconcile pass).
+
+The whole run is a pure function of its seed: same seed, byte-identical
+report, regardless of PYTHONHASHSEED.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..analysis.invariants import check_invariants
+from ..chaos import ChaosTargets, FAULT_KINDS, FaultSchedule, \
+    generate_schedule
+from ..cluster import distributor_spec
+from ..core import ContentAwareDistributor, HaDistributorPair, UrlTable
+from ..mgmt import Broker, ClusterMonitor, Controller
+from ..sim import RngStream
+from ..workload import WORKLOAD_A, WebBenchRig
+from .figures import render_table
+from .testbed import ExperimentConfig, build_deployment
+
+__all__ = ["EpisodeResult", "ChaosRunner"]
+
+#: simulated seconds the harness allows the final audit/reconcile pass
+FINALIZE_BUDGET = 6.0
+
+
+@dataclasses.dataclass
+class EpisodeResult:
+    """Everything one chaos episode observed."""
+
+    episode: int
+    schedule: FaultSchedule
+    completed: int
+    errors: int
+    failed_over: bool
+    retries: int
+    stuck_clients: list[str]
+    invariant_violations: list[str]
+    leak_violations: list[str]
+    audit_clean: bool
+    reconciled: bool          # final audit needed a reconcile pass
+    finalize_done: bool
+
+    @property
+    def survived(self) -> bool:
+        return (self.completed > 0 and not self.stuck_clients and
+                not self.invariant_violations and not self.leak_violations
+                and self.audit_clean and self.finalize_done)
+
+    def failure_summary(self) -> str:
+        reasons = []
+        if self.completed == 0:
+            reasons.append("no requests completed")
+        if self.stuck_clients:
+            reasons.append(f"stuck clients: {self.stuck_clients}")
+        if self.invariant_violations:
+            reasons.append(
+                f"invariants: {'; '.join(self.invariant_violations)}")
+        if self.leak_violations:
+            reasons.append(f"leaks: {'; '.join(self.leak_violations)}")
+        if not self.finalize_done:
+            reasons.append("audit/reconcile pass did not finish")
+        elif not self.audit_clean:
+            reasons.append("cluster did not reconverge (audit dirty)")
+        return "; ".join(reasons) or "ok"
+
+
+class ChaosRunner:
+    """Run N seeded chaos episodes and aggregate a per-fault-class table."""
+
+    def __init__(self, seed: int = 1, episodes: int = 20,
+                 duration: float = 6.0, clients: int = 10,
+                 n_objects: int = 300, settle: float = 2.5,
+                 extra_faults: int = 2):
+        if episodes < 1:
+            raise ValueError("need at least one episode")
+        if duration <= 1.0:
+            raise ValueError("episodes shorter than 1 s prove nothing")
+        self.seed = seed
+        self.episodes = episodes
+        self.duration = duration
+        self.clients = clients
+        self.n_objects = n_objects
+        self.settle = settle
+        self.extra_faults = extra_faults
+        self.results: list[EpisodeResult] = []
+
+    # -- one episode --------------------------------------------------------
+    def run_episode(self, index: int) -> EpisodeResult:
+        config = ExperimentConfig(
+            scheme="partition-ca", workload=WORKLOAD_A,
+            seed=self.seed * 1000 + index, n_objects=self.n_objects,
+            warmup=0.5, duration=self.duration, n_client_machines=6)
+        deployment = build_deployment(config)
+        sim, lan = deployment.sim, deployment.lan
+        servers = deployment.servers
+        primary = deployment.frontend
+
+        # §2.3: hot backup distributor monitoring the primary
+        backup = ContentAwareDistributor(
+            sim, lan, distributor_spec(), servers, UrlTable(),
+            prefork=config.prefork, max_pool_size=config.max_pool_size,
+            warmup=config.warmup, name="dist-backup")
+
+        # §3.1 management plane: controller + per-node brokers + monitor
+        controller = Controller(sim, primary.nic, deployment.url_table,
+                                deployment.doctree)
+        controller.default_timeout = 1.0
+        registry: dict[str, Broker] = {}
+        for name in sorted(servers):
+            broker = Broker(sim, lan, servers[name], controller.nic,
+                            registry=registry)
+            controller.register_broker(broker)
+        monitor = ClusterMonitor(sim, controller, primary.view,
+                                 interval=0.3, misses_to_fail=2,
+                                 probe_timeout=0.5)
+        monitor.start()
+
+        def rebind_after_failover(p: HaDistributorPair) -> None:
+            # the backup's replicated URL table becomes the live directory:
+            # the management plane must mutate *it* from now on, and the
+            # backup's routing view must learn which nodes are down
+            controller.url_table = backup.url_table
+            controller.nic = backup.nic
+            for broker in sorted(registry):
+                registry[broker].controller_nic = backup.nic
+            for node in sorted(monitor.down_nodes):
+                backup.view.mark_down(node)
+            monitor.view = backup.view
+
+        pair = HaDistributorPair(sim, primary, backup,
+                                 heartbeat_interval=0.2, misses_to_fail=2,
+                                 on_failover=rebind_after_failover)
+
+        # the fault schedule, installed through the engine's injection hook
+        ep_rng = RngStream(self.seed, f"chaos/episode/{index}")
+        forced = FAULT_KINDS[index % len(FAULT_KINDS)]
+        schedule = generate_schedule(
+            ep_rng.substream("schedule"), sorted(servers), self.duration,
+            forced=forced, extra_faults=self.extra_faults)
+        targets = ChaosTargets(sim=sim, lan=lan, servers=servers,
+                               pair=pair, brokers=registry,
+                               loss_rng=ep_rng.substream("loss"),
+                               agent_rng=ep_rng.substream("agents"))
+        schedule.install(targets)
+
+        rig = WebBenchRig(sim, pair.submit, deployment.sampler,
+                          n_machines=config.n_client_machines,
+                          warmup=config.warmup,
+                          think_time=config.workload.think_time,
+                          rng=ep_rng.substream("rig"))
+        rig.start_clients(self.clients)
+
+        # drive, then drain: clients finish their in-flight request and
+        # exit, so the post-settle state has no traffic of its own
+        sim.run(until=self.duration)
+        rig.request_stop()
+        sim.run(until=self.duration + self.settle)
+        stuck = sorted(c.client_id for c in rig.clients
+                       if c.process.is_alive)
+
+        # reconvergence: the management plane audits itself; divergence
+        # left behind by abandoned (timed-out) agents is reconciled once,
+        # after which the audit must come back clean
+        finalize: dict = {}
+
+        def finalize_pass():
+            audit = yield from controller.audit()
+            dirty = {node for _, node in audit["missing"]}
+            dirty |= {node for _, node in audit["orphaned"]}
+            finalize["reconciled"] = bool(dirty)
+            for node in sorted(dirty):
+                yield from controller.reconcile_node(node, timeout=1.0)
+            if dirty:
+                audit = yield from controller.audit()
+            finalize["audit"] = audit
+            finalize["done"] = True
+
+        sim.process(finalize_pass(), name="chaos-finalize")
+        sim.run(until=self.duration + self.settle + FINALIZE_BUDGET)
+
+        monitor.stop()
+        pair.stop()
+        for name in sorted(registry):
+            registry[name].stop()
+
+        active = pair.active
+        violations = check_invariants(active.url_table, servers=servers,
+                                      frontend=active,
+                                      catalog=deployment.catalog)
+        leaks: list[str] = []
+        for frontend in (primary, backup):
+            if len(frontend.mapping) != 0:
+                leaks.append(f"{frontend.name}: {len(frontend.mapping)} "
+                             f"mapping entries leaked")
+            for backend in sorted(frontend.pools.pools()):
+                pool = frontend.pools.pools()[backend]
+                if pool.leased_count != 0:
+                    leaks.append(f"{frontend.name}/pool:{backend}: "
+                                 f"{pool.leased_count} leases leaked")
+        audit = finalize.get("audit", {})
+        audit_clean = bool(audit) and not audit.get("missing") and \
+            not audit.get("orphaned")
+        return EpisodeResult(
+            episode=index,
+            schedule=schedule,
+            completed=rig.meter.completions,
+            errors=rig.errors,
+            failed_over=pair.failed_over,
+            retries=pair.retries,
+            stuck_clients=stuck,
+            invariant_violations=[f"{v.rule} {v.path}: {v.message}"
+                                  for v in violations],
+            leak_violations=leaks,
+            audit_clean=audit_clean,
+            reconciled=finalize.get("reconciled", False),
+            finalize_done=finalize.get("done", False))
+
+    # -- the whole run -------------------------------------------------------
+    def run(self) -> list[EpisodeResult]:
+        self.results = [self.run_episode(i) for i in range(self.episodes)]
+        return self.results
+
+    @property
+    def all_survived(self) -> bool:
+        return bool(self.results) and all(r.survived for r in self.results)
+
+    def outcome_table(self) -> str:
+        """Per-fault-class outcomes across every episode."""
+        injected: dict[str, int] = {cls.kind: 0 for cls in FAULT_KINDS}
+        episodes: dict[str, set[int]] = {cls.kind: set()
+                                         for cls in FAULT_KINDS}
+        survived: dict[str, int] = {cls.kind: 0 for cls in FAULT_KINDS}
+        for result in self.results:
+            for kind in result.schedule.kinds():
+                injected[kind] += sum(
+                    1 for f in result.schedule if f.kind == kind)
+                episodes[kind].add(result.episode)
+                if result.survived:
+                    survived[kind] += 1
+        rows = [[kind, injected[kind], len(episodes[kind]),
+                 f"{survived[kind]}/{len(episodes[kind])}"]
+                for kind in sorted(injected) if episodes[kind]]
+        return render_table(
+            f"chaos: seed={self.seed} episodes={self.episodes} "
+            f"duration={self.duration:.1f}s clients={self.clients}",
+            ["fault class", "faults", "episodes", "survived"], rows)
+
+    def report(self) -> str:
+        lines = [self.outcome_table(), ""]
+        for result in self.results:
+            status = "ok  " if result.survived else "FAIL"
+            lines.append(
+                f"episode {result.episode:3d} [{status}] "
+                f"completed={result.completed} errors={result.errors} "
+                f"retries={result.retries}"
+                f"{' failover' if result.failed_over else ''}"
+                f"{' reconciled' if result.reconciled else ''}  "
+                f"{result.schedule.describe()}")
+            if not result.survived:
+                lines.append(f"            {result.failure_summary()}")
+        failed = sum(1 for r in self.results if not r.survived)
+        lines.append("")
+        lines.append(f"{len(self.results) - failed}/{len(self.results)} "
+                     f"episodes survived"
+                     + ("" if not failed else f" -- {failed} FAILED"))
+        return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Golden-metrics regression harness.
+
+A reduced-scale run of the paper's headline experiments (Figures 2 and 3
+plus the §5.2 URL-table overhead) collapsed into one JSON-serialisable
+dict.  The numbers are fully deterministic -- the simulator is seeded and
+single-threaded -- so the fixture comparison is *exact*: any drift means
+model behaviour changed, and the readable diff says exactly which series
+moved and by how much.
+
+Wall-clock quantities (the §5.2 ``mean_lookup_us``) are deliberately
+excluded: they measure the host, not the model.
+"""
+
+from __future__ import annotations
+
+from .figures import figure2, figure3, url_table_overhead
+
+__all__ = ["collect_golden_metrics", "diff_metrics", "GOLDEN_SCALE"]
+
+#: The reduced scale the golden fixture is captured at.  Small enough for
+#: tier-1 (a few seconds), large enough that every scheme serves real
+#: traffic through warmup + measurement windows.
+GOLDEN_SCALE = {"clients": (8, 16), "duration": 3.0, "warmup": 1.0,
+                "seed": 42, "n_objects": 2000, "lookups": 4000}
+
+
+def collect_golden_metrics() -> dict:
+    """Run the reduced-scale experiments and return the golden dict."""
+    scale = GOLDEN_SCALE
+    f2 = figure2(clients=scale["clients"], duration=scale["duration"],
+                 warmup=scale["warmup"], seed=scale["seed"])
+    f3 = figure3(clients=scale["clients"], duration=scale["duration"],
+                 warmup=scale["warmup"], seed=scale["seed"])
+    overhead = url_table_overhead(n_objects=scale["n_objects"],
+                                  lookups=scale["lookups"],
+                                  seed=scale["seed"])
+    return {
+        "scale": {"clients": list(scale["clients"]),
+                  "duration": scale["duration"],
+                  "warmup": scale["warmup"],
+                  "seed": scale["seed"]},
+        "figure2": {
+            "clients": f2["clients"],
+            "series": {scheme: [round(v, 4) for v in values]
+                       for scheme, values in sorted(f2["series"].items())},
+        },
+        "figure3": {
+            "clients": f3["clients"],
+            "series": {scheme: [round(v, 4) for v in values]
+                       for scheme, values in sorted(f3["series"].items())},
+        },
+        "url_table": {
+            "n_objects": overhead["n_objects"],
+            "memory_bytes": overhead["memory_bytes"],
+            # deterministic cache behaviour; mean_lookup_us is wall clock
+            # and intentionally NOT part of the golden surface
+            "cache_hit_rate": round(overhead["cache_hit_rate"], 6),
+        },
+    }
+
+
+def diff_metrics(expected, actual, path: str = "") -> list[str]:
+    """Readable recursive diff: one ``path: expected -> actual`` line per
+    divergence (missing keys, extra keys, length or value mismatches)."""
+    lines: list[str] = []
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        for key in sorted(expected.keys() | actual.keys()):
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in actual:
+                lines.append(f"{sub}: missing from actual "
+                             f"(expected {expected[key]!r})")
+            elif key not in expected:
+                lines.append(f"{sub}: unexpected key "
+                             f"(actual {actual[key]!r})")
+            else:
+                lines.extend(diff_metrics(expected[key], actual[key], sub))
+    elif isinstance(expected, list) and isinstance(actual, list):
+        if len(expected) != len(actual):
+            lines.append(f"{path}: length {len(expected)} -> {len(actual)}")
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            lines.extend(diff_metrics(e, a, f"{path}[{i}]"))
+    elif expected != actual:
+        if (isinstance(expected, (int, float)) and
+                isinstance(actual, (int, float)) and expected):
+            drift = (actual - expected) / expected * 100.0
+            lines.append(f"{path}: {expected!r} -> {actual!r} "
+                         f"({drift:+.2f}%)")
+        else:
+            lines.append(f"{path}: {expected!r} -> {actual!r}")
+    return lines

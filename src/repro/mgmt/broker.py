@@ -15,7 +15,7 @@ downloaded executable content.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Callable, Generator, Optional
 
 from ..cluster import BackendServer
 from ..net import Lan, Nic
@@ -43,6 +43,11 @@ class Broker:
         self._class_cache: set[str] = set()
         self.agents_executed = 0
         self.code_downloads = 0
+        #: fault injection: when set, dispatches matching the predicate are
+        #: lost in flight (never enqueued, never answered -- the controller
+        #: only recovers via its dispatch timeout)
+        self.drop_filter: Optional[Callable[[AgentDispatch], bool]] = None
+        self.dispatches_dropped = 0
         self.running = True
         self._process = sim.process(self._run(), name=f"broker:{self.name}")
 
@@ -52,6 +57,9 @@ class Broker:
 
     def deliver(self, dispatch: AgentDispatch) -> None:
         """Called by the controller to enqueue work."""
+        if self.drop_filter is not None and self.drop_filter(dispatch):
+            self.dispatches_dropped += 1
+            return
         self.mailbox.put(dispatch)
 
     def stop(self) -> None:

@@ -44,8 +44,12 @@ class Controller:
         self.doctree = doctree
         self.brokers: dict[str, Broker] = {}
         self._pending: dict[int, SimEvent] = {}
+        #: applied to every dispatch that doesn't pass an explicit timeout;
+        #: None preserves the original wait-forever behaviour
+        self.default_timeout: Optional[float] = None
         self.dispatches = 0
         self.failures = 0
+        self.timeouts = 0
         self.log: list[tuple[float, str, str, str]] = []  # (t, op, path, node)
 
     # -- broker wiring ------------------------------------------------------
@@ -63,8 +67,15 @@ class Controller:
                 ev.succeed(result)
 
     # -- the dispatch primitive ----------------------------------------------
-    def execute(self, agent: Agent, node: str) -> Generator:
-        """Send one agent to one broker and await its result."""
+    def execute(self, agent: Agent, node: str,
+                timeout: Optional[float] = None) -> Generator:
+        """Send one agent to one broker and await its result.
+
+        With ``timeout`` set, a dispatch whose result never comes back
+        (broker dead, agent lost in flight) resolves to a synthetic failed
+        :class:`AgentResult` after ``timeout`` simulated seconds instead of
+        blocking forever.
+        """
         broker = self.brokers.get(node)
         if broker is None:
             raise ManagementError(f"no broker registered for {node!r}")
@@ -74,7 +85,21 @@ class Controller:
         self._pending[dispatch.dispatch_id] = done
         self.dispatches += 1
         broker.deliver(dispatch)
-        result: AgentResult = yield done
+        if timeout is None:
+            timeout = self.default_timeout
+        if timeout is None:
+            result: AgentResult = yield done
+        else:
+            yield self.sim.any_of([done, self.sim.timeout(timeout)])
+            if done.triggered:
+                result = done.value
+            else:
+                self._pending.pop(dispatch.dispatch_id, None)
+                self.timeouts += 1
+                result = AgentResult(dispatch_id=dispatch.dispatch_id,
+                                     node=node, agent_name=agent.name,
+                                     ok=False, detail={"error": "timeout"},
+                                     completed_at=self.sim.now)
         if not result.ok:
             self.failures += 1
         return result
@@ -189,13 +214,15 @@ class Controller:
           URL table.
         """
         events = []
-        nodes = sorted(self.brokers)
-        for node in nodes:
+        for node in sorted(self.brokers):
             events.append(self.sim.process(
                 self.execute(InventoryAgent(), node)))
         yield self.sim.all_of(events)
+        # a node whose inventory failed (e.g. dispatch timeout) cannot be
+        # audited this round; it is simply not counted
         inventories = {ev.value.node: ev.value.detail["paths"]
-                       for ev in events}
+                       for ev in events if ev.value.ok}
+        nodes = sorted(inventories)
         missing: list[tuple[str, str]] = []
         orphaned: list[tuple[str, str]] = []
         routed: dict[str, set[str]] = {n: set() for n in nodes}
@@ -210,6 +237,60 @@ class Controller:
                 orphaned.append((path, node))
         return {"missing": missing, "orphaned": orphaned,
                 "nodes_audited": len(nodes)}
+
+    def reconcile_node(self, node: str,
+                       timeout: Optional[float] = None) -> Generator:
+        """Reconcile one (typically just-recovered) node with the URL table.
+
+        A node that crashed and came back may hold documents the monitor
+        re-routed away from it while it was down (stored-but-unrouted), and
+        the table may still route documents the node never finished
+        receiving (routed-but-missing).  Both break INV003.  The repair:
+
+        * stored + record still exists  -> re-add the location ("rejoined");
+        * stored + record gone          -> DeleteAgent ("purged");
+        * routed but missing, >1 copies -> drop this location ("dropped");
+        * routed but missing, last copy -> remove the record ("lost").
+
+        Returns the four lists, or ``{"error": ...}`` when the inventory
+        itself failed (caller should retry).
+        """
+        result = yield from self.execute(InventoryAgent(), node,
+                                         timeout=timeout)
+        if not result.ok:
+            return {"error": result.detail}
+        stored: set[str] = set(result.detail["paths"])
+        routed = {record.path for record in self.url_table.records()
+                  if node in record.locations}
+        summary: dict[str, list[str]] = {
+            "rejoined": [], "purged": [], "dropped": [], "lost": []}
+        for path in sorted(stored - routed):
+            if path in self.url_table:
+                self.url_table.add_location(path, node)
+                if self.doctree.exists(path):
+                    self.doctree.file(path).locations.add(node)
+                summary["rejoined"].append(path)
+            else:
+                yield from self.execute(DeleteAgent(path), node,
+                                        timeout=timeout)
+                summary["purged"].append(path)
+        for path in sorted(routed - stored):
+            locations = self.url_table.locations(path)
+            if len(locations) > 1:
+                self.url_table.remove_location(path, node)
+                if self.doctree.exists(path):
+                    self.doctree.file(path).locations.discard(node)
+                summary["dropped"].append(path)
+            else:
+                self.url_table.remove(path)
+                if self.doctree.exists(path):
+                    self.doctree.delete(path)
+                summary["lost"].append(path)
+        if any(summary.values()):
+            self.log.append((self.sim.now, "reconcile", node,
+                             ",".join(f"{k}={len(v)}"
+                                      for k, v in sorted(summary.items()))))
+        return summary
 
     def verify_placement(self, path: str) -> Generator:
         """Cross-check the URL table against every node's store."""

@@ -41,7 +41,7 @@ class NodeEvent:
     at: float
     node: str
     kind: str            # "down" | "up" | "re-replicated" | "lost"
-    detail: str = ""
+    detail: str = ""     # also "rejoined" | "purged" after a recovery
 
 
 class ClusterMonitor:
@@ -51,7 +51,9 @@ class ClusterMonitor:
                  view: RoutingView,
                  interval: float = 1.0,
                  misses_to_fail: int = 2,
-                 re_replicate: bool = True):
+                 re_replicate: bool = True,
+                 probe_timeout: Optional[float] = None,
+                 reconcile_on_recovery: bool = True):
         if interval <= 0:
             raise ValueError("interval must be positive")
         if misses_to_fail < 1:
@@ -62,10 +64,13 @@ class ClusterMonitor:
         self.interval = interval
         self.misses_to_fail = misses_to_fail
         self.re_replicate = re_replicate
+        self.probe_timeout = probe_timeout
+        self.reconcile_on_recovery = reconcile_on_recovery
         self.events: list[NodeEvent] = []
         self.rounds = 0
         self._misses: dict[str, int] = {}
         self._down: set[str] = set()
+        self._pending_reconcile: set[str] = set()
         self._process = None
 
     def start(self) -> None:
@@ -93,6 +98,8 @@ class ClusterMonitor:
                 self._misses[node] = 0
                 if node in self._down:
                     self._mark_up(node)
+                if node in self._pending_reconcile:
+                    yield from self._reconcile(node)
             else:
                 self._misses[node] = self._misses.get(node, 0) + 1
                 if (self._misses[node] >= self.misses_to_fail and
@@ -105,13 +112,34 @@ class ClusterMonitor:
         if not broker.server.alive:
             # the broker daemon dies with its machine: no response
             return False
-        result = yield from self.controller.execute(StatusAgent(), node)
+        result = yield from self.controller.execute(
+            StatusAgent(), node, timeout=self.probe_timeout)
         return bool(result.ok and result.detail.alive)
 
     def _mark_up(self, node: str) -> None:
         self._down.discard(node)
         self.view.mark_up(node)
         self.events.append(NodeEvent(at=self.sim.now, node=node, kind="up"))
+        if self.reconcile_on_recovery:
+            self._pending_reconcile.add(node)
+
+    def _reconcile(self, node: str) -> Generator:
+        """Repair a recovered node's divergence from the URL table.
+
+        A returning node may still store documents the :meth:`_mark_down`
+        path routed away from it (INV003 orphans) or be routed documents it
+        lost.  Retried every sweep until the inventory round-trip succeeds
+        (agent loss / partition make individual attempts fail).
+        """
+        summary = yield from self.controller.reconcile_node(
+            node, timeout=self.probe_timeout)
+        if "error" in summary:
+            return  # stays pending; retried next sweep
+        self._pending_reconcile.discard(node)
+        for kind in ("rejoined", "purged", "lost"):
+            for path in summary.get(kind, []):
+                self.events.append(NodeEvent(
+                    at=self.sim.now, node=node, kind=kind, detail=path))
 
     def _mark_down(self, node: str) -> Generator:
         self._down.add(node)

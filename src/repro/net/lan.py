@@ -16,9 +16,9 @@ before RX is deadlock-free because RX holders never wait on anything.
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Generator, Iterable, Optional
 
-from ..sim import Resource, Simulator
+from ..sim import Resource, RngStream, SimEvent, Simulator
 
 __all__ = ["Nic", "Lan"]
 
@@ -60,6 +60,79 @@ class Lan:
         self.latency = latency
         self.total_transfers = 0
         self.total_bytes = 0
+        # -- fault-injection state (driven by repro.chaos) ------------------
+        #: additional one-way latency per transfer (congestion / bad cable)
+        self.extra_latency = 0.0
+        #: probability that a transfer needs TCP retransmissions first
+        self.loss_rate = 0.0
+        #: delay one retransmission round costs (a short RTO)
+        self.retransmit_delay = 0.05
+        self._loss_rng: Optional[RngStream] = None
+        #: node prefixes currently cut off from the rest of the switch
+        self._partitioned: frozenset[str] = frozenset()
+        self._heal_event: Optional[SimEvent] = None
+        self.retransmissions = 0
+        self.transfers_blocked = 0
+
+    # -- fault injection hooks (repro.chaos) --------------------------------
+    def set_loss(self, rate: float, rng: RngStream,
+                 retransmit_delay: float = 0.05) -> None:
+        """Make transfers lossy: with probability ``rate`` a transfer pays
+        one retransmission round (repeatedly, geometrically) before its
+        bytes go through -- TCP semantics, so nothing is silently dropped.
+        """
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {rate}")
+        if retransmit_delay <= 0:
+            raise ValueError("retransmit_delay must be positive")
+        self.loss_rate = rate
+        self._loss_rng = rng
+        self.retransmit_delay = retransmit_delay
+
+    def clear_loss(self) -> None:
+        self.loss_rate = 0.0
+        self._loss_rng = None
+
+    def add_delay(self, extra: float) -> None:
+        """Add ``extra`` seconds of one-way latency (additive, revertable)."""
+        if extra < 0:
+            raise ValueError("extra latency must be non-negative")
+        self.extra_latency += extra
+
+    def remove_delay(self, extra: float) -> None:
+        self.extra_latency = max(0.0, self.extra_latency - extra)
+
+    def set_partition(self, nodes: Iterable[str]) -> None:
+        """Cut the named endpoints (NIC-name prefixes before the first
+        ``.``) off from everyone else.  Cross-partition transfers block --
+        TCP keeps retrying -- until :meth:`heal_partition`."""
+        self._partitioned = frozenset(nodes)
+
+    def heal_partition(self) -> None:
+        """End the partition; every blocked transfer resumes."""
+        self._partitioned = frozenset()
+        event, self._heal_event = self._heal_event, None
+        if event is not None:
+            event.succeed()
+
+    @property
+    def partitioned_nodes(self) -> frozenset[str]:
+        return self._partitioned
+
+    @staticmethod
+    def _endpoint(nic: Nic) -> str:
+        return nic.name.split(".", 1)[0]
+
+    def _crosses_partition(self, src: Nic, dst: Nic) -> bool:
+        if not self._partitioned:
+            return False
+        return ((self._endpoint(src) in self._partitioned) !=
+                (self._endpoint(dst) in self._partitioned))
+
+    def _heal_wait(self) -> SimEvent:
+        if self._heal_event is None:
+            self._heal_event = SimEvent(self.sim)
+        return self._heal_event
 
     def transfer_time(self, src: Nic, dst: Nic, nbytes: int) -> float:
         """Uncontended duration of a transfer (excluding queueing)."""
@@ -75,10 +148,22 @@ class Lan:
         """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
+        # Faults are paid *before* acquiring either channel: a transfer
+        # stuck behind a partition must not hold the sender's TX and
+        # head-of-line-block unrelated traffic.
+        while self._crosses_partition(src, dst):
+            self.transfers_blocked += 1
+            yield self._heal_wait()
+        # re-checked each round: the fault may revert mid-retransmission
+        while (self._loss_rng is not None and
+               self._loss_rng.random() < self.loss_rate):
+            self.retransmissions += 1
+            yield self.sim.timeout(self.retransmit_delay)
         tx_req = yield src.tx.request()
         rx_req = yield dst.rx.request()
         try:
-            yield self.sim.timeout(self.transfer_time(src, dst, nbytes))
+            yield self.sim.timeout(self.transfer_time(src, dst, nbytes)
+                                   + self.extra_latency)
         finally:
             dst.rx.release(rx_req)
             src.tx.release(tx_req)

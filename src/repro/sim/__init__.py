@@ -4,8 +4,8 @@ Everything above this package (network, cluster, distributor, management)
 is written as generator processes scheduled by :class:`~repro.sim.Simulator`.
 """
 
-from .engine import (AllOf, AnyOf, Interrupt, Process, SimEvent, Simulator,
-                     StopSimulation, Timeout)
+from .engine import (AllOf, AnyOf, Injection, Interrupt, Process, SimEvent,
+                     Simulator, StopSimulation, Timeout)
 from .metrics import (Counter, Histogram, MetricSet, SummaryStats,
                       ThroughputMeter, TimeWeighted)
 from .resources import Container, PriorityResource, Request, Resource, Store
@@ -14,7 +14,7 @@ from .rng import (HybridSizeSampler, LognormalSampler, ParetoSampler,
 
 __all__ = [
     "Simulator", "SimEvent", "Timeout", "Process", "Interrupt",
-    "AllOf", "AnyOf", "StopSimulation",
+    "AllOf", "AnyOf", "StopSimulation", "Injection",
     "Resource", "PriorityResource", "Request", "Store", "Container",
     "RngStream", "ZipfSampler", "ParetoSampler", "LognormalSampler",
     "HybridSizeSampler",

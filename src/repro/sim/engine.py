@@ -40,6 +40,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "StopSimulation",
+    "Injection",
 ]
 
 
@@ -320,6 +321,39 @@ class AnyOf(_Condition):
         self.succeed(self._collect())
 
 
+class Injection:
+    """Bookkeeping record for one scheduled fault injection.
+
+    Created by :meth:`Simulator.add_injection`; the chaos layer
+    (:mod:`repro.chaos`) reads these records to report which faults were
+    applied (and reverted) during a run.
+    """
+
+    __slots__ = ("label", "at", "duration", "applied_at", "reverted_at")
+
+    def __init__(self, label: str, at: float, duration: float):
+        self.label = label
+        self.at = at
+        self.duration = duration
+        self.applied_at: Optional[float] = None
+        self.reverted_at: Optional[float] = None
+
+    @property
+    def applied(self) -> bool:
+        return self.applied_at is not None
+
+    @property
+    def active(self) -> bool:
+        """True between apply and revert (or forever, for one-shot faults
+        registered without a revert)."""
+        return self.applied and self.reverted_at is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = ("reverted" if self.reverted_at is not None else
+                 "active" if self.applied else "pending")
+        return f"<Injection {self.label!r} at={self.at} {state}>"
+
+
 class Simulator:
     """The event loop: virtual clock plus a time-ordered event heap.
 
@@ -328,6 +362,11 @@ class Simulator:
     between events, raising when a cross-structure coherence property
     (URL table vs stores, pool lease balance, ...) does not hold.  The
     hook costs nothing when no checks are registered.
+
+    Fault injection uses the sibling hook :meth:`add_injection`: an
+    apply/revert callable pair scheduled at virtual times, recorded on the
+    engine so a chaos harness can introspect what was injected without
+    monkeypatching any component.
     """
 
     def __init__(self, debug: bool = False):
@@ -338,6 +377,8 @@ class Simulator:
         self.debug = debug
         #: registered checks as mutable [check, every, countdown] triples
         self._invariants: list[list] = []
+        #: fault injections registered via :meth:`add_injection`
+        self.injections: list[Injection] = []
 
     @property
     def now(self) -> float:
@@ -399,6 +440,42 @@ class Simulator:
             raise ValueError("every must be >= 1")
         self.debug = True
         self._invariants.append([check, every, every])
+
+    # -- fault injection ------------------------------------------------------
+    def add_injection(self, delay: float,
+                      apply: Callable[[], None],
+                      revert: Optional[Callable[[], None]] = None,
+                      duration: float = 0.0,
+                      label: str = "") -> Injection:
+        """Schedule a fault: run ``apply()`` after ``delay`` time units and,
+        when ``revert`` is given, ``revert()`` after ``delay + duration``.
+
+        Mirrors :meth:`add_invariant`: the engine owns the registry
+        (:attr:`injections`), so a chaos harness injects typed faults
+        through a first-class hook instead of monkeypatching components.
+        The record's ``applied_at``/``reverted_at`` stamps make the actual
+        injection timeline reportable after the run.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        if duration < 0:
+            raise ValueError(f"negative duration {duration!r}")
+        record = Injection(label or getattr(apply, "__name__", "fault"),
+                           self._now + delay, duration)
+
+        def _apply() -> None:
+            record.applied_at = self._now
+            apply()
+
+        self.schedule(delay, _apply)
+        if revert is not None:
+            def _revert() -> None:
+                record.reverted_at = self._now
+                revert()
+
+            self.schedule(delay + duration, _revert)
+        self.injections.append(record)
+        return record
 
     def _run_invariants(self) -> None:
         for entry in self._invariants:

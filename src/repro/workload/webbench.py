@@ -58,10 +58,21 @@ class WebBenchClient:
         self.think_time = think_time
         self.rng = rng or RngStream(0, f"client/{client_id}")
         self.stats = ClientStats()
+        self._drain = False
         self.process = sim.process(self._run(), name=f"wb:{client_id}")
 
+    def drain(self) -> None:
+        """Finish the in-flight request (if any), then exit the loop.
+
+        Unlike :meth:`stop`, draining never interrupts a request mid-
+        flight, so after the drain completes every request has either been
+        answered or cleanly errored -- the chaos harness's first survival
+        property.
+        """
+        self._drain = True
+
     def _run(self) -> Generator:
-        while True:
+        while not self._drain:
             request = self.sampler.request(client_id=self.client_id,
                                            now=self.sim.now)
             try:
@@ -74,6 +85,8 @@ class WebBenchClient:
                 # a real client sees a connection error and retries
                 self.stats.errors += 1
                 self.rig.record_error(self.sim.now)
+                if self._drain:
+                    return
                 yield self.sim.timeout(RETRY_BACKOFF)
                 continue
             if outcome.response is not None and outcome.response.ok:
@@ -148,6 +161,11 @@ class WebBenchRig:
     def stop_clients(self) -> None:
         for client in self.clients:
             client.stop()
+
+    def request_stop(self) -> None:
+        """Ask every client to drain: finish in flight, then stop."""
+        for client in self.clients:
+            client.drain()
 
     # -- accounting (called by clients) -----------------------------------
     def record_completion(self, request, outcome) -> None:

@@ -1,0 +1,178 @@
+"""Tests for the typed fault classes and the hooks they drive."""
+
+import pytest
+
+from repro.chaos import (AgentLoss, BackendCrash, ChaosTargets, DiskSlowdown,
+                         LanDelay, PacketLoss, Partition, PrimaryCrash)
+from repro.cluster import BackendServer, paper_testbed_specs
+from repro.mgmt import Broker, StatusAgent
+from repro.net import Lan, Nic
+from repro.sim import RngStream, Simulator
+
+
+def build_targets(n_servers=2):
+    sim = Simulator()
+    lan = Lan(sim)
+    specs = paper_testbed_specs()[:n_servers]
+    servers = {s.name: BackendServer(sim, lan, s) for s in specs}
+    # seed 0's first loss draw is 0.236 < 0.9: the first transfer under
+    # PacketLoss(rate=0.9) deterministically pays a retransmission
+    return ChaosTargets(sim=sim, lan=lan, servers=servers,
+                        loss_rng=RngStream(0, "loss"),
+                        agent_rng=RngStream(0, "agents"))
+
+
+class TestBackendCrash:
+    def test_apply_and_revert(self):
+        targets = build_targets()
+        node = sorted(targets.servers)[0]
+        fault = BackendCrash(node=node, at=1.0, duration=2.0)
+        fault.apply(targets)
+        assert not targets.servers[node].alive
+        fault.revert(targets)
+        assert targets.servers[node].alive
+
+
+class TestPrimaryCrash:
+    def test_requires_pair(self):
+        targets = build_targets()
+        with pytest.raises(ValueError):
+            PrimaryCrash(at=1.0).apply(targets)
+
+
+class TestPacketLoss:
+    def test_lossy_transfers_pay_retransmissions(self):
+        targets = build_targets()
+        sim, lan = targets.sim, targets.lan
+        fault = PacketLoss(rate=0.9, retransmit_delay=0.5, at=0.0,
+                           duration=1.0)
+        fault.apply(targets)
+        a = Nic(sim, 100, name="a.nic")
+        b = Nic(sim, 100, name="b.nic")
+        done = []
+
+        def go():
+            yield from lan.transfer(a, b, 1000)
+            done.append(sim.now)
+
+        sim.process(go())
+        sim.run(until=60.0)
+        assert done and done[0] > 0.5  # at least one retransmission round
+        assert lan.retransmissions >= 1
+        fault.revert(targets)
+        assert lan.loss_rate == 0.0
+
+    def test_rate_validation(self):
+        targets = build_targets()
+        with pytest.raises(ValueError):
+            PacketLoss(rate=1.0, at=0.0).apply(targets)
+
+
+class TestLanDelay:
+    def test_delay_is_additive_and_revertable(self):
+        targets = build_targets()
+        lan = targets.lan
+        fault = LanDelay(extra=0.25, at=0.0, duration=1.0)
+        fault.apply(targets)
+        assert lan.extra_latency == pytest.approx(0.25)
+        fault.revert(targets)
+        assert lan.extra_latency == 0.0
+
+    def test_transfers_observe_extra_latency(self):
+        targets = build_targets()
+        sim, lan = targets.sim, targets.lan
+        a = Nic(sim, 100, name="a.nic")
+        b = Nic(sim, 100, name="b.nic")
+        base = lan.transfer_time(a, b, 1000)
+        LanDelay(extra=0.5, at=0.0, duration=1.0).apply(targets)
+        done = []
+
+        def go():
+            yield from lan.transfer(a, b, 1000)
+            done.append(sim.now)
+
+        sim.process(go())
+        sim.run(until=5.0)
+        assert done[0] == pytest.approx(base + 0.5)
+
+
+class TestPartition:
+    def test_cross_partition_transfers_block_until_heal(self):
+        targets = build_targets()
+        sim, lan = targets.sim, targets.lan
+        a = Nic(sim, 100, name="a.nic")
+        b = Nic(sim, 100, name="b.nic")
+        c = Nic(sim, 100, name="c.nic")
+        fault = Partition(nodes=("a",), at=0.0, duration=3.0)
+        fault.apply(targets)
+        done = {}
+
+        def crossing():
+            yield from lan.transfer(a, b, 100)
+            done["crossing"] = sim.now
+
+        def same_side():
+            yield from lan.transfer(b, c, 100)
+            done["same_side"] = sim.now
+
+        sim.process(crossing())
+        sim.process(same_side())
+        sim.schedule(3.0, lambda: fault.revert(targets))
+        sim.run(until=10.0)
+        # the same-side transfer was never head-of-line blocked
+        assert done["same_side"] < 0.1
+        assert done["crossing"] >= 3.0
+        assert lan.transfers_blocked == 1
+        assert lan.partitioned_nodes == frozenset()
+
+
+class TestDiskSlowdown:
+    def test_reads_slow_down_by_factor(self):
+        targets = build_targets()
+        sim = targets.sim
+        node = sorted(targets.servers)[0]
+        disk = targets.servers[node].disk
+        base = disk.spec.read_time(100_000)
+        DiskSlowdown(node=node, factor=10.0, at=0.0, duration=1.0) \
+            .apply(targets)
+        done = []
+
+        def go():
+            yield from disk.read(100_000)
+            done.append(sim.now)
+
+        sim.process(go())
+        sim.run(until=60.0)
+        assert done[0] == pytest.approx(base * 10.0)
+        DiskSlowdown(node=node, factor=10.0, at=0.0).revert(targets)
+        assert disk.slowdown == 1.0
+
+    def test_factor_below_one_rejected(self):
+        targets = build_targets()
+        node = sorted(targets.servers)[0]
+        with pytest.raises(ValueError):
+            DiskSlowdown(node=node, factor=0.5, at=0.0).apply(targets)
+
+
+class TestAgentLoss:
+    def test_dispatches_dropped_probabilistically(self):
+        targets = build_targets()
+        sim = targets.sim
+        registry = {}
+        node = sorted(targets.servers)[0]
+        controller_nic = Nic(sim, 100, name="controller.nic")
+        broker = Broker(sim, targets.lan, targets.servers[node],
+                        controller_nic, registry=registry)
+        targets.brokers = registry
+        fault = AgentLoss(rate=1.0 - 1e-12, at=0.0, duration=1.0)
+        fault.apply(targets)
+        from repro.mgmt.messages import AgentDispatch
+        for _ in range(5):
+            broker.deliver(AgentDispatch(agent=StatusAgent(), target=node,
+                                         sent_at=sim.now))
+        assert broker.dispatches_dropped == 5
+        fault.revert(targets)
+        assert broker.drop_filter is None
+        broker.deliver(AgentDispatch(agent=StatusAgent(), target=node,
+                                     sent_at=sim.now))
+        assert broker.dispatches_dropped == 5

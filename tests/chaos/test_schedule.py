@@ -1,0 +1,98 @@
+"""Tests for FaultSchedule and the seeded schedule generator."""
+
+import pytest
+
+from repro.chaos import (BackendCrash, FAULT_KINDS, FaultSchedule, LanDelay,
+                         Partition, generate_schedule)
+from repro.cluster import BackendServer, paper_testbed_specs
+from repro.net import Lan
+from repro.sim import RngStream, Simulator
+
+NODES = [s.name for s in paper_testbed_specs()]
+
+
+class TestFaultSchedule:
+    def test_faults_sorted_by_time(self):
+        schedule = FaultSchedule([
+            LanDelay(extra=0.01, at=5.0, duration=1.0),
+            BackendCrash(node="n1", at=2.0, duration=1.0),
+        ])
+        assert [f.at for f in schedule] == [2.0, 5.0]
+        assert schedule.kinds() == ("backend-crash", "lan-delay")
+
+    def test_at_most_one_partition(self):
+        with pytest.raises(ValueError):
+            FaultSchedule([
+                Partition(nodes=("a",), at=1.0, duration=1.0),
+                Partition(nodes=("b",), at=3.0, duration=1.0),
+            ])
+
+    def test_install_registers_engine_injections(self):
+        sim = Simulator()
+        lan = Lan(sim)
+        spec = paper_testbed_specs()[0]
+        servers = {spec.name: BackendServer(sim, lan, spec)}
+        from repro.chaos import ChaosTargets
+        targets = ChaosTargets(sim=sim, lan=lan, servers=servers)
+        schedule = FaultSchedule([
+            BackendCrash(node=spec.name, at=1.0, duration=2.0)])
+        records = schedule.install(targets)
+        assert len(records) == 1
+        assert sim.injections == records
+        sim.run(until=2.0)
+        assert not servers[spec.name].alive
+        sim.run(until=4.0)
+        assert servers[spec.name].alive  # reverted after its duration
+
+    def test_past_faults_rejected(self):
+        sim = Simulator()
+        lan = Lan(sim)
+        spec = paper_testbed_specs()[0]
+        servers = {spec.name: BackendServer(sim, lan, spec)}
+        sim.run(until=5.0)
+        from repro.chaos import ChaosTargets
+        targets = ChaosTargets(sim=sim, lan=lan, servers=servers)
+        schedule = FaultSchedule([
+            BackendCrash(node=spec.name, at=1.0, duration=2.0)])
+        with pytest.raises(ValueError):
+            schedule.install(targets)
+
+
+class TestGenerateSchedule:
+    def test_deterministic_for_a_seed(self):
+        a = generate_schedule(RngStream(3, "sched"), NODES, 6.0)
+        b = generate_schedule(RngStream(3, "sched"), NODES, 6.0)
+        assert a.describe() == b.describe()
+        c = generate_schedule(RngStream(4, "sched"), NODES, 6.0)
+        assert a.describe() != c.describe()
+
+    def test_forced_kind_always_present(self):
+        for cls in FAULT_KINDS:
+            schedule = generate_schedule(RngStream(1, "s"), NODES, 6.0,
+                                         forced=cls)
+            assert cls.kind in schedule.kinds()
+
+    def test_distinct_kinds_no_duplicates(self):
+        for seed in range(10):
+            schedule = generate_schedule(RngStream(seed, "s"), NODES, 6.0,
+                                         forced=BackendCrash,
+                                         extra_faults=3)
+            kinds = [f.kind for f in schedule]
+            assert len(kinds) == len(set(kinds)) == 4
+
+    def test_faults_strike_and_heal_inside_the_run(self):
+        for seed in range(20):
+            schedule = generate_schedule(RngStream(seed, "s"), NODES, 6.0,
+                                         extra_faults=4)
+            for fault in schedule:
+                assert 0.0 < fault.at < 6.0 * 0.45 + 1e-9
+                assert fault.ends_at < 6.0 * 0.70 + 1e-9
+
+    def test_rotation_covers_every_kind(self):
+        seen = set()
+        for i in range(len(FAULT_KINDS)):
+            forced = FAULT_KINDS[i % len(FAULT_KINDS)]
+            schedule = generate_schedule(RngStream(1, f"ep/{i}"), NODES,
+                                         6.0, forced=forced)
+            seen.update(schedule.kinds())
+        assert seen == {cls.kind for cls in FAULT_KINDS}

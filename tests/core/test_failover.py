@@ -10,7 +10,7 @@ from repro.net import HttpRequest, Lan, Nic
 from repro.sim import Simulator
 
 
-def build_pair(heartbeat=0.25, misses=3):
+def build_pair(heartbeat=0.25, misses=3, **pair_kwargs):
     sim = Simulator()
     lan = Lan(sim)
     specs = paper_testbed_specs()[:2]
@@ -27,7 +27,7 @@ def build_pair(heartbeat=0.25, misses=3):
                                      backup_table, name="dist-backup")
     pair = HaDistributorPair(sim, primary, backup,
                              heartbeat_interval=heartbeat,
-                             misses_to_fail=misses)
+                             misses_to_fail=misses, **pair_kwargs)
     client_nic = Nic(sim, 100, name="client")
     return sim, pair, primary, backup, servers, item, client_nic
 
@@ -98,11 +98,23 @@ class TestFailover:
         assert pair.outage_duration == pytest.approx(0.75)
 
     def test_requests_fail_during_outage_window(self):
-        sim, pair, primary, backup, servers, item, nic = build_pair()
+        # retry_attempts=0 restores the raw fail-fast behaviour: without a
+        # retry budget the outage window is immediately visible
+        sim, pair, primary, backup, servers, item, nic = build_pair(
+            retry_attempts=0)
         sim.run(until=1.0)
         primary.crash()
-        with pytest.raises(FrontendDown):
-            pair.submit(HttpRequest(item.path), nic)
+        errors = []
+
+        def go():
+            try:
+                yield sim.process(pair.submit(HttpRequest(item.path), nic))
+            except FrontendDown as exc:
+                errors.append(exc)
+
+        sim.process(go())
+        sim.run(until=1.5)  # still inside the 0.75 s detection window
+        assert len(errors) == 1
 
     def test_requests_succeed_after_takeover(self):
         sim, pair, primary, backup, servers, item, nic = build_pair()
@@ -125,6 +137,43 @@ class TestFailover:
         outcome = fetch(sim, pair, late.path, nic)
         assert outcome.response.ok
         assert outcome.backend == holder
+
+    def test_submit_retries_across_takeover_window(self):
+        # regression: submit used to raise bare FrontendDown the instant
+        # the primary died; with the default retry budget the request must
+        # ride out the takeover and be answered by the backup
+        sim, pair, primary, backup, servers, item, nic = build_pair()
+        sim.run(until=1.0)
+        primary.crash()
+        outcome = fetch(sim, pair, item.path, nic)
+        assert outcome is not None and outcome.response.ok
+        assert backup.meter.completions == 1
+        assert primary.meter.completions == 0
+        assert pair.retries >= 1
+
+    def test_retry_budget_exhausts_if_no_takeover(self):
+        # both distributors dead: the bounded backoff must give up with
+        # FrontendDown, not loop forever
+        sim, pair, primary, backup, servers, item, nic = build_pair(
+            retry_attempts=3, retry_backoff=0.05)
+        sim.run(until=1.0)
+        primary.crash()
+        backup.crash()
+        pair.stop()  # no takeover is coming
+        errors = []
+
+        def go():
+            try:
+                yield sim.process(pair.submit(HttpRequest(item.path), nic))
+            except FrontendDown as exc:
+                errors.append((sim.now, exc))
+
+        sim.process(go())
+        sim.run(until=5.0)
+        assert len(errors) == 1
+        # gave up after 0.05 + 0.1 + 0.2 seconds of backoff
+        assert errors[0][0] == pytest.approx(1.35)
+        assert pair.retries == 3
 
     def test_monitor_stops_after_failover(self):
         sim, pair, primary, backup, servers, item, nic = build_pair()

@@ -1,0 +1,246 @@
+"""Property-based tests for the URL table (stdlib-only, no hypothesis).
+
+A seeded ``random.Random`` drives long random interleavings of the table's
+mutation and lookup operations; after every step the table must agree with
+a trivially-correct reference model (a dict of path -> set-of-locations).
+The reference never sees the multi-level hash structure or the LRU entry
+cache, so any divergence -- in particular a stale cache entry surviving a
+mutation -- shows up as a model mismatch.
+
+Path universe: leaf names always end in ``.html`` and directory names never
+do, so no generated path is a prefix of another (the table rejects
+document/directory collisions by design; that behaviour has its own test).
+"""
+
+import random
+
+import pytest
+
+from repro.content import ContentItem, ContentType
+from repro.core import UrlTable
+from repro.core.url_table import UrlTableError
+
+NODES = ["n1", "n2", "n3", "n4"]
+
+# ~48 distinct paths over a 3-deep directory tree: small enough that the
+# generator frequently re-picks a path (duplicate inserts, re-inserts after
+# removal, lookups of removed documents), which is where cache bugs live.
+PATHS = tuple(
+    f"/{top}/{mid}/f{i}.html"
+    for top in ("a", "b")
+    for mid in ("x", "y", "z")
+    for i in range(8)
+)
+
+
+def item(path):
+    return ContentItem(path, 1024, ContentType.HTML)
+
+
+class Model:
+    """Dict-of-sets reference: the obviously-correct URL table."""
+
+    def __init__(self):
+        self.docs: dict[str, set[str]] = {}
+
+    def insert(self, path, locations):
+        if path in self.docs:
+            raise KeyError(path)
+        self.docs[path] = set(locations)
+
+    def remove(self, path):
+        if path not in self.docs:
+            raise KeyError(path)
+        del self.docs[path]
+
+    def add_location(self, path, node):
+        if path not in self.docs:
+            raise KeyError(path)
+        self.docs[path].add(node)
+
+    def remove_location(self, path, node):
+        if path not in self.docs or node not in self.docs[path]:
+            raise KeyError(path)
+        if len(self.docs[path]) == 1:
+            raise KeyError(path)  # table refuses to drop the last copy
+        self.docs[path].discard(node)
+
+    def lookup(self, path):
+        if path not in self.docs:
+            raise KeyError(path)
+        return self.docs[path]
+
+
+def check_agreement(table, model):
+    assert len(table) == len(model.docs)
+    by_path = {r.path: set(r.locations) for r in table.records()}
+    assert by_path == model.docs
+    for path, locations in model.docs.items():
+        assert path in table
+        assert table.locations(path) == locations
+
+
+def run_random_ops(seed, n_ops, cache_entries):
+    rng = random.Random(seed)
+    table = UrlTable(cache_entries=cache_entries)
+    model = Model()
+    counts = {"insert": 0, "remove": 0, "add_location": 0,
+              "remove_location": 0, "lookup": 0, "errors": 0}
+    for _ in range(n_ops):
+        # lookup-heavy mix, mirroring real traffic against the distributor
+        op = rng.choice(["insert", "insert", "remove", "add_location",
+                         "remove_location", "lookup", "lookup", "lookup"])
+        path = rng.choice(PATHS)
+        counts[op] += 1
+        if op == "insert":
+            locations = set(rng.sample(NODES, rng.randint(1, len(NODES))))
+            try:
+                model.insert(path, locations)
+            except KeyError:
+                counts["errors"] += 1
+                with pytest.raises(UrlTableError):
+                    table.insert(item(path), locations)
+            else:
+                record = table.insert(item(path), locations)
+                assert set(record.locations) == locations
+        elif op == "remove":
+            try:
+                model.remove(path)
+            except KeyError:
+                counts["errors"] += 1
+                with pytest.raises(UrlTableError):
+                    table.remove(path)
+            else:
+                record = table.remove(path)
+                assert record.path == path
+        elif op == "add_location":
+            node = rng.choice(NODES)
+            try:
+                model.add_location(path, node)
+            except KeyError:
+                counts["errors"] += 1
+                with pytest.raises(UrlTableError):
+                    table.add_location(path, node)
+            else:
+                record = table.add_location(path, node)
+                assert node in record.locations
+        elif op == "remove_location":
+            node = rng.choice(NODES)
+            try:
+                model.remove_location(path, node)
+            except KeyError:
+                counts["errors"] += 1
+                with pytest.raises(UrlTableError):
+                    table.remove_location(path, node)
+            else:
+                record = table.remove_location(path, node)
+                assert node not in record.locations
+        else:  # lookup
+            try:
+                expected = model.lookup(path)
+            except KeyError:
+                counts["errors"] += 1
+                with pytest.raises(UrlTableError):
+                    table.lookup(path)
+            else:
+                record = table.lookup(path)
+                assert record.path == path
+                # the cache must never serve a record whose locations have
+                # drifted from the model (i.e. a stale pre-mutation entry)
+                assert set(record.locations) == expected
+        check_agreement(table, model)
+    return table, model, counts
+
+
+class TestRandomInterleavings:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_table_agrees_with_reference_model(self, seed):
+        table, model, counts = run_random_ops(seed, n_ops=400,
+                                              cache_entries=512)
+        # the run exercised both the success and the error path of every op
+        assert all(counts[op] > 0 for op in counts)
+        assert counts["errors"] > 0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_tiny_cache_forces_evictions_and_still_agrees(self, seed):
+        # capacity 4 over ~48 hot paths: constant evictions + reinsertion
+        table, _, _ = run_random_ops(seed + 100, n_ops=400, cache_entries=4)
+        assert table.cache_hits < table.lookups
+
+    def test_cache_disabled_still_agrees(self):
+        table, _, _ = run_random_ops(7, n_ops=300, cache_entries=0)
+        assert table.cache_hits == 0
+
+    @pytest.mark.parametrize("seed", [11, 12])
+    def test_sync_from_reproduces_final_state(self, seed):
+        table, model, _ = run_random_ops(seed, n_ops=300, cache_entries=64)
+        replica = UrlTable()
+        assert replica.sync_from(table)
+        check_agreement(replica, model)
+        assert replica.version == table.version
+        assert not replica.sync_from(table)  # versions match: no-op
+
+
+class TestCacheInvalidation:
+    """Directed regressions for the LRU entry cache vs. mutations."""
+
+    def test_lookup_after_remove_raises_despite_cache(self):
+        table = UrlTable()
+        table.insert(item("/a/x/f0.html"), {"n1"})
+        table.lookup("/a/x/f0.html")  # now cached
+        table.remove("/a/x/f0.html")
+        with pytest.raises(UrlTableError):
+            table.lookup("/a/x/f0.html")
+
+    def test_reinsert_after_remove_serves_fresh_record(self):
+        table = UrlTable()
+        old = table.insert(item("/a/x/f0.html"), {"n1"})
+        table.lookup("/a/x/f0.html")  # caches the old record
+        table.remove("/a/x/f0.html")
+        table.insert(item("/a/x/f0.html"), {"n2", "n3"})
+        record = table.lookup("/a/x/f0.html")
+        assert record is not old
+        assert set(record.locations) == {"n2", "n3"}
+
+    def test_cached_record_reflects_location_mutations(self):
+        # add/remove_location mutate the record in place, so a cache hit
+        # after them must observe the new location set
+        table = UrlTable()
+        table.insert(item("/a/x/f0.html"), {"n1"})
+        table.lookup("/a/x/f0.html")
+        table.add_location("/a/x/f0.html", "n2")
+        assert set(table.lookup("/a/x/f0.html").locations) == {"n1", "n2"}
+        table.remove_location("/a/x/f0.html", "n1")
+        assert set(table.lookup("/a/x/f0.html").locations) == {"n2"}
+
+    def test_eviction_then_relookup_walks_the_tree_again(self):
+        table = UrlTable(cache_entries=1)
+        table.insert(item("/a/x/f0.html"), {"n1"})
+        table.insert(item("/a/x/f1.html"), {"n1"})
+        table.lookup("/a/x/f0.html")
+        table.lookup("/a/x/f1.html")  # evicts f0
+        levels_before = table.levels_touched
+        table.lookup("/a/x/f0.html")  # miss: full 3-level walk again
+        assert table.levels_touched == levels_before + 3
+        assert table.cache_hits == 0
+
+
+class TestStructuralRejections:
+    """The prefix-collision cases the random universe deliberately avoids."""
+
+    def test_document_where_directory_exists_is_duplicate(self):
+        table = UrlTable()
+        table.insert(item("/a/x/f0.html"), {"n1"})
+        with pytest.raises(UrlTableError):
+            table.insert(item("/a/x"), {"n1"})
+
+    def test_directory_through_document_rejected(self):
+        table = UrlTable()
+        table.insert(item("/a/x"), {"n1"})
+        with pytest.raises(UrlTableError):
+            table.insert(item("/a/x/f0.html"), {"n1"})
+
+    def test_empty_location_set_rejected(self):
+        table = UrlTable()
+        with pytest.raises(UrlTableError):
+            table.insert(item("/a/x/f0.html"), set())

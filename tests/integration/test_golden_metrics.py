@@ -1,0 +1,51 @@
+"""Golden-metrics regression: the reduced-scale experiment numbers must
+match the committed fixture exactly.
+
+The simulation is seeded and deterministic, so this is an equality check,
+not a tolerance band.  If a change legitimately moves the numbers
+(a model fix, a new cost term), regenerate the fixture and review the diff
+like any other behavioural change:
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest \\
+        tests/integration/test_golden_metrics.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.experiments.golden import collect_golden_metrics, diff_metrics
+
+FIXTURE = Path(__file__).parent.parent / "fixtures" / "golden_metrics.json"
+
+
+def test_metrics_match_golden_fixture():
+    actual = collect_golden_metrics()
+    if os.environ.get("REPRO_UPDATE_GOLDEN") == "1":
+        FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+        FIXTURE.write_text(json.dumps(actual, indent=2, sort_keys=True)
+                           + "\n")
+        return
+    assert FIXTURE.exists(), (
+        f"{FIXTURE} missing; regenerate with REPRO_UPDATE_GOLDEN=1")
+    expected = json.loads(FIXTURE.read_text())
+    drift = diff_metrics(expected, actual)
+    assert not drift, (
+        "golden metrics drifted (REPRO_UPDATE_GOLDEN=1 regenerates "
+        "after review):\n  " + "\n  ".join(drift))
+
+
+def test_diff_reports_readable_paths():
+    expected = {"figure2": {"series": {"nfs-l4": [1.0, 2.0]}},
+                "url_table": {"memory_bytes": 100}}
+    actual = {"figure2": {"series": {"nfs-l4": [1.0, 2.5]}},
+              "url_table": {"memory_bytes": 110}}
+    drift = diff_metrics(expected, actual)
+    assert "figure2.series.nfs-l4[1]: 2.0 -> 2.5 (+25.00%)" in drift
+    assert "url_table.memory_bytes: 100 -> 110 (+10.00%)" in drift
+
+
+def test_diff_flags_missing_and_extra_keys():
+    drift = diff_metrics({"a": 1, "b": 2}, {"b": 2, "c": 3})
+    assert any(line.startswith("a: missing") for line in drift)
+    assert any(line.startswith("c: unexpected") for line in drift)

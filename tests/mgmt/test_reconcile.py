@@ -1,0 +1,181 @@
+"""Tests for dispatch timeouts and node reconciliation (chaos support).
+
+The chaos harness needs two management-plane guarantees: a dispatch whose
+agent is lost in flight must not hang the controller forever, and a node
+returning from a crash must be reconciled with the URL table (the monitor
+routes documents away from dead nodes, but cannot delete bytes on them).
+"""
+
+import pytest
+
+from repro.cluster import BackendServer, paper_testbed_specs
+from repro.content import ContentItem, ContentType, DocTree
+from repro.core import RoutingView, UrlTable
+from repro.mgmt import Broker, ClusterMonitor, Controller, StatusAgent
+from repro.net import Lan, Nic
+from repro.sim import Simulator
+
+
+def build(n_nodes=3):
+    sim = Simulator()
+    lan = Lan(sim)
+    specs = paper_testbed_specs()[:n_nodes]
+    servers = {s.name: BackendServer(sim, lan, s) for s in specs}
+    nic = Nic(sim, 100, name="controller")
+    controller = Controller(sim, nic, UrlTable(), DocTree())
+    registry = {}
+    for server in servers.values():
+        controller.register_broker(Broker(sim, lan, server, nic, registry))
+    view = RoutingView({s.name: s.weight for s in specs})
+    return sim, servers, controller, view, registry
+
+
+def run_op(sim, gen, horizon=10.0):
+    proc = sim.process(gen)
+    sim.run(until=sim.now + horizon)
+    assert proc.processed
+    return proc.value
+
+
+def item(path, size=4096):
+    return ContentItem(path, size, ContentType.HTML)
+
+
+class TestDispatchTimeout:
+    def test_lost_dispatch_resolves_to_synthetic_failure(self):
+        sim, servers, controller, view, registry = build()
+        node = sorted(servers)[0]
+        registry[node].drop_filter = lambda dispatch: True
+        result = run_op(sim, controller.execute(StatusAgent(), node,
+                                                timeout=0.5))
+        assert not result.ok
+        assert result.detail == {"error": "timeout"}
+        assert result.completed_at == pytest.approx(0.5)
+        assert controller.timeouts == 1
+        assert controller.failures == 1
+        assert registry[node].dispatches_dropped == 1
+
+    def test_default_timeout_applies_when_unset_per_call(self):
+        sim, servers, controller, view, registry = build()
+        node = sorted(servers)[0]
+        controller.default_timeout = 0.25
+        registry[node].drop_filter = lambda dispatch: True
+        result = run_op(sim, controller.execute(StatusAgent(), node))
+        assert not result.ok and controller.timeouts == 1
+
+    def test_healthy_dispatch_unaffected_by_timeout(self):
+        sim, servers, controller, view, registry = build()
+        node = sorted(servers)[0]
+        result = run_op(sim, controller.execute(StatusAgent(), node,
+                                                timeout=5.0))
+        assert result.ok
+        assert controller.timeouts == 0
+
+    def test_late_result_after_timeout_is_ignored(self):
+        sim, servers, controller, view, registry = build()
+        node = sorted(servers)[0]
+        # stall the broker's only worker behind a huge code download by
+        # partitioning it away, then heal after the timeout
+        lan = registry[node].lan
+        lan.set_partition({node})
+        result = run_op(sim, controller.execute(StatusAgent(), node,
+                                                timeout=0.5), horizon=1.0)
+        assert not result.ok
+        lan.heal_partition()
+        sim.run(until=sim.now + 5.0)  # late result arrives, must not blow up
+        assert controller.timeouts == 1
+
+
+class TestReconcileNode:
+    def test_stored_but_unrouted_rejoins_when_record_exists(self):
+        sim, servers, controller, view, registry = build()
+        a, b = sorted(servers)[:2]
+        doc = item("/recon/two-copies.html")
+        run_op(sim, controller.place(doc, a))
+        run_op(sim, controller.replicate(doc.path, b))
+        # simulate the monitor having routed away from a (bytes remain)
+        controller.url_table.remove_location(doc.path, a)
+        summary = run_op(sim, controller.reconcile_node(a))
+        assert summary["rejoined"] == [doc.path]
+        assert controller.url_table.locations(doc.path) == {a, b}
+
+    def test_stored_but_record_gone_is_purged(self):
+        sim, servers, controller, view, registry = build()
+        a = sorted(servers)[0]
+        doc = item("/recon/orphan.html")
+        servers[a].place(doc)  # bytes landed, never registered
+        assert servers[a].holds(doc.path)
+        summary = run_op(sim, controller.reconcile_node(a))
+        assert summary["purged"] == [doc.path]
+        assert not servers[a].holds(doc.path)
+
+    def test_routed_but_missing_extra_copy_dropped(self):
+        sim, servers, controller, view, registry = build()
+        a, b = sorted(servers)[:2]
+        doc = item("/recon/ghost-copy.html")
+        run_op(sim, controller.place(doc, a))
+        controller.url_table.add_location(doc.path, b)  # never copied
+        summary = run_op(sim, controller.reconcile_node(b))
+        assert summary["dropped"] == [doc.path]
+        assert controller.url_table.locations(doc.path) == {a}
+
+    def test_routed_but_missing_last_copy_removed(self):
+        sim, servers, controller, view, registry = build()
+        a = sorted(servers)[0]
+        doc = item("/recon/vanished.html")
+        controller.url_table.insert(doc, {a})  # never physically placed
+        summary = run_op(sim, controller.reconcile_node(a))
+        assert summary["lost"] == [doc.path]
+        assert doc.path not in controller.url_table
+
+    def test_failed_inventory_reports_error(self):
+        sim, servers, controller, view, registry = build()
+        a = sorted(servers)[0]
+        registry[a].drop_filter = lambda dispatch: True
+        summary = run_op(sim, controller.reconcile_node(a, timeout=0.5))
+        assert "error" in summary
+
+
+class TestMonitorRecoveryReconcile:
+    def test_recovered_node_rejoins_routing(self):
+        sim, servers, controller, view, registry = build()
+        names = sorted(servers)
+        doc = item("/ha/replicated.html")
+        run_op(sim, controller.place(doc, names[0]))
+        run_op(sim, controller.replicate(doc.path, names[1]))
+        monitor = ClusterMonitor(sim, controller, view, interval=0.5,
+                                 misses_to_fail=1)
+        monitor.start()
+        sim.schedule(1.0, servers[names[1]].crash)
+        sim.run(until=sim.now + 4.0)
+        # routed away while down (multi-copy doc)
+        assert names[1] not in controller.url_table.locations(doc.path)
+        servers[names[1]].recover()
+        sim.run(until=sim.now + 4.0)
+        monitor.stop()
+        # the sweep after recovery reconciled the returning node
+        assert names[1] in controller.url_table.locations(doc.path)
+        kinds = [e.kind for e in monitor.events]
+        assert "up" in kinds and "rejoined" in kinds
+
+    def test_reconcile_retried_until_inventory_succeeds(self):
+        sim, servers, controller, view, registry = build()
+        names = sorted(servers)
+        doc = item("/ha/retry.html")
+        run_op(sim, controller.place(doc, names[0]))
+        run_op(sim, controller.replicate(doc.path, names[1]))
+        monitor = ClusterMonitor(sim, controller, view, interval=0.5,
+                                 misses_to_fail=1, probe_timeout=0.4)
+        monitor.start()
+        sim.schedule(1.0, servers[names[1]].crash)
+        sim.run(until=sim.now + 3.0)
+        servers[names[1]].recover()
+        # lose every management dispatch for a while: the reconcile fails
+        # and must stay pending
+        registry[names[1]].drop_filter = lambda dispatch: True
+        sim.run(until=sim.now + 3.0)
+        assert names[1] not in controller.url_table.locations(doc.path)
+        registry[names[1]].drop_filter = None
+        sim.run(until=sim.now + 4.0)
+        monitor.stop()
+        assert names[1] in controller.url_table.locations(doc.path)

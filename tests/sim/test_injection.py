@@ -1,0 +1,76 @@
+"""Tests for the engine's fault-injection hook (Simulator.add_injection)."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+class TestAddInjection:
+    def test_apply_fires_at_scheduled_time(self):
+        sim = Simulator()
+        fired = []
+        record = sim.add_injection(2.5, lambda: fired.append(sim.now),
+                                   label="crash")
+        sim.run(until=5.0)
+        assert fired == [2.5]
+        assert record.label == "crash"
+        assert record.at == 2.5
+        assert record.applied
+        assert record.applied_at == 2.5
+
+    def test_revert_fires_after_duration(self):
+        sim = Simulator()
+        trace = []
+        record = sim.add_injection(1.0, lambda: trace.append(("on", sim.now)),
+                                   revert=lambda: trace.append(
+                                       ("off", sim.now)),
+                                   duration=2.0)
+        sim.run(until=0.5)
+        assert not record.applied and not record.active
+        sim.run(until=2.0)
+        assert record.active  # applied, not yet reverted
+        sim.run(until=5.0)
+        assert trace == [("on", 1.0), ("off", 3.0)]
+        assert record.reverted_at == 3.0
+        assert not record.active
+
+    def test_permanent_injection_never_reverts(self):
+        sim = Simulator()
+        sim.add_injection(1.0, lambda: None, duration=0.0)
+        record = sim.injections[0]
+        sim.run(until=10.0)
+        assert record.applied
+        assert record.reverted_at is None
+        assert record.active  # permanent faults stay active
+
+    def test_registry_keeps_schedule_order(self):
+        sim = Simulator()
+        sim.add_injection(3.0, lambda: None, label="b")
+        sim.add_injection(1.0, lambda: None, label="a")
+        assert [r.label for r in sim.injections] == ["b", "a"]
+        assert [r.at for r in sim.injections] == [3.0, 1.0]
+
+    def test_negative_delay_or_duration_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.add_injection(-1.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.add_injection(1.0, lambda: None, duration=-0.5)
+
+    def test_injections_interleave_with_processes(self):
+        sim = Simulator()
+        state = {"broken": False}
+        seen = []
+
+        def proc():
+            while sim.now < 6.0:
+                yield sim.timeout(1.0)
+                seen.append((sim.now, state["broken"]))
+
+        sim.process(proc())
+        sim.add_injection(1.5, lambda: state.update(broken=True),
+                          revert=lambda: state.update(broken=False),
+                          duration=2.0)
+        sim.run(until=7.0)
+        assert seen == [(1.0, False), (2.0, True), (3.0, True),
+                        (4.0, False), (5.0, False), (6.0, False)]
