@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: verify test check chaos-smoke chaos golden
+.PHONY: verify test check chaos-smoke chaos chaos-overload golden
 
 ## The full tier-1 gate: unit/integration tests, the repro.analysis
 ## correctness passes, and the chaos smoke episodes.
@@ -19,6 +19,10 @@ chaos-smoke:
 ## The full fault-injection acceptance run (20 seeded episodes).
 chaos:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro chaos --seed 1 --episodes 20
+
+## The flash-crowd + slow-disk overload episode (graceful degradation).
+chaos-overload:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro overload --seed 1
 
 ## Regenerate the golden-metrics fixture after a reviewed model change.
 golden:

@@ -8,6 +8,7 @@ before p95 latency explodes.
 """
 
 from conftest import emit
+from repro.core import OverloadConfig
 from repro.experiments import ExperimentConfig, build_deployment
 from repro.sim import RngStream
 from repro.workload import WORKLOAD_A, TraceReplayer, generate_trace
@@ -15,11 +16,16 @@ from repro.workload import WORKLOAD_A, TraceReplayer, generate_trace
 RATES = (200, 500, 800)
 DURATION = 10.0
 WARMUP = 2.0
+#: well past the partition-ca knee: the over-capacity point where the
+#: shedding-vs-unbounded-queueing comparison is made
+OVER_RATE = 1400
 
 
-def run_point(scheme: str, rate: int) -> dict:
+def run_point(scheme: str, rate: int,
+              overload: OverloadConfig = None) -> dict:
     config = ExperimentConfig(scheme=scheme, workload=WORKLOAD_A,
-                              duration=DURATION, warmup=WARMUP, seed=42)
+                              duration=DURATION, warmup=WARMUP, seed=42,
+                              overload=overload)
     deployment = build_deployment(config)
     trace = generate_trace(deployment.sampler, rate=rate,
                            duration=DURATION - 1.0,
@@ -27,7 +33,9 @@ def run_point(scheme: str, rate: int) -> dict:
     replayer = TraceReplayer(deployment.sim, deployment.frontend.submit,
                              trace, warmup=WARMUP)
     deployment.sim.run(until=DURATION)
-    return replayer.summary(DURATION)
+    summary = replayer.summary(DURATION)
+    summary["frontend_peak_inflight"] = deployment.frontend.peak_inflight
+    return summary
 
 
 class TestOpenLoopLatency:
@@ -54,3 +62,39 @@ class TestOpenLoopLatency:
         # latency lower than content-blind replication
         assert results["partition-ca"][800]["latency_p95"] < \
             results["replication-l4"][800]["latency_p95"]
+
+    def test_overload_shedding_bounds_the_tail(self, benchmark):
+        """Over capacity, shedding trades completions for a bounded tail.
+
+        Without admission control the open-loop backlog grows without
+        limit and served latency rides the queue; with it, excess
+        arrivals get an immediate 503 and the *served* requests keep a
+        bounded p99 and a bounded concurrent population.
+        """
+        results = benchmark.pedantic(
+            lambda: {
+                "off": run_point("partition-ca", OVER_RATE),
+                "on": run_point("partition-ca", OVER_RATE,
+                                overload=OverloadConfig()),
+            }, rounds=1, iterations=1)
+        on, off = results["on"], results["off"]
+        emit("Extension: over-capacity point "
+             f"({OVER_RATE} req/s offered, partition-ca)\n"
+             f"  shedding off: p99={off['latency_p99'] * 1000:.1f} ms "
+             f"peak_inflight={off['frontend_peak_inflight']} "
+             f"errors={off['errors']}\n"
+             f"  shedding on:  p99={on['latency_p99'] * 1000:.1f} ms "
+             f"peak_inflight={on['frontend_peak_inflight']} "
+             f"errors={on['errors']} (503 sheds)")
+        config = OverloadConfig()
+        # protection actually engaged: some arrivals were shed
+        assert on["errors"] > 0
+        assert off["errors"] == 0
+        # the admitted population stays within the configured window
+        # (+ max_queue waiting + the instantaneous shed in progress);
+        # unprotected, the backlog blows far past it
+        cap = config.max_inflight + config.max_queue
+        assert off["frontend_peak_inflight"] > cap
+        assert on["frontend_peak_inflight"] <= cap + 1
+        # and the served tail stays bounded instead of riding the queue
+        assert on["latency_p99"] < off["latency_p99"]

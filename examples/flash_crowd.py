@@ -1,11 +1,17 @@
-"""Flash crowd: §3.3 auto-replication dissolving a hot spot, live.
+"""Flash crowd: two defence layers against a sudden demand spike, live.
 
-A handful of documents suddenly dominate the request stream (a "flash
-crowd"), overloading the nodes that hold them.  The distributor's load
-accountant (l_i = (load_CPU + load_Disk) x processing_time, L_j per §3.3)
-flags the imbalance; the controller ships CopyAgents to underutilized
-nodes; the URL table picks up the new replicas and the distributor spreads
-the load.
+Act 1 -- §3.3 auto-replication dissolving a hot spot.  A handful of
+documents suddenly dominate the request stream, overloading the nodes
+that hold them.  The distributor's load accountant (l_i = (load_CPU +
+load_Disk) x processing_time, L_j per §3.3) flags the imbalance; the
+controller ships CopyAgents to underutilized nodes; the URL table picks
+up the new replicas and the distributor spreads the load.
+
+Act 2 -- overload control riding out a 4x client burst.  Replication
+takes seconds; a flash crowd arrives in milliseconds.  The distributor's
+admission control sheds the excess with clean 503 + Retry-After responses
+while a concurrent disk slowdown trips that node's circuit breaker, and
+both heal before the episode ends.
 
 Run:  python examples/flash_crowd.py
 """
@@ -73,6 +79,32 @@ def main():
         print(f"  ... and {len(replicator.history) - 12} more")
     assert imbalance(dep_on.servers) < imbalance(dep_off.servers)
     print("\nOK: the hot spot was dissolved by automatic replication")
+
+    overload_act()
+
+
+def overload_act():
+    """Act 2: shedding + circuit breakers under a 4x burst + slow disk."""
+    from repro.experiments.chaos import run_overload_episode
+
+    print("\nFlash crowd, act 2: a 4x client burst with a concurrent disk "
+          "slowdown,\nthis time absorbed by the overload-control layer:\n")
+    result = run_overload_episode(seed=1)
+    print(f"  completed {result.completed} requests "
+          f"({result.goodput:.0f} req/s goodput)")
+    print(f"  shed {result.shed} excess requests with a clean "
+          f"503 + Retry-After")
+    print(f"  {result.timeouts} backend timeouts tripped "
+          f"{result.breaker_opened} circuit breaker(s); "
+          f"{result.breaker_reclosed} re-closed after probing")
+    print(f"  admission window never exceeded: peak inflight "
+          f"{result.admission_peak_inflight}/"
+          f"{result.config.max_inflight}, peak queue "
+          f"{result.admission_peak_queue}/{result.config.max_queue}")
+    assert result.survived, result.failure_summary()
+    assert result.shed > 0 and result.breaker_opened > 0
+    assert result.breakers_all_closed
+    print("\nOK: the burst was shed cleanly and every breaker re-closed")
 
 
 if __name__ == "__main__":

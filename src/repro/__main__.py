@@ -8,6 +8,7 @@ Commands
 ``schemes``   list available placement/routing schemes
 ``check``     run the repro.analysis correctness passes (exit 1 on findings)
 ``chaos``     seeded fault-injection episodes (exit 1 if any fails)
+``overload``  flash-crowd + slow-disk overload episode (exit 1 on failure)
 """
 
 from __future__ import annotations
@@ -105,6 +106,16 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if runner.all_survived else 1
 
 
+def cmd_overload(args: argparse.Namespace) -> int:
+    from .experiments.chaos import run_overload_episode
+    result = run_overload_episode(
+        seed=args.seed, duration=args.duration, clients=args.clients,
+        n_objects=args.objects, settle=args.settle,
+        multiplier=args.multiplier, enabled=not args.disabled)
+    print(result.report())
+    return 0 if result.survived else 1
+
+
 def cmd_schemes(args: argparse.Namespace) -> int:
     descriptions = {
         "replication-l4": "full replication + L4 router (WLC) -- config 1",
@@ -181,6 +192,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_cha.add_argument("--settle", type=float, default=2.5,
                        help="drain window after the load stops")
     p_cha.set_defaults(func=cmd_chaos)
+
+    p_ovl = sub.add_parser("overload",
+                           help="run the flash-crowd + slow-disk overload "
+                                "episode and check the graceful-degradation "
+                                "properties")
+    p_ovl.add_argument("--seed", type=int, default=1)
+    p_ovl.add_argument("--duration", type=float, default=6.0,
+                       help="simulated seconds of load")
+    p_ovl.add_argument("--clients", type=int, default=10,
+                       help="steady closed-loop clients (the flash crowd "
+                            "multiplies this)")
+    p_ovl.add_argument("--multiplier", type=float, default=4.0,
+                       help="flash-crowd client multiplier")
+    p_ovl.add_argument("--objects", type=int, default=300)
+    p_ovl.add_argument("--settle", type=float, default=2.5,
+                       help="drain window after the load stops")
+    p_ovl.add_argument("--disabled", action="store_true",
+                       help="run the same episode with overload control "
+                            "off (the unprotected baseline)")
+    p_ovl.set_defaults(func=cmd_overload)
 
     p_chk = sub.add_parser("check",
                            help="determinism lint + state-machine check + "

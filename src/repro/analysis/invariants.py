@@ -24,7 +24,13 @@ objects:
   popped from the idle list rides a zero-delay event to its acquirer, so
   between two simulation events it can be busy-but-not-yet-leased;
 * **INV008** every catalog item resolves through the URL table (when a
-  catalog is supplied).
+  catalog is supplied);
+* **INV009** admission-control accounting balances (when the front end has
+  overload control wired): ``inflight = admitted - released``, the live
+  and peak inflight/queue figures never exceed the configured bounds, and
+  ``submitted = admitted + shed + queued``;
+* **INV010** every circuit breaker is in a declared state of the
+  ``BREAKER_TRANSITIONS`` machine with probe accounting inside its bounds.
 
 ``install_invariants`` wires these checks into the simulation engine's
 debug hook so they run periodically *during* a run and fail fast with
@@ -149,6 +155,50 @@ def check_invariants(url_table,
                 _flag(out, "INV007", "pools",
                       f"{leased_total} leased pooled connections but "
                       f"{bound_entries} mapping entries hold one")
+
+    # -- overload control (INV009-INV010) ----------------------------------
+    ctl = getattr(frontend, "overload", None) if frontend is not None \
+        else None
+    if ctl is not None:
+        from ..core.overload import BREAKER_TRANSITIONS
+        adm, cfg = ctl.admission, ctl.config
+        where = "admission"
+        if adm.inflight != adm.admitted - adm.released:
+            _flag(out, "INV009", where,
+                  f"inflight ({adm.inflight}) != admitted ({adm.admitted}) "
+                  f"- released ({adm.released})")
+        if not 0 <= adm.inflight <= cfg.max_inflight:
+            _flag(out, "INV009", where,
+                  f"inflight ({adm.inflight}) outside "
+                  f"[0, {cfg.max_inflight}]")
+        if adm.queued > cfg.max_queue:
+            _flag(out, "INV009", where,
+                  f"queued ({adm.queued}) exceeds max_queue "
+                  f"({cfg.max_queue})")
+        if adm.peak_inflight > cfg.max_inflight:
+            _flag(out, "INV009", where,
+                  f"peak inflight ({adm.peak_inflight}) exceeds "
+                  f"max_inflight ({cfg.max_inflight})")
+        if adm.peak_queue > cfg.max_queue:
+            _flag(out, "INV009", where,
+                  f"peak queue ({adm.peak_queue}) exceeds max_queue "
+                  f"({cfg.max_queue})")
+        if adm.submitted != adm.admitted + adm.shed + adm.queued:
+            _flag(out, "INV009", where,
+                  f"submitted ({adm.submitted}) != admitted "
+                  f"({adm.admitted}) + shed ({adm.shed}) + queued "
+                  f"({adm.queued})")
+        for node, snap in sorted(ctl.breakers.snapshot().items()):
+            breaker = ctl.breakers.breaker(node)
+            where = f"breaker:{node}"
+            if snap["state"] not in BREAKER_TRANSITIONS:
+                _flag(out, "INV010", where,
+                      f"undeclared breaker state {snap['state']!r}")
+            if not 0 <= breaker.probes_in_flight <= \
+                    cfg.breaker_probe_inflight:
+                _flag(out, "INV010", where,
+                      f"probes in flight ({breaker.probes_in_flight}) "
+                      f"outside [0, {cfg.breaker_probe_inflight}]")
     return out
 
 

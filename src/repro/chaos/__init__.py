@@ -12,13 +12,13 @@ survival properties.
 """
 
 from .faults import (AgentLoss, BackendCrash, ChaosTargets, DiskSlowdown,
-                     Fault, FAULT_KINDS, LanDelay, PacketLoss, Partition,
-                     PrimaryCrash)
+                     Fault, FAULT_KINDS, FlashCrowd, LanDelay, PacketLoss,
+                     Partition, PrimaryCrash)
 from .schedule import FaultSchedule, generate_schedule
 
 __all__ = [
     "ChaosTargets", "Fault", "FAULT_KINDS",
     "BackendCrash", "PrimaryCrash", "PacketLoss", "LanDelay", "Partition",
-    "DiskSlowdown", "AgentLoss",
+    "DiskSlowdown", "AgentLoss", "FlashCrowd",
     "FaultSchedule", "generate_schedule",
 ]

@@ -28,7 +28,7 @@ from ..sim import RngStream, Simulator
 
 __all__ = ["ChaosTargets", "Fault", "BackendCrash", "PrimaryCrash",
            "PacketLoss", "LanDelay", "Partition", "DiskSlowdown",
-           "AgentLoss", "FAULT_KINDS"]
+           "AgentLoss", "FlashCrowd", "FAULT_KINDS"]
 
 
 @dataclasses.dataclass
@@ -44,6 +44,9 @@ class ChaosTargets:
     loss_rng: Optional[RngStream] = None
     #: stream deciding which dispatches are lost in flight (AgentLoss)
     agent_rng: Optional[RngStream] = None
+    #: the closed-loop client rig (FlashCrowd bursts extra clients on it);
+    #: typed loosely to keep the chaos layer import-free of the workload
+    rig: Optional[object] = None
 
 
 @dataclasses.dataclass(frozen=True, kw_only=True)
@@ -195,8 +198,32 @@ class AgentLoss(Fault):
             targets.brokers[name].drop_filter = None
 
 
+@dataclasses.dataclass(frozen=True, kw_only=True)
+class FlashCrowd(Fault):
+    """A sudden burst of demand: the closed-loop client population jumps
+    by ``multiplier`` x for the fault's duration.
+
+    This is the overload-control scenario: without admission control the
+    front end accepts everything and queues grow without limit; with it,
+    excess requests are shed with a clean 503 + Retry-After.
+    """
+
+    kind: ClassVar[str] = "flash-crowd"
+    multiplier: float = 3.0
+
+    def apply(self, targets: ChaosTargets) -> None:
+        if targets.rig is None:
+            raise ValueError("FlashCrowd needs targets.rig")
+        steady = targets.rig.steady_clients
+        extra = max(1, round(steady * (self.multiplier - 1.0)))
+        targets.rig.start_burst(extra)
+
+    def revert(self, targets: ChaosTargets) -> None:
+        targets.rig.drain_burst()
+
+
 #: Every injectable fault class, in a fixed order (episode rotation uses
 #: this to guarantee coverage of all kinds across a run).
 FAULT_KINDS: tuple[type[Fault], ...] = (
     BackendCrash, PrimaryCrash, PacketLoss, LanDelay, Partition,
-    DiskSlowdown, AgentLoss)
+    DiskSlowdown, AgentLoss, FlashCrowd)

@@ -14,8 +14,8 @@ from typing import Iterable, Optional, Sequence
 
 from ..sim import Injection, RngStream
 from .faults import (AgentLoss, BackendCrash, ChaosTargets, DiskSlowdown,
-                     Fault, FAULT_KINDS, LanDelay, PacketLoss, Partition,
-                     PrimaryCrash)
+                     Fault, FAULT_KINDS, FlashCrowd, LanDelay, PacketLoss,
+                     Partition, PrimaryCrash)
 
 __all__ = ["FaultSchedule", "generate_schedule"]
 
@@ -90,6 +90,9 @@ def _build_fault(cls: type[Fault], rng: RngStream,
                             duration=span)
     if cls is AgentLoss:
         return AgentLoss(rate=rng.uniform(0.2, 0.5), at=at, duration=span)
+    if cls is FlashCrowd:
+        return FlashCrowd(multiplier=rng.uniform(2.0, 4.0), at=at,
+                          duration=span)
     raise ValueError(f"unknown fault class {cls!r}")
 
 

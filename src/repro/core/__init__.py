@@ -11,6 +11,9 @@ from .loadbalance import (AutoReplicator, LoadAccountant, LoadAwareReplica,
                           RebalanceAction, ReplicationActuator)
 from .mapping_table import (MappingEntry, MappingError, MappingState,
                             MappingTable)
+from .overload import (AdmissionController, BreakerBoard, CircuitBreaker,
+                       OverloadConfig, OverloadControl, RequestTimeout,
+                       RetryBudget)
 from .placement import (PlacementPlan, apply_plan, full_replication,
                         partial_replication, partition_by_priority,
                         partition_by_type, shared_nfs)
@@ -36,4 +39,6 @@ __all__ = [
     "ReplicationActuator",
     "FrontendDown", "HaDistributorPair",
     "SplicingDistributor", "PoolLeg",
+    "OverloadConfig", "OverloadControl", "AdmissionController",
+    "CircuitBreaker", "BreakerBoard", "RetryBudget", "RequestTimeout",
 ]

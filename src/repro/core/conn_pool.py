@@ -65,6 +65,11 @@ class ConnectionPool:
         self.released = 0
         self.grown = 0
         self.waits = 0
+        #: acquirers currently blocked on an empty list, and the high-water
+        #: mark -- the observable that explodes when the front end has no
+        #: admission control and keeps binding under overload
+        self.waiting = 0
+        self.peak_waiting = 0
         for _ in range(prefork):
             self._idle.put(self._new_conn())
 
@@ -97,11 +102,19 @@ class ConnectionPool:
         if len(self._idle) == 0 and self.total < self.max_size:
             self._idle.put(self._new_conn())
             self.grown += 1
-        if len(self._idle) == 0:
+        waited = len(self._idle) == 0
+        if waited:
             self.waits += 1
+            self.waiting += 1
+            self.peak_waiting = max(self.peak_waiting, self.waiting)
         ev = self._idle.get()
+        if waited:
+            ev.add_callback(self._waiter_served)
         ev.add_callback(self._mark_busy)
         return ev
+
+    def _waiter_served(self, event: SimEvent) -> None:
+        self.waiting -= 1
 
     def _mark_busy(self, event: SimEvent) -> None:
         conn: PooledConnection = event.value
@@ -145,3 +158,7 @@ class PoolManager:
 
     def total_connections(self) -> int:
         return sum(p.total for p in self._pools.values())
+
+    def peak_waiting(self) -> int:
+        """Worst per-pool acquire-queue depth seen so far."""
+        return max((p.peak_waiting for p in self._pools.values()), default=0)

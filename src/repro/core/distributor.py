@@ -20,6 +20,7 @@ from ..net import HttpRequest, Lan
 from ..sim import Simulator
 from .conn_pool import PoolManager, PooledConnection
 from .frontend import Frontend, FrontendCosts
+from .overload import OverloadConfig
 from .policies import LeastLoadedReplica, Policy
 from .url_table import UrlTable, UrlTableError
 
@@ -38,11 +39,13 @@ class ContentAwareDistributor(Frontend):
                  max_pool_size: Optional[int] = None,
                  warmup: float = 0.0,
                  client_latency: float = 0.0,
+                 overload: Optional[OverloadConfig] = None,
                  name: Optional[str] = None):
         super().__init__(sim, lan, spec, servers,
                          policy=policy or LeastLoadedReplica(),
                          costs=costs, warmup=warmup,
-                         client_latency=client_latency, name=name)
+                         client_latency=client_latency, overload=overload,
+                         name=name)
         self.url_table = url_table
         self.pools = PoolManager(sim, prefork=prefork,
                                  max_size=max_pool_size)

@@ -27,6 +27,7 @@ from ..net import HttpRequest, Nic
 from ..sim import Simulator
 from .distributor import ContentAwareDistributor
 from .frontend import Frontend
+from .overload import RetryBudget
 
 __all__ = ["FrontendDown", "HaDistributorPair"]
 
@@ -45,6 +46,7 @@ class HaDistributorPair:
                  misses_to_fail: int = 3,
                  retry_attempts: int = 4,
                  retry_backoff: float = 0.1,
+                 retry_budget: Optional[RetryBudget] = None,
                  on_failover: Optional[
                      Callable[["HaDistributorPair"], None]] = None):
         if heartbeat_interval <= 0:
@@ -62,6 +64,11 @@ class HaDistributorPair:
         self.misses_to_fail = misses_to_fail
         self.retry_attempts = retry_attempts
         self.retry_backoff = retry_backoff
+        #: optional cap on retry volume (repro.core.overload): when the
+        #: budget is exhausted, outage-window waits fail fast instead of
+        #: piling a retry storm on top of the takeover
+        self.retry_budget = retry_budget
+        self.budget_denied = 0
         self.on_failover = on_failover
         self.active = primary
         self.failed_over = False
@@ -116,12 +123,20 @@ class HaDistributorPair:
         settings, so clients ride out a failover without seeing an error.
         Raises :class:`FrontendDown` once the budget is exhausted.
         """
+        if self.retry_budget is not None:
+            self.retry_budget.on_request()
         delay = self.retry_backoff
         attempts = 0
         while not self.active.alive:
             if attempts >= self.retry_attempts:
                 raise FrontendDown(
                     f"active distributor {self.active.name} is down")
+            if (self.retry_budget is not None and
+                    not self.retry_budget.try_spend()):
+                self.budget_denied += 1
+                raise FrontendDown(
+                    f"active distributor {self.active.name} is down "
+                    f"(retry budget exhausted)")
             attempts += 1
             self.retries += 1
             yield self.sim.timeout(delay)

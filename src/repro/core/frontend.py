@@ -21,8 +21,9 @@ from ..cluster import BackendServer, Cpu, NodeSpec
 from ..content import ContentItem, ContentType
 from ..net import HttpRequest, HttpResponse, Lan, Nic
 from ..net.packet import Address
-from ..sim import MetricSet, Simulator, ThroughputMeter
+from ..sim import Interrupt, MetricSet, Simulator, ThroughputMeter
 from .mapping_table import MappingState, MappingTable
+from .overload import OverloadConfig, OverloadControl, RequestTimeout
 from .policies import Policy, RoutingView, WeightedLeastConnection
 
 __all__ = ["FrontendCosts", "Frontend", "RequestOutcome"]
@@ -55,6 +56,10 @@ class RequestOutcome:
     response: Optional[HttpResponse]
     latency: float
     backend: Optional[str]
+    #: True when the front end refused or degraded the request (503)
+    shed: bool = False
+    #: Retry-After seconds the client should honour before retrying
+    retry_after: float = 0.0
 
 
 class Frontend:
@@ -66,6 +71,7 @@ class Frontend:
                  costs: FrontendCosts = FrontendCosts(),
                  warmup: float = 0.0,
                  client_latency: float = 0.0,
+                 overload: Optional[OverloadConfig] = None,
                  name: Optional[str] = None):
         if not servers:
             raise ValueError("a front end needs at least one backend")
@@ -97,6 +103,16 @@ class Frontend:
         self.on_response: Optional[
             Callable[[Optional[ContentItem], HttpResponse], None]] = None
         self._vip_isns = itertools.count(7_000_000, 104729)
+        #: raw concurrency accounting (always on, no events): without
+        #: admission control this is the unbounded queue the overload
+        #: regression test measures
+        self.inflight = 0
+        self.peak_inflight = 0
+        #: the overload-control subsystem; None = the paper's unprotected
+        #: data plane (and a byte-identical event sequence to it)
+        self.overload: Optional[OverloadControl] = None
+        if overload is not None:
+            self.overload = OverloadControl(sim, overload, self.view)
 
     # -- hooks subclasses implement ------------------------------------------
     def route(self, request: HttpRequest) -> Generator:
@@ -119,16 +135,47 @@ class Frontend:
         Models: client handshake + request transfer in, routing decision,
         backend binding, request relay, backend service, response relay
         back out, teardown.  All bytes cross this front end's NIC.
+
+        With overload control wired (``self.overload``), the request first
+        passes admission (bounded inflight + bounded queue, deterministic
+        shed beyond that) and failures on the splice path feed the
+        per-backend circuit breakers.
         """
         if not self.alive:
             raise RuntimeError(f"front end {self.name} is down")
         started = self.sim.now
+        self.inflight += 1
+        self.peak_inflight = max(self.peak_inflight, self.inflight)
+        try:
+            ctl = self.overload
+            if ctl is None:
+                return (yield from self._serve_spliced(request, client_nic,
+                                                       client_addr, started))
+            ctl.retry_budget.on_request()
+            admitted = yield from ctl.admission.admit()
+            if not admitted:
+                # shed at the accept stage: no mapping entry, no pooled
+                # connection -- nothing allocated, nothing to leak
+                return self._shed(request, started, "overload/shed")
+            try:
+                return (yield from self._serve_spliced(request, client_nic,
+                                                       client_addr, started))
+            finally:
+                ctl.admission.release()
+        finally:
+            self.inflight -= 1
+
+    def _serve_spliced(self, request: HttpRequest, client_nic: Nic,
+                       client_addr: Optional[Address],
+                       started: float) -> Generator:
+        """The §2.2 splice: bind, relay, serve, relay back, tear down."""
         client = client_addr or Address("client", next(_client_ports))
         entry = self.mapping.create(client, started,
                                     vip_isn=next(self._vip_isns))
         self.mapping.transition(entry, MappingState.ESTABLISHED)
         backend: Optional[str] = None
         token = None
+        attempts = 0
         try:
             # TCP handshake with the client (one WAN round trip), then the
             # request bytes ride client -> front end
@@ -137,37 +184,76 @@ class Frontend:
             yield from self.lan.transfer(client_nic, self.nic,
                                          request.wire_bytes)
             yield from self.cpu.run(self.costs.conn_setup_cpu)
-            backend, item = yield from self.route(request)
-            if backend is None:
-                response = HttpResponse(request=request, status=503,
-                                        completed_at=self.sim.now)
-                return self._finish(entry, request, response, started, None)
-            token = yield from self.acquire_backend(backend)
-            self.mapping.bind(entry, token if token is not None else object(),
-                              backend)
-            self.view.connection_started(backend)
-            try:
-                server = self.servers[backend]
-                # relay the request to the backend
-                relay_kb = request.wire_bytes / 1024.0
-                yield from self.cpu.run(self.costs.relay_cpu_per_kb * relay_kb)
-                yield from self.lan.transfer(self.nic, server.nic,
-                                             request.wire_bytes)
-                response = yield self.sim.process(server.serve(request, item))
-                entry.requests_relayed += 1
-                entry.bytes_to_server += request.wire_bytes
-                # relay the response back to the client
-                resp_kb = response.wire_bytes / 1024.0
-                yield from self.lan.transfer(server.nic, self.nic,
-                                             response.wire_bytes)
-                yield from self.cpu.run(self.costs.relay_cpu_per_kb * resp_kb)
-                yield from self.lan.transfer(self.nic, client_nic,
-                                             response.wire_bytes)
-                if self.client_latency:
-                    yield self.sim.timeout(self.client_latency)
-                entry.bytes_to_client += response.wire_bytes
-            finally:
-                self.view.connection_finished(backend)
+            while True:
+                backend, item = yield from self.route(request)
+                if backend is None:
+                    response = HttpResponse(request=request, status=503,
+                                            completed_at=self.sim.now)
+                    return self._finish(entry, request, response, started,
+                                        None)
+                token = yield from self.acquire_backend(backend)
+                self.mapping.bind(entry,
+                                  token if token is not None else object(),
+                                  backend)
+                self.view.connection_started(backend)
+                if self.overload is not None:
+                    self.overload.breakers.on_dispatch(backend)
+                failure: Optional[Exception] = None
+                try:
+                    server = self.servers[backend]
+                    # relay the request to the backend
+                    relay_kb = request.wire_bytes / 1024.0
+                    yield from self.cpu.run(
+                        self.costs.relay_cpu_per_kb * relay_kb)
+                    yield from self.lan.transfer(self.nic, server.nic,
+                                                 request.wire_bytes)
+                    response = yield from self._backend_serve(server, request,
+                                                              item)
+                    entry.requests_relayed += 1
+                    entry.bytes_to_server += request.wire_bytes
+                    # relay the response back to the client
+                    resp_kb = response.wire_bytes / 1024.0
+                    yield from self.lan.transfer(server.nic, self.nic,
+                                                 response.wire_bytes)
+                    yield from self.cpu.run(
+                        self.costs.relay_cpu_per_kb * resp_kb)
+                    yield from self.lan.transfer(self.nic, client_nic,
+                                                 response.wire_bytes)
+                    if self.client_latency:
+                        yield self.sim.timeout(self.client_latency)
+                    entry.bytes_to_client += response.wire_bytes
+                except Interrupt:
+                    raise
+                except Exception as exc:
+                    failure = exc
+                finally:
+                    self.view.connection_finished(backend)
+                if failure is None:
+                    if self.overload is not None:
+                        self.overload.breakers.record_success(backend)
+                    break
+                # the backend failed mid-splice: score its breaker, drop
+                # the lease, and retry on a replica if the budget allows
+                if self.overload is not None:
+                    self.overload.breakers.record_failure(backend)
+                if token is not None:
+                    self.release_backend(backend, token)
+                    token = None
+                if self.overload is None:
+                    raise failure
+                if not self._may_retry(attempts):
+                    self.mapping.abort(entry.client)
+                    return self._shed(request, started, "overload/degraded")
+                attempts += 1
+                self.metrics.counter("overload/replica-retry").increment()
+                # SM005: BOUND never returns to ESTABLISHED -- the splice
+                # is torn down (RST) and the client connection re-enters
+                # the table as a fresh entry before the re-route
+                self.mapping.abort(entry.client)
+                entry = self.mapping.create(client, self.sim.now,
+                                            vip_isn=next(self._vip_isns))
+                self.mapping.transition(entry, MappingState.ESTABLISHED)
+                backend = None
             # FIN handling happens after the response reaches the client;
             # it consumes front-end CPU but adds nothing to user latency
             if self.costs.teardown_cpu:
@@ -183,6 +269,43 @@ class Frontend:
         finally:
             if token is not None:
                 self.release_backend(backend, token)
+
+    def _backend_serve(self, server: BackendServer, request: HttpRequest,
+                       item: Optional[ContentItem]) -> Generator:
+        """Await the backend's response, bounded by the request timeout."""
+        proc = self.sim.process(server.serve(request, item))
+        ctl = self.overload
+        if ctl is None or ctl.config.request_timeout <= 0:
+            return (yield proc)
+        timer = self.sim.timeout(ctl.config.request_timeout)
+        yield self.sim.any_of([proc, timer])
+        if proc.triggered:
+            return proc.value
+        # the backend is still chewing: abandon the splice (the distributor
+        # RSTs its side) and let the serve drain in the background -- the
+        # no-op callback marks the process observed so a late failure in it
+        # cannot take down the whole simulation
+        proc.add_callback(lambda ev: None)
+        self.metrics.counter("overload/timeout").increment()
+        raise RequestTimeout(server.name, ctl.config.request_timeout)
+
+    def _may_retry(self, attempts: int) -> bool:
+        ctl = self.overload
+        if ctl is None or attempts >= ctl.config.max_replica_retries:
+            return False
+        return ctl.retry_budget.try_spend()
+
+    def _shed(self, request: HttpRequest, started: float,
+              counter: str) -> RequestOutcome:
+        """A clean 503 + Retry-After without touching per-connection state."""
+        response = HttpResponse(request=request, status=503,
+                                completed_at=self.sim.now)
+        self.metrics.counter(counter).increment()
+        self.metrics.counter(f"status/{response.status}").increment()
+        return RequestOutcome(response=response,
+                              latency=self.sim.now - started, backend=None,
+                              shed=True,
+                              retry_after=self.overload.config.retry_after)
 
     def _finish(self, entry, request: HttpRequest, response: HttpResponse,
                 started: float, item: Optional[ContentItem]) -> RequestOutcome:
@@ -204,8 +327,14 @@ class Frontend:
         self.metrics.counter(f"status/{response.status}").increment()
         if self.on_response is not None:
             self.on_response(item, response)
-        return RequestOutcome(response=response, latency=latency,
-                              backend=response.served_by or None)
+        outcome = RequestOutcome(response=response, latency=latency,
+                                 backend=response.served_by or None)
+        if self.overload is not None and response.status == 503:
+            # no healthy replica (all holders down or breaker-tripped):
+            # degrade cleanly and tell the client when to come back
+            outcome.shed = True
+            outcome.retry_after = self.overload.config.retry_after
+        return outcome
 
     # -- introspection --------------------------------------------------------
     def throughput(self, horizon: float) -> float:

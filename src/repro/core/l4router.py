@@ -21,6 +21,7 @@ from ..content import ContentItem
 from ..net import HttpRequest, Lan
 from ..sim import Simulator
 from .frontend import Frontend, FrontendCosts
+from .overload import OverloadConfig
 from .policies import Policy, WeightedLeastConnection
 
 __all__ = ["L4Router", "l4_costs"]
@@ -42,10 +43,12 @@ class L4Router(Frontend):
                  policy: Optional[Policy] = None,
                  costs: Optional[FrontendCosts] = None,
                  warmup: float = 0.0,
+                 overload: Optional[OverloadConfig] = None,
                  name: Optional[str] = None):
         super().__init__(sim, lan, spec, servers,
                          policy=policy or WeightedLeastConnection(),
-                         costs=costs or l4_costs(), warmup=warmup, name=name)
+                         costs=costs or l4_costs(), warmup=warmup,
+                         overload=overload, name=name)
         self.resolver = resolver
 
     def route(self, request: HttpRequest) -> Generator:

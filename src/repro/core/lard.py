@@ -37,6 +37,7 @@ from ..content import ContentItem
 from ..net import HttpRequest, Lan
 from ..sim import Simulator
 from .frontend import Frontend, FrontendCosts
+from .overload import OverloadConfig
 
 __all__ = ["LardRouter"]
 
@@ -51,11 +52,12 @@ class LardRouter(Frontend):
                  weighted: bool = True,
                  costs: FrontendCosts = FrontendCosts(),
                  warmup: float = 0.0,
+                 overload: Optional[OverloadConfig] = None,
                  name: Optional[str] = None):
         if not 0 <= t_low < t_high:
             raise ValueError("need 0 <= t_low < t_high")
         super().__init__(sim, lan, spec, servers, costs=costs,
-                         warmup=warmup, name=name)
+                         warmup=warmup, overload=overload, name=name)
         self.resolver = resolver
         self.t_low = t_low
         self.t_high = t_high

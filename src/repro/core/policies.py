@@ -17,7 +17,7 @@ static capacity weights, and liveness.
 from __future__ import annotations
 
 import abc
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..sim import RngStream
 
@@ -39,12 +39,27 @@ class RoutingView:
         self.active: dict[str, int] = {n: 0 for n in weights}
         self.alive: dict[str, bool] = {n: True for n in weights}
         self.dispatched: dict[str, int] = {n: 0 for n in weights}
+        #: optional health gate (circuit breakers) consulted on top of
+        #: liveness; ``None`` preserves the plain alive-only behaviour
+        self.gate: Optional[Callable[[str], bool]] = None
+        # slow-start reintroduction (repro.core.overload): a node marked up
+        # ramps from a fraction of its weight back to full weight
+        self._clock: Optional[Callable[[], float]] = None
+        self._slow_start_window = 0.0
+        self._slow_start_fraction = 1.0
+        self._ramps: dict[str, float] = {}
 
     def nodes(self) -> list[str]:
         return list(self.weights)
 
     def alive_nodes(self) -> list[str]:
         return [n for n, up in self.alive.items() if up]
+
+    def routable(self, node: str) -> bool:
+        """Alive *and* admitted by the health gate (if one is wired)."""
+        if not self.alive.get(node, False):
+            return False
+        return self.gate is None or self.gate(node)
 
     def connection_started(self, node: str) -> None:
         self.active[node] += 1
@@ -60,6 +75,38 @@ class RoutingView:
 
     def mark_up(self, node: str) -> None:
         self.alive[node] = True
+        self.begin_slow_start(node)
+
+    # -- slow-start reintroduction ----------------------------------------
+    def configure_slow_start(self, window: float, fraction: float,
+                             clock: Callable[[], float]) -> None:
+        """Ramp recovered nodes from ``fraction`` x weight to full weight
+        over ``window`` seconds of ``clock`` time."""
+        if window <= 0:
+            raise ValueError("slow-start window must be positive")
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("slow-start fraction must be in (0, 1]")
+        self._slow_start_window = window
+        self._slow_start_fraction = fraction
+        self._clock = clock
+
+    def begin_slow_start(self, node: str) -> None:
+        """Start (or restart) the reintroduction ramp for ``node``."""
+        if self._clock is not None and self._slow_start_window > 0:
+            self._ramps[node] = self._clock()
+
+    def effective_weight(self, node: str) -> float:
+        """The node's weight, scaled down while its slow-start ramp runs."""
+        weight = self.weights[node]
+        started = self._ramps.get(node)
+        if started is None:
+            return weight
+        progress = (self._clock() - started) / self._slow_start_window
+        if progress >= 1.0:
+            del self._ramps[node]
+            return weight
+        floor = self._slow_start_fraction
+        return weight * (floor + (1.0 - floor) * max(0.0, progress))
 
 
 class Policy(abc.ABC):
@@ -72,19 +119,24 @@ class Policy(abc.ABC):
 
     @staticmethod
     def _usable(candidates: Sequence[str], view: RoutingView) -> list[str]:
-        return [c for c in candidates if view.alive.get(c, False)]
+        return [c for c in candidates if view.routable(c)]
 
 
 class WeightedLeastConnection(Policy):
-    """The paper's L4 baseline: fewest active connections per unit weight."""
+    """The paper's L4 baseline: fewest active connections per unit weight.
+
+    Uses :meth:`RoutingView.effective_weight`, so a backend in its
+    slow-start window looks proportionally smaller and receives a ramped
+    share of new connections instead of its full WLC share at once.
+    """
 
     def select(self, candidates, view):
         usable = self._usable(candidates, view)
         if not usable:
             return None
         return min(usable,
-                   key=lambda n: ((view.active[n] + 1) / view.weights[n],
-                                  n))
+                   key=lambda n: ((view.active[n] + 1) /
+                                  view.effective_weight(n), n))
 
 
 class LeastConnections(Policy):

@@ -25,17 +25,19 @@ import dataclasses
 from typing import Optional
 
 from ..analysis.invariants import check_invariants
-from ..chaos import ChaosTargets, FAULT_KINDS, FaultSchedule, \
-    generate_schedule
+from ..chaos import ChaosTargets, DiskSlowdown, FAULT_KINDS, FaultSchedule, \
+    FlashCrowd, generate_schedule
 from ..cluster import distributor_spec
-from ..core import ContentAwareDistributor, HaDistributorPair, UrlTable
+from ..core import (ContentAwareDistributor, HaDistributorPair,
+                    OverloadConfig, UrlTable)
 from ..mgmt import Broker, ClusterMonitor, Controller
 from ..sim import RngStream
 from ..workload import WORKLOAD_A, WebBenchRig
 from .figures import render_table
 from .testbed import ExperimentConfig, build_deployment
 
-__all__ = ["EpisodeResult", "ChaosRunner"]
+__all__ = ["EpisodeResult", "ChaosRunner", "OverloadEpisodeResult",
+           "OVERLOAD_EPISODE_CONFIG", "run_overload_episode"]
 
 #: simulated seconds the harness allows the final audit/reconcile pass
 FINALIZE_BUDGET = 6.0
@@ -155,17 +157,17 @@ class ChaosRunner:
         schedule = generate_schedule(
             ep_rng.substream("schedule"), sorted(servers), self.duration,
             forced=forced, extra_faults=self.extra_faults)
-        targets = ChaosTargets(sim=sim, lan=lan, servers=servers,
-                               pair=pair, brokers=registry,
-                               loss_rng=ep_rng.substream("loss"),
-                               agent_rng=ep_rng.substream("agents"))
-        schedule.install(targets)
-
         rig = WebBenchRig(sim, pair.submit, deployment.sampler,
                           n_machines=config.n_client_machines,
                           warmup=config.warmup,
                           think_time=config.workload.think_time,
                           rng=ep_rng.substream("rig"))
+        targets = ChaosTargets(sim=sim, lan=lan, servers=servers,
+                               pair=pair, brokers=registry,
+                               loss_rng=ep_rng.substream("loss"),
+                               agent_rng=ep_rng.substream("agents"),
+                               rig=rig)
+        schedule.install(targets)
         rig.start_clients(self.clients)
 
         # drive, then drain: clients finish their in-flight request and
@@ -282,3 +284,265 @@ class ChaosRunner:
                      f"episodes survived"
                      + ("" if not failed else f" -- {failed} FAILED"))
         return "\n".join(lines)
+
+
+# -- the dedicated overload episode (flash crowd + slow disk) ---------------
+
+#: the episode's protection knobs: capacity low enough that the 4x flash
+#: crowd overruns it (10 steady clients -> 40 in the burst, against
+#: 16 + 8 admission slots), a request timeout short enough that the slowed
+#: disk's queueing delay trips its breaker, and a cooldown short enough
+#: that the breaker re-closes within the episode once the disk heals
+OVERLOAD_EPISODE_CONFIG = OverloadConfig(
+    max_inflight=16, max_queue=8, retry_after=0.3, request_timeout=0.8,
+    breaker_failures=3, breaker_open_duration=1.0, slow_start_window=1.5)
+
+
+@dataclasses.dataclass
+class OverloadEpisodeResult:
+    """Everything the overload episode observed."""
+
+    seed: int
+    enabled: bool
+    duration: float
+    schedule: FaultSchedule
+    completed: int
+    errors: int
+    #: client-observed error statuses; with overload control every entry
+    #: must be a clean 503 (no transport exceptions reach clients)
+    error_statuses: dict
+    shed: int
+    degraded: int
+    timeouts: int
+    replica_retries: int
+    budget_denied: int
+    admission_peak_inflight: int
+    admission_peak_queue: int
+    admission_inflight_after: int
+    admission_queued_after: int
+    #: raw concurrency high-water inside the front end (always tracked,
+    #: even with overload disabled -- the unbounded-queue observable)
+    raw_peak_inflight: int
+    pool_peak_waiting: int
+    breaker_opened: int
+    breaker_reclosed: int
+    breakers_all_closed: bool
+    open_nodes: tuple
+    stuck_clients: list
+    invariant_violations: list
+    leak_violations: list
+    config: Optional[OverloadConfig]
+
+    @property
+    def goodput(self) -> float:
+        return self.completed / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def bounds_held(self) -> bool:
+        if self.config is None:
+            return False
+        return (self.admission_peak_inflight <= self.config.max_inflight
+                and self.admission_peak_queue <= self.config.max_queue)
+
+    @property
+    def survived(self) -> bool:
+        basic = (self.completed > 0 and not self.stuck_clients
+                 and not self.invariant_violations
+                 and not self.leak_violations)
+        if not self.enabled:
+            return basic
+        return (basic
+                and set(self.error_statuses) <= {503}
+                and self.bounds_held
+                and self.breakers_all_closed
+                and self.admission_inflight_after == 0
+                and self.admission_queued_after == 0)
+
+    def failure_summary(self) -> str:
+        reasons = []
+        if self.completed == 0:
+            reasons.append("no requests completed")
+        if self.stuck_clients:
+            reasons.append(f"stuck clients: {self.stuck_clients}")
+        if self.invariant_violations:
+            reasons.append(
+                f"invariants: {'; '.join(self.invariant_violations)}")
+        if self.leak_violations:
+            reasons.append(f"leaks: {'; '.join(self.leak_violations)}")
+        if self.enabled:
+            dirty = {s for s in self.error_statuses if s != 503}
+            if dirty:
+                reasons.append(f"unclean client errors: {sorted(map(str, dirty))}")
+            if not self.bounds_held:
+                reasons.append(
+                    f"admission bounds exceeded: inflight "
+                    f"{self.admission_peak_inflight}, queue "
+                    f"{self.admission_peak_queue}")
+            if not self.breakers_all_closed:
+                reasons.append(f"breakers still open: {self.open_nodes}")
+            if self.admission_inflight_after or self.admission_queued_after:
+                reasons.append("admission not drained after settle")
+        return "; ".join(reasons) or "ok"
+
+    def report(self) -> str:
+        mode = "overload control ON" if self.enabled else \
+            "overload control OFF (unprotected data plane)"
+        lines = [
+            f"overload episode: seed={self.seed} "
+            f"duration={self.duration:.1f}s -- {mode}",
+            f"  faults: {self.schedule.describe()}",
+            f"  completed={self.completed} errors={self.errors} "
+            f"goodput={self.goodput:.1f} req/s",
+            f"  raw peak inflight={self.raw_peak_inflight} "
+            f"pool peak waiting={self.pool_peak_waiting}",
+        ]
+        if self.enabled:
+            lines += [
+                f"  shed={self.shed} degraded={self.degraded} "
+                f"timeouts={self.timeouts} "
+                f"replica-retries={self.replica_retries} "
+                f"budget-denied={self.budget_denied}",
+                f"  admission peaks: inflight="
+                f"{self.admission_peak_inflight}/"
+                f"{self.config.max_inflight} queue="
+                f"{self.admission_peak_queue}/{self.config.max_queue}",
+                f"  breakers: opened={self.breaker_opened} "
+                f"reclosed={self.breaker_reclosed} "
+                f"all-closed={self.breakers_all_closed}",
+                f"  client error statuses: "
+                f"{dict(sorted(self.error_statuses.items(), key=repr))}",
+            ]
+        status = "SURVIVED" if self.survived else \
+            f"FAILED -- {self.failure_summary()}"
+        lines.append(f"  {status}")
+        return "\n".join(lines)
+
+
+def run_overload_episode(seed: int = 1, duration: float = 6.0,
+                         clients: int = 10, n_objects: int = 300,
+                         settle: float = 2.5, multiplier: float = 4.0,
+                         config: OverloadConfig = OVERLOAD_EPISODE_CONFIG,
+                         enabled: bool = True) -> OverloadEpisodeResult:
+    """One seeded flash-crowd + slow-disk episode against the HA testbed.
+
+    A 4x client burst overruns the admission bounds (shedding), while a
+    concurrent disk slowdown on the busiest node pushes its service times
+    past the request timeout (tripping that node's breaker); the disk
+    heals mid-episode, so by the end the breaker must have probed its way
+    back to CLOSED.  ``enabled=False`` runs the identical scenario on the
+    paper's unprotected data plane -- the regression baseline showing the
+    raw inflight population blowing through the bounds.
+
+    Caches start cold (``prewarm=False``); a prewarmed hot set would serve
+    the whole episode from memory and the slow disk would never be felt.
+    """
+    exp = ExperimentConfig(
+        scheme="partition-ca", workload=WORKLOAD_A, seed=seed,
+        n_objects=n_objects, warmup=0.5, duration=duration,
+        n_client_machines=6, prewarm=False,
+        overload=config if enabled else None)
+    deployment = build_deployment(exp)
+    sim, lan, servers = deployment.sim, deployment.lan, deployment.servers
+    primary = deployment.frontend
+
+    backup = ContentAwareDistributor(
+        sim, lan, distributor_spec(), servers, UrlTable(),
+        prefork=exp.prefork, max_pool_size=exp.max_pool_size,
+        warmup=exp.warmup, name="dist-backup")
+    pair = HaDistributorPair(
+        sim, primary, backup, heartbeat_interval=0.2, misses_to_fail=2,
+        retry_budget=primary.overload.retry_budget if enabled else None)
+
+    # management plane; with overload on, dispatch timeouts feed the same
+    # breaker board the data plane trips (satellite health signal)
+    controller = Controller(sim, primary.nic, deployment.url_table,
+                            deployment.doctree)
+    controller.default_timeout = 1.0
+    if enabled:
+        controller.health_sink = primary.overload.breakers
+    registry: dict[str, Broker] = {}
+    for name in sorted(servers):
+        broker = Broker(sim, lan, servers[name], controller.nic,
+                        registry=registry)
+        controller.register_broker(broker)
+    monitor = ClusterMonitor(sim, controller, primary.view,
+                             interval=0.3, misses_to_fail=2,
+                             probe_timeout=0.5)
+    monitor.start()
+
+    ep_rng = RngStream(seed, "chaos/overload")
+    rig = WebBenchRig(sim, pair.submit, deployment.sampler,
+                      n_machines=exp.n_client_machines,
+                      warmup=exp.warmup,
+                      think_time=exp.workload.think_time,
+                      rng=ep_rng.substream("rig"))
+    # the node holding the most content sees the most traffic -- slow
+    # *its* disk, so breaker trips are all but guaranteed under the burst
+    slow_node = max(sorted(servers),
+                    key=lambda n: len(servers[n].store))
+    schedule = FaultSchedule([
+        FlashCrowd(multiplier=multiplier, at=0.15 * duration,
+                   duration=0.45 * duration),
+        DiskSlowdown(node=slow_node, factor=10.0, at=0.20 * duration,
+                     duration=0.25 * duration),
+    ])
+    targets = ChaosTargets(sim=sim, lan=lan, servers=servers, pair=pair,
+                           brokers=registry, rig=rig)
+    schedule.install(targets)
+
+    rig.start_clients(clients)
+    sim.run(until=duration)
+    rig.request_stop()
+    sim.run(until=duration + settle)
+    stuck = sorted(c.client_id for c in rig.clients if c.process.is_alive)
+
+    monitor.stop()
+    pair.stop()
+    for name in sorted(registry):
+        registry[name].stop()
+
+    active = pair.active
+    violations = check_invariants(active.url_table, servers=servers,
+                                  frontend=active,
+                                  catalog=deployment.catalog)
+    leaks: list[str] = []
+    for frontend in (primary, backup):
+        if len(frontend.mapping) != 0:
+            leaks.append(f"{frontend.name}: {len(frontend.mapping)} "
+                         f"mapping entries leaked")
+        for backend in sorted(frontend.pools.pools()):
+            pool = frontend.pools.pools()[backend]
+            if pool.leased_count != 0:
+                leaks.append(f"{frontend.name}/pool:{backend}: "
+                             f"{pool.leased_count} leases leaked")
+
+    ctl = primary.overload
+    count = primary.metrics.counter
+    return OverloadEpisodeResult(
+        seed=seed,
+        enabled=enabled,
+        duration=duration,
+        schedule=schedule,
+        completed=rig.meter.completions,
+        errors=rig.errors,
+        error_statuses=dict(rig.error_statuses),
+        shed=count("overload/shed").count,
+        degraded=count("overload/degraded").count,
+        timeouts=count("overload/timeout").count,
+        replica_retries=count("overload/replica-retry").count,
+        budget_denied=pair.budget_denied,
+        admission_peak_inflight=ctl.admission.peak_inflight if ctl else 0,
+        admission_peak_queue=ctl.admission.peak_queue if ctl else 0,
+        admission_inflight_after=ctl.admission.inflight if ctl else 0,
+        admission_queued_after=ctl.admission.queued if ctl else 0,
+        raw_peak_inflight=primary.peak_inflight,
+        pool_peak_waiting=primary.pools.peak_waiting(),
+        breaker_opened=ctl.breakers.opened_total() if ctl else 0,
+        breaker_reclosed=ctl.breakers.reclosed_total() if ctl else 0,
+        breakers_all_closed=ctl.breakers.all_closed() if ctl else True,
+        open_nodes=tuple(ctl.breakers.open_nodes()) if ctl else (),
+        stuck_clients=stuck,
+        invariant_violations=[f"{v.rule} {v.path}: {v.message}"
+                              for v in violations],
+        leak_violations=leaks,
+        config=config if enabled else None)

@@ -15,13 +15,19 @@ from __future__ import annotations
 
 from .figures import figure2, figure3, url_table_overhead
 
-__all__ = ["collect_golden_metrics", "diff_metrics", "GOLDEN_SCALE"]
+__all__ = ["collect_golden_metrics", "diff_metrics", "GOLDEN_SCALE",
+           "GOLDEN_OVERLOAD_SCALE"]
 
 #: The reduced scale the golden fixture is captured at.  Small enough for
 #: tier-1 (a few seconds), large enough that every scheme serves real
 #: traffic through warmup + measurement windows.
 GOLDEN_SCALE = {"clients": (8, 16), "duration": 3.0, "warmup": 1.0,
                 "seed": 42, "n_objects": 2000, "lookups": 4000}
+
+#: A reduced overload episode (flash crowd + slow disk against the
+#: protected data plane) pinning the shed / breaker counters exactly.
+GOLDEN_OVERLOAD_SCALE = {"seed": 11, "duration": 5.0, "clients": 10,
+                         "n_objects": 200, "settle": 2.0}
 
 
 def collect_golden_metrics() -> dict:
@@ -34,6 +40,8 @@ def collect_golden_metrics() -> dict:
     overhead = url_table_overhead(n_objects=scale["n_objects"],
                                   lookups=scale["lookups"],
                                   seed=scale["seed"])
+    from .chaos import run_overload_episode
+    ovl = run_overload_episode(**GOLDEN_OVERLOAD_SCALE)
     return {
         "scale": {"clients": list(scale["clients"]),
                   "duration": scale["duration"],
@@ -55,6 +63,20 @@ def collect_golden_metrics() -> dict:
             # deterministic cache behaviour; mean_lookup_us is wall clock
             # and intentionally NOT part of the golden surface
             "cache_hit_rate": round(overhead["cache_hit_rate"], 6),
+        },
+        "overload": {
+            "scale": dict(GOLDEN_OVERLOAD_SCALE),
+            "completed": ovl.completed,
+            "errors": ovl.errors,
+            "shed": ovl.shed,
+            "degraded": ovl.degraded,
+            "timeouts": ovl.timeouts,
+            "replica_retries": ovl.replica_retries,
+            "breaker_opened": ovl.breaker_opened,
+            "breaker_reclosed": ovl.breaker_reclosed,
+            "peak_inflight": ovl.admission_peak_inflight,
+            "peak_queue": ovl.admission_peak_queue,
+            "survived": ovl.survived,
         },
     }
 

@@ -20,7 +20,7 @@ from ..cluster import (BackendServer, NfsServer, NodeSpec, distributor_spec,
                        paper_testbed_specs)
 from ..content import DocTree, SiteCatalog, generate_catalog
 from ..core import (ContentAwareDistributor, Frontend, L4Router, LardRouter,
-                    UrlTable, apply_plan, full_replication,
+                    OverloadConfig, UrlTable, apply_plan, full_replication,
                     partition_by_type, shared_nfs)
 from ..net import Lan
 from ..sim import RngStream, Simulator
@@ -59,6 +59,10 @@ class ExperimentConfig:
     #: lease balance) periodically during the simulation; fails fast with
     #: InvariantError at the first incoherent state
     debug_invariants: bool = False
+    #: wire overload control (admission + breakers + retry budget +
+    #: slow-start) into the front end; None keeps the paper's unprotected
+    #: data plane
+    overload: Optional[OverloadConfig] = None
 
     def __post_init__(self):
         if self.scheme not in SCHEMES:
@@ -173,13 +177,15 @@ def build_deployment(config: ExperimentConfig) -> Deployment:
         frontend: Frontend = ContentAwareDistributor(
             sim, lan, distributor_spec(), servers, url_table,
             prefork=config.prefork, max_pool_size=config.max_pool_size,
-            warmup=config.warmup)
+            warmup=config.warmup, overload=config.overload)
     elif config.scheme == "replication-lard":
         frontend = LardRouter(sim, lan, distributor_spec(), servers,
-                              resolver, warmup=config.warmup)
+                              resolver, warmup=config.warmup,
+                              overload=config.overload)
     else:
         frontend = L4Router(sim, lan, distributor_spec(), servers,
-                            resolver, warmup=config.warmup)
+                            resolver, warmup=config.warmup,
+                            overload=config.overload)
 
     if config.prewarm:
         _prewarm_caches(catalog, servers, nfs)

@@ -47,6 +47,10 @@ class Controller:
         #: applied to every dispatch that doesn't pass an explicit timeout;
         #: None preserves the original wait-forever behaviour
         self.default_timeout: Optional[float] = None
+        #: data-plane health sink (a repro.core.overload BreakerBoard):
+        #: dispatch timeouts are reported per node so the management and
+        #: data planes agree on which backend is sick
+        self.health_sink = None
         self.dispatches = 0
         self.failures = 0
         self.timeouts = 0
@@ -96,6 +100,8 @@ class Controller:
             else:
                 self._pending.pop(dispatch.dispatch_id, None)
                 self.timeouts += 1
+                if self.health_sink is not None:
+                    self.health_sink.record_mgmt_timeout(node)
                 result = AgentResult(dispatch_id=dispatch.dispatch_id,
                                      node=node, agent_name=agent.name,
                                      ok=False, detail={"error": "timeout"},

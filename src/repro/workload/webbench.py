@@ -95,7 +95,15 @@ class WebBenchClient:
                 self.rig.record_completion(request, outcome)
             else:
                 self.stats.errors += 1
-                self.rig.record_error(self.sim.now)
+                status = (outcome.response.status
+                          if outcome.response is not None else None)
+                self.rig.record_error(self.sim.now, status=status)
+                # a shed request carries Retry-After; honouring it is what
+                # keeps zero-think-time clients from hammering an already
+                # overloaded front end in a zero-delay loop
+                retry_after = getattr(outcome, "retry_after", 0.0)
+                if retry_after > 0:
+                    yield self.sim.timeout(retry_after)
             if self.think_time > 0:
                 yield self.sim.timeout(
                     self.rng.expovariate(1.0 / self.think_time))
@@ -140,8 +148,14 @@ class WebBenchRig:
             t: Histogram(low=1e-5, high=100.0, name=f"latency/{t.value}")
             for t in ContentType}
         self.errors = 0
+        #: client-observed error statuses (None = transport-level failure);
+        #: the overload survival property "every shed is a clean 503" is
+        #: checked against this
+        self.error_statuses: dict[Optional[int], int] = {}
         self.first_error_at: Optional[float] = None
         self.last_error_at: Optional[float] = None
+        #: clients launched by a FlashCrowd burst, drained on revert
+        self._burst: list[WebBenchClient] = []
 
     def start_clients(self, n_clients: int) -> None:
         """Launch ``n_clients`` spread round-robin over the machines."""
@@ -167,6 +181,24 @@ class WebBenchRig:
         for client in self.clients:
             client.drain()
 
+    # -- flash-crowd bursts (driven by repro.chaos.FlashCrowd) -------------
+    @property
+    def steady_clients(self) -> int:
+        """Clients that are not part of a burst."""
+        return len(self.clients) - len(self._burst)
+
+    def start_burst(self, n_clients: int) -> None:
+        """Launch extra closed-loop clients for the duration of a burst."""
+        before = len(self.clients)
+        self.start_clients(n_clients)
+        self._burst.extend(self.clients[before:])
+
+    def drain_burst(self) -> None:
+        """End the burst: its clients finish in flight, then exit."""
+        for client in self._burst:
+            client.drain()
+        self._burst.clear()
+
     # -- accounting (called by clients) -----------------------------------
     def record_completion(self, request, outcome) -> None:
         now = self.sim.now
@@ -179,8 +211,9 @@ class WebBenchRig:
         if now >= self.warmup:
             self.class_latency[ctype].observe(outcome.latency)
 
-    def record_error(self, now: float) -> None:
+    def record_error(self, now: float, status: Optional[int] = None) -> None:
         self.errors += 1
+        self.error_statuses[status] = self.error_statuses.get(status, 0) + 1
         if self.first_error_at is None:
             self.first_error_at = now
         self.last_error_at = now
