@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: verify test check chaos-smoke chaos chaos-overload golden
+.PHONY: verify test check chaos-smoke chaos chaos-overload trace golden
 
 ## The full tier-1 gate: unit/integration tests, the repro.analysis
 ## correctness passes, and the chaos smoke episodes.
@@ -23,6 +23,10 @@ chaos:
 ## The flash-crowd + slow-disk overload episode (graceful degradation).
 chaos-overload:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro overload --seed 1
+
+## The traced overload episode: trace summary + per-request waterfall.
+trace:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro trace --seed 1
 
 ## Regenerate the golden-metrics fixture after a reviewed model change.
 golden:

@@ -9,6 +9,7 @@ Commands
 ``check``     run the repro.analysis correctness passes (exit 1 on findings)
 ``chaos``     seeded fault-injection episodes (exit 1 if any fails)
 ``overload``  flash-crowd + slow-disk overload episode (exit 1 on failure)
+``trace``     traced overload episode: summary, waterfall, JSONL/Chrome export
 """
 
 from __future__ import annotations
@@ -116,6 +117,40 @@ def cmd_overload(args: argparse.Namespace) -> int:
     return 0 if result.survived else 1
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .experiments.chaos import run_overload_episode
+    from .obs import (TraceSummary, format_event, pick_waterfall_trace,
+                      render_waterfall, to_chrome_trace, to_jsonl)
+    result = run_overload_episode(
+        seed=args.seed, duration=args.duration, clients=args.clients,
+        n_objects=args.objects, settle=args.settle,
+        multiplier=args.multiplier, trace=True)
+    tracer = result.tracer
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="utf-8") as fh:
+            fh.write(to_jsonl(tracer))
+        print(f"wrote {len(tracer.events)} events / {len(tracer.spans)} "
+              f"spans to {args.jsonl}")
+    if args.chrome:
+        with open(args.chrome, "w", encoding="utf-8") as fh:
+            fh.write(to_chrome_trace(tracer))
+        print(f"wrote Chrome trace-event file to {args.chrome}")
+    if args.kind or args.node:
+        events = tracer.find_events(kind=args.kind, node=args.node,
+                                    trace_id=args.request)
+        for event in events:
+            print(format_event(event))
+        print(f"{len(events)} events matched")
+        return 0 if result.survived else 1
+    print(TraceSummary.from_tracer(tracer).render())
+    trace_id = args.request if args.request is not None \
+        else pick_waterfall_trace(tracer)
+    if trace_id is not None:
+        print()
+        print(render_waterfall(tracer, trace_id))
+    return 0 if result.survived else 1
+
+
 def cmd_schemes(args: argparse.Namespace) -> int:
     descriptions = {
         "replication-l4": "full replication + L4 router (WLC) -- config 1",
@@ -212,6 +247,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the same episode with overload control "
                             "off (the unprotected baseline)")
     p_ovl.set_defaults(func=cmd_overload)
+
+    p_trc = sub.add_parser("trace",
+                           help="run the overload episode with tracing on "
+                                "and inspect the resulting timeline")
+    p_trc.add_argument("--seed", type=int, default=1)
+    p_trc.add_argument("--duration", type=float, default=6.0,
+                       help="simulated seconds of load")
+    p_trc.add_argument("--clients", type=int, default=10)
+    p_trc.add_argument("--multiplier", type=float, default=4.0,
+                       help="flash-crowd client multiplier")
+    p_trc.add_argument("--objects", type=int, default=300)
+    p_trc.add_argument("--settle", type=float, default=2.5)
+    p_trc.add_argument("--request", type=int, default=None,
+                       help="waterfall this trace id (default: the trace "
+                            "with the most events)")
+    p_trc.add_argument("--kind", default=None,
+                       help="list raw events of this kind (e.g. breaker, "
+                            "shed) instead of the summary")
+    p_trc.add_argument("--node", default=None,
+                       help="list raw events for this node instead of the "
+                            "summary")
+    p_trc.add_argument("--jsonl", default=None,
+                       help="write the full trace to this JSONL file")
+    p_trc.add_argument("--chrome", default=None,
+                       help="write a Chrome trace-event file (load in "
+                            "chrome://tracing or Perfetto)")
+    p_trc.set_defaults(func=cmd_trace)
 
     p_chk = sub.add_parser("check",
                            help="determinism lint + state-machine check + "

@@ -51,9 +51,15 @@ __all__ = ["InvariantError", "check_invariants", "verify_invariants",
 class InvariantError(AssertionError):
     """A runtime coherence invariant does not hold."""
 
-    def __init__(self, violations: list[Violation]):
-        super().__init__(render_report(violations))
+    def __init__(self, violations: list[Violation], timeline: str = ""):
+        report = render_report(violations)
+        if timeline:
+            report = f"{report}\n\n{timeline}"
+        super().__init__(report)
         self.violations = violations
+        #: flight-recorder dump (repro.obs) captured at the moment the
+        #: invariant fired, when the deployment carried a tracer
+        self.timeline = timeline
 
 
 def _flag(out: list[Violation], rule: str, where: str, message: str) -> None:
@@ -220,13 +226,25 @@ def install_invariants(deployment, every: int = 200) -> None:
     :class:`repro.experiments.testbed.Deployment`).  The checks then run
     every ``every`` simulation events and raise :class:`InvariantError`
     from :meth:`Simulator.run` at the first incoherent state.
+
+    When the deployment carries a :class:`repro.obs.Tracer`, the raised
+    error includes the flight recorder's timeline -- the last events that
+    led up to the incoherent state.
     """
     def _check() -> None:
-        verify_invariants(deployment.url_table,
-                          servers=deployment.servers,
-                          frontend=deployment.frontend,
-                          nfs=getattr(deployment, "nfs", None),
-                          catalog=getattr(deployment, "catalog", None))
+        try:
+            verify_invariants(deployment.url_table,
+                              servers=deployment.servers,
+                              frontend=deployment.frontend,
+                              nfs=getattr(deployment, "nfs", None),
+                              catalog=getattr(deployment, "catalog", None))
+        except InvariantError as err:
+            tracer = getattr(deployment, "tracer", None)
+            if tracer is not None and not err.timeline:
+                raise InvariantError(err.violations,
+                                     timeline=tracer.recorder.render()) \
+                    from None
+            raise
 
     deployment.sim.add_invariant(_check, every=every)
 

@@ -46,17 +46,25 @@ class FaultSchedule:
     def install(self, targets: ChaosTargets) -> list[Injection]:
         """Register every fault on the target simulator; returns records."""
         sim = targets.sim
+        tracer = targets.tracer
         injections = []
+
+        def traced(fault: Fault, action: str, op) -> None:
+            if tracer is not None:
+                tracer.point("chaos", f"{fault.kind}/{action}",
+                             label=fault.describe())
+            op(targets)
+
         for fault in self.faults:
             delay = fault.at - sim.now
             if delay < 0:
                 raise ValueError(f"fault {fault.describe()} is in the past "
                                  f"(now={sim.now:.3f})")
             revert = (None if fault.duration == 0 else
-                      (lambda f=fault: f.revert(targets)))
+                      (lambda f=fault: traced(f, "revert", f.revert)))
             injections.append(sim.add_injection(
                 delay,
-                (lambda f=fault: f.apply(targets)),
+                (lambda f=fault: traced(f, "apply", f.apply)),
                 revert=revert,
                 duration=fault.duration,
                 label=fault.describe()))

@@ -40,15 +40,16 @@ class ContentAwareDistributor(Frontend):
                  warmup: float = 0.0,
                  client_latency: float = 0.0,
                  overload: Optional[OverloadConfig] = None,
+                 tracer=None,
                  name: Optional[str] = None):
         super().__init__(sim, lan, spec, servers,
                          policy=policy or LeastLoadedReplica(),
                          costs=costs, warmup=warmup,
                          client_latency=client_latency, overload=overload,
-                         name=name)
+                         tracer=tracer, name=name)
         self.url_table = url_table
         self.pools = PoolManager(sim, prefork=prefork,
-                                 max_size=max_pool_size)
+                                 max_size=max_pool_size, tracer=tracer)
         # prefork eagerly to every backend, as the paper's distributor does
         for backend in servers:
             self.pools.pool(backend)
@@ -56,21 +57,35 @@ class ContentAwareDistributor(Frontend):
     # -- Frontend hooks --------------------------------------------------
     def route(self, request: HttpRequest) -> Generator:
         """HTTP parse + URL-table lookup + replica selection."""
+        tracer = self.tracer
+        tid = request.trace_id or None
         yield from self.cpu.run(self.costs.http_parse_cpu)
         before_hits = self.url_table.cache_hits
         try:
             record = self.url_table.lookup(request.url)
         except UrlTableError:
             self.metrics.counter("route/unknown-url").increment()
+            if tracer is not None:
+                tracer.point("lookup", "unknown-url", trace_id=tid,
+                             node=self.name, reason="unknown-url")
             return None, None
         if self.url_table.cache_hits > before_hits:
+            if tracer is not None:
+                tracer.point("lookup", "cache-hit", trace_id=tid,
+                             node=self.name)
             yield from self.cpu.run(self.costs.lookup_cache_hit_cpu)
         else:
             levels = self.url_table.lookup_cost_levels(request.url)
+            if tracer is not None:
+                tracer.point("lookup", "cache-miss", trace_id=tid,
+                             node=self.name, levels=levels)
             yield from self.cpu.run(self.costs.lookup_per_level_cpu * levels)
         backend = self.policy.select(sorted(record.locations), self.view)
         if backend is None:
             self.metrics.counter("route/no-replica-alive").increment()
+            if tracer is not None:
+                tracer.point("lookup", "no-replica-alive", trace_id=tid,
+                             node=self.name, reason="no-replica-alive")
             return None, None
         return backend, record.item
 

@@ -48,7 +48,8 @@ class HaDistributorPair:
                  retry_backoff: float = 0.1,
                  retry_budget: Optional[RetryBudget] = None,
                  on_failover: Optional[
-                     Callable[["HaDistributorPair"], None]] = None):
+                     Callable[["HaDistributorPair"], None]] = None,
+                 tracer=None):
         if heartbeat_interval <= 0:
             raise ValueError("heartbeat_interval must be positive")
         if misses_to_fail < 1:
@@ -70,6 +71,8 @@ class HaDistributorPair:
         self.retry_budget = retry_budget
         self.budget_denied = 0
         self.on_failover = on_failover
+        #: repro.obs tracer; heartbeat/takeover activity becomes "ha" points
+        self.tracer = tracer
         self.active = primary
         self.failed_over = False
         self.failover_at: Optional[float] = None
@@ -91,9 +94,15 @@ class HaDistributorPair:
             self.heartbeats += 1
             if self.primary.alive:
                 missed = 0
+                if self.tracer is not None:
+                    self.tracer.point("ha", "heartbeat",
+                                      node=self.primary.name)
                 self._replicate_state()
             else:
                 missed += 1
+                if self.tracer is not None:
+                    self.tracer.point("ha", "heartbeat-miss",
+                                      node=self.primary.name, missed=missed)
                 if missed >= self.misses_to_fail:
                     self._take_over()
 
@@ -109,6 +118,10 @@ class HaDistributorPair:
         self.failover_at = self.sim.now
         self.backup.recover()
         self.active = self.backup
+        if self.tracer is not None:
+            self.tracer.point("ha", "takeover", node=self.backup.name,
+                              failed=self.primary.name,
+                              reason="missed-heartbeats")
         if self.on_failover is not None:
             self.on_failover(self)
 
@@ -134,11 +147,19 @@ class HaDistributorPair:
             if (self.retry_budget is not None and
                     not self.retry_budget.try_spend()):
                 self.budget_denied += 1
+                if self.tracer is not None:
+                    self.tracer.point("ha", "budget-denied",
+                                      node=self.active.name,
+                                      reason="retry-budget-exhausted")
                 raise FrontendDown(
                     f"active distributor {self.active.name} is down "
                     f"(retry budget exhausted)")
             attempts += 1
             self.retries += 1
+            if self.tracer is not None:
+                self.tracer.point("ha", "outage-retry",
+                                  node=self.active.name, attempt=attempts,
+                                  backoff=delay)
             yield self.sim.timeout(delay)
             delay *= 2
         return (yield from self.active.submit(request, client_nic))

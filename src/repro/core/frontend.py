@@ -72,6 +72,7 @@ class Frontend:
                  warmup: float = 0.0,
                  client_latency: float = 0.0,
                  overload: Optional[OverloadConfig] = None,
+                 tracer=None,
                  name: Optional[str] = None):
         if not servers:
             raise ValueError("a front end needs at least one backend")
@@ -108,11 +109,24 @@ class Frontend:
         #: regression test measures
         self.inflight = 0
         self.peak_inflight = 0
+        #: repro.obs tracer; None = tracing off, and -- exactly like
+        #: ``overload=None`` -- a byte-identical event sequence to the
+        #: uninstrumented front end (the tracer is purely passive)
+        self.tracer = tracer
+        if tracer is not None:
+            self.mapping.on_transition = self._trace_splice
         #: the overload-control subsystem; None = the paper's unprotected
         #: data plane (and a byte-identical event sequence to it)
         self.overload: Optional[OverloadControl] = None
         if overload is not None:
-            self.overload = OverloadControl(sim, overload, self.view)
+            self.overload = OverloadControl(sim, overload, self.view,
+                                            tracer=tracer)
+
+    def _trace_splice(self, entry, old: MappingState,
+                      new: MappingState) -> None:
+        """Mapping-table observation hook: one point per state change."""
+        self.tracer.point("splice", f"{old.value}->{new.value}",
+                          trace_id=entry.trace_id or None, node=self.name)
 
     # -- hooks subclasses implement ------------------------------------------
     def route(self, request: HttpRequest) -> Generator:
@@ -144,61 +158,104 @@ class Frontend:
         if not self.alive:
             raise RuntimeError(f"front end {self.name} is down")
         started = self.sim.now
+        tracer = self.tracer
+        span = None
+        if tracer is not None:
+            request.trace_id = tracer.new_trace()
+            span = tracer.begin("request", request.url,
+                                trace_id=request.trace_id, node=self.name,
+                                client=request.client_id,
+                                request_id=request.request_id)
         self.inflight += 1
         self.peak_inflight = max(self.peak_inflight, self.inflight)
         try:
             ctl = self.overload
             if ctl is None:
                 return (yield from self._serve_spliced(request, client_nic,
-                                                       client_addr, started))
+                                                       client_addr, started,
+                                                       span))
             ctl.retry_budget.on_request()
             admitted = yield from ctl.admission.admit()
+            if tracer is not None and admitted:
+                tracer.point("admission", "admitted",
+                             trace_id=span.trace_id, node=self.name)
             if not admitted:
                 # shed at the accept stage: no mapping entry, no pooled
                 # connection -- nothing allocated, nothing to leak
-                return self._shed(request, started, "overload/shed")
+                return self._shed(request, started, "overload/shed",
+                                  span=span, reason="admission-queue-full")
             try:
                 return (yield from self._serve_spliced(request, client_nic,
-                                                       client_addr, started))
+                                                       client_addr, started,
+                                                       span))
             finally:
                 ctl.admission.release()
         finally:
             self.inflight -= 1
+            # RST / interrupt path: the request span must not stay open
+            if span is not None and span.end is None:
+                tracer.end(span, status="error")
 
     def _serve_spliced(self, request: HttpRequest, client_nic: Nic,
                        client_addr: Optional[Address],
-                       started: float) -> Generator:
+                       started: float, span=None) -> Generator:
         """The §2.2 splice: bind, relay, serve, relay back, tear down."""
+        tracer = self.tracer
+        tid = span.trace_id if span is not None else None
         client = client_addr or Address("client", next(_client_ports))
         entry = self.mapping.create(client, started,
                                     vip_isn=next(self._vip_isns))
+        if tid is not None:
+            entry.trace_id = tid
         self.mapping.transition(entry, MappingState.ESTABLISHED)
         backend: Optional[str] = None
         token = None
         attempts = 0
+        stage = None
         try:
             # TCP handshake with the client (one WAN round trip), then the
             # request bytes ride client -> front end
+            if tracer is not None:
+                stage = tracer.begin("stage", "handshake", trace_id=tid,
+                                     node=self.name)
             if self.client_latency:
                 yield self.sim.timeout(3 * self.client_latency)
             yield from self.lan.transfer(client_nic, self.nic,
                                          request.wire_bytes)
             yield from self.cpu.run(self.costs.conn_setup_cpu)
+            if stage is not None:
+                tracer.end(stage)
+                stage = None
             while True:
+                if tracer is not None:
+                    stage = tracer.begin("stage", "route", trace_id=tid,
+                                         node=self.name)
                 backend, item = yield from self.route(request)
+                if stage is not None:
+                    tracer.end(stage, backend=backend or "")
+                    stage = None
                 if backend is None:
                     response = HttpResponse(request=request, status=503,
                                             completed_at=self.sim.now)
                     return self._finish(entry, request, response, started,
-                                        None)
+                                        None, span=span)
+                if tracer is not None:
+                    stage = tracer.begin("stage", "bind", trace_id=tid,
+                                         node=self.name, backend=backend)
                 token = yield from self.acquire_backend(backend)
                 self.mapping.bind(entry,
                                   token if token is not None else object(),
                                   backend)
+                if stage is not None:
+                    tracer.end(stage)
+                    stage = None
                 self.view.connection_started(backend)
                 if self.overload is not None:
                     self.overload.breakers.on_dispatch(backend)
                 failure: Optional[Exception] = None
+                if tracer is not None:
+                    stage = tracer.begin("stage", "serve", trace_id=tid,
+                                         node=self.name, backend=backend)
                 try:
                     server = self.servers[backend]
                     # relay the request to the backend
@@ -228,6 +285,10 @@ class Frontend:
                     failure = exc
                 finally:
                     self.view.connection_finished(backend)
+                if stage is not None:
+                    tracer.end(stage, status="ok" if failure is None
+                               else type(failure).__name__)
+                    stage = None
                 if failure is None:
                     if self.overload is not None:
                         self.overload.breakers.record_success(backend)
@@ -241,17 +302,26 @@ class Frontend:
                     token = None
                 if self.overload is None:
                     raise failure
-                if not self._may_retry(attempts):
+                if not self._may_retry(attempts, tid):
                     self.mapping.abort(entry.client)
-                    return self._shed(request, started, "overload/degraded")
+                    return self._shed(request, started, "overload/degraded",
+                                      span=span,
+                                      reason=type(failure).__name__)
                 attempts += 1
                 self.metrics.counter("overload/replica-retry").increment()
+                if tracer is not None:
+                    tracer.point("retry", "replica-retry", trace_id=tid,
+                                 node=self.name, attempt=attempts,
+                                 failed=backend,
+                                 reason=type(failure).__name__)
                 # SM005: BOUND never returns to ESTABLISHED -- the splice
                 # is torn down (RST) and the client connection re-enters
                 # the table as a fresh entry before the re-route
                 self.mapping.abort(entry.client)
                 entry = self.mapping.create(client, self.sim.now,
                                             vip_isn=next(self._vip_isns))
+                if tid is not None:
+                    entry.trace_id = tid
                 self.mapping.transition(entry, MappingState.ESTABLISHED)
                 backend = None
             # FIN handling happens after the response reaches the client;
@@ -259,10 +329,13 @@ class Frontend:
             if self.costs.teardown_cpu:
                 self.sim.process(self.cpu.run(self.costs.teardown_cpu),
                                  name="teardown")
-            return self._finish(entry, request, response, started, item)
+            return self._finish(entry, request, response, started, item,
+                                span=span)
         except BaseException:
             # RST path: a failed or interrupted request must not leak its
             # mapping entry (the invariant verifier checks lease balance)
+            if stage is not None and stage.end is None:
+                tracer.end(stage, status="interrupted")
             if entry.client in self.mapping:
                 self.mapping.abort(entry.client)
             raise
@@ -289,26 +362,45 @@ class Frontend:
         self.metrics.counter("overload/timeout").increment()
         raise RequestTimeout(server.name, ctl.config.request_timeout)
 
-    def _may_retry(self, attempts: int) -> bool:
+    def _may_retry(self, attempts: int, trace_id=None) -> bool:
         ctl = self.overload
-        if ctl is None or attempts >= ctl.config.max_replica_retries:
+        if ctl is None:
             return False
-        return ctl.retry_budget.try_spend()
+        if attempts >= ctl.config.max_replica_retries:
+            if self.tracer is not None:
+                self.tracer.point("retry", "denied", trace_id=trace_id,
+                                  node=self.name, reason="max-attempts")
+            return False
+        if ctl.retry_budget.try_spend():
+            return True
+        if self.tracer is not None:
+            self.tracer.point("retry", "denied", trace_id=trace_id,
+                              node=self.name, reason="budget-exhausted")
+        return False
 
-    def _shed(self, request: HttpRequest, started: float,
-              counter: str) -> RequestOutcome:
+    def _shed(self, request: HttpRequest, started: float, counter: str,
+              span=None, reason: str = "") -> RequestOutcome:
         """A clean 503 + Retry-After without touching per-connection state."""
         response = HttpResponse(request=request, status=503,
                                 completed_at=self.sim.now)
         self.metrics.counter(counter).increment()
         self.metrics.counter(f"status/{response.status}").increment()
+        if self.tracer is not None:
+            name = counter.split("/", 1)[1]  # "shed" | "degraded"
+            why = reason or name
+            self.tracer.point("shed", name,
+                              trace_id=span.trace_id if span else None,
+                              node=self.name, reason=why)
+            if span is not None:
+                self.tracer.end(span, status="503", shed=True, reason=why)
         return RequestOutcome(response=response,
                               latency=self.sim.now - started, backend=None,
                               shed=True,
                               retry_after=self.overload.config.retry_after)
 
     def _finish(self, entry, request: HttpRequest, response: HttpResponse,
-                started: float, item: Optional[ContentItem]) -> RequestOutcome:
+                started: float, item: Optional[ContentItem],
+                span=None) -> RequestOutcome:
         # teardown: FIN from the client, distributor ACKs, final ACK
         if entry.state in (MappingState.BOUND, MappingState.ESTABLISHED):
             self.mapping.transition(entry, MappingState.FIN_RECEIVED)
@@ -327,6 +419,9 @@ class Frontend:
         self.metrics.counter(f"status/{response.status}").increment()
         if self.on_response is not None:
             self.on_response(item, response)
+        if self.tracer is not None and span is not None:
+            self.tracer.end(span, status=str(response.status),
+                            backend=response.served_by or "")
         outcome = RequestOutcome(response=response, latency=latency,
                                  backend=response.served_by or None)
         if self.overload is not None and response.status == 503:

@@ -44,11 +44,12 @@ class L4Router(Frontend):
                  costs: Optional[FrontendCosts] = None,
                  warmup: float = 0.0,
                  overload: Optional[OverloadConfig] = None,
+                 tracer=None,
                  name: Optional[str] = None):
         super().__init__(sim, lan, spec, servers,
                          policy=policy or WeightedLeastConnection(),
                          costs=costs or l4_costs(), warmup=warmup,
-                         overload=overload, name=name)
+                         overload=overload, tracer=tracer, name=name)
         self.resolver = resolver
 
     def route(self, request: HttpRequest) -> Generator:

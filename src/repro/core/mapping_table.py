@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Optional
+from typing import Callable, Optional
 
 from ..net.packet import Address
 
@@ -81,6 +81,8 @@ class MappingEntry:
     # client-leg teardown details (packet-level splicer):
     http10: bool = False         # §2.2: distributor sets FIN itself for 1.0
     vip_fin_sent: bool = False   # distributor's FIN toward the client
+    #: repro.obs correlation id (0 = untraced)
+    trace_id: int = 0
 
     @property
     def bound(self) -> bool:
@@ -95,6 +97,11 @@ class MappingTable:
         self.created = 0
         self.deleted = 0
         self.peak_size = 0
+        #: observation hook called as ``(entry, old_state, new_state)``
+        #: after every state change (including aborts); set by the owning
+        #: front end when tracing is on, None otherwise
+        self.on_transition: Optional[Callable[
+            [MappingEntry, MappingState, MappingState], None]] = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -127,7 +134,9 @@ class MappingTable:
             raise MappingError(
                 f"{entry.client}: illegal transition "
                 f"{entry.state.value} -> {new.value}")
-        entry.state = new
+        old, entry.state = entry.state, new
+        if self.on_transition is not None:
+            self.on_transition(entry, old, new)
 
     def bind(self, entry: MappingEntry, pooled_conn, backend: str,
              seq_delta: int = 0, ack_delta: int = 0) -> None:
@@ -155,9 +164,11 @@ class MappingTable:
     def abort(self, client: Address) -> MappingEntry:
         """Force an entry to CLOSED and remove it (RST / failure path)."""
         entry = self.get(client)
-        entry.state = MappingState.CLOSED
+        old, entry.state = entry.state, MappingState.CLOSED
         del self._entries[client]
         self.deleted += 1
+        if self.on_transition is not None:
+            self.on_transition(entry, old, MappingState.CLOSED)
         return entry
 
     def entries(self) -> list[MappingEntry]:

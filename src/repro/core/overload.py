@@ -214,7 +214,7 @@ class CircuitBreaker:
     def __init__(self, node: str, config: OverloadConfig,
                  clock: Callable[[], float],
                  on_transition: Optional[
-                     Callable[[str, str, str], None]] = None):
+                     Callable[[str, str, str, str], None]] = None):
         self.node = node
         self.config = config
         self.clock = clock
@@ -230,13 +230,13 @@ class CircuitBreaker:
         self.failures = 0
         self._window: deque[bool] = deque(maxlen=config.breaker_window)
 
-    def _shift(self, to: str) -> None:
+    def _shift(self, to: str, reason: str = "") -> None:
         if to not in BREAKER_TRANSITIONS[self.state]:
             raise ValueError(f"breaker {self.node}: illegal transition "
                              f"{self.state} -> {to}")
         origin, self.state = self.state, to
         if self.on_transition is not None:
-            self.on_transition(self.node, origin, to)
+            self.on_transition(self.node, origin, to, reason)
 
     # -- the gate the routing view consults --------------------------------
     def routable(self) -> bool:
@@ -246,7 +246,7 @@ class CircuitBreaker:
             if (self.opened_at is not None and
                     self.clock() - self.opened_at >=
                     self.config.breaker_open_duration):
-                self._shift("half-open")
+                self._shift("half-open", "cooldown-elapsed")
                 self.probe_successes = 0
                 self.probes_in_flight = 0
             else:
@@ -267,7 +267,7 @@ class CircuitBreaker:
             self.probes_in_flight = max(0, self.probes_in_flight - 1)
             self.probe_successes += 1
             if self.probe_successes >= self.config.breaker_probes:
-                self._shift("closed")
+                self._shift("closed", "probes-passed")
                 self.reclosed_count += 1
                 self.probe_successes = 0
                 self.probes_in_flight = 0
@@ -279,29 +279,36 @@ class CircuitBreaker:
         self._window.append(False)
         if self.state == "half-open":
             self.probes_in_flight = max(0, self.probes_in_flight - 1)
-            self._open()
-        elif self.state == "closed" and self._should_trip():
-            self._open()
+            self._open("probe-failed")
+        elif self.state == "closed":
+            reason = self._trip_reason()
+            if reason:
+                self._open(reason)
 
-    def _open(self) -> None:
-        self._shift("open")
+    def _open(self, reason: str = "") -> None:
+        self._shift("open", reason)
         self.opened_at = self.clock()
         self.opened_count += 1
         self.probe_successes = 0
         self.probes_in_flight = 0
 
     def _should_trip(self) -> bool:
+        return bool(self._trip_reason())
+
+    def _trip_reason(self) -> str:
+        """Why a CLOSED breaker should open now ("" = it should not)."""
         if self.consecutive_failures >= self.config.breaker_failures:
-            return True
+            return "consecutive-failures"
         if len(self._window) >= self.config.breaker_min_samples:
             bad = sum(1 for ok in self._window if not ok)
-            return bad / len(self._window) >= self.config.breaker_error_rate
-        return False
+            if bad / len(self._window) >= self.config.breaker_error_rate:
+                return "error-rate"
+        return ""
 
     def disable(self) -> None:
         """Administrative off-switch: stop gating this backend forever."""
         if self.state != "disabled":
-            self._shift("disabled")
+            self._shift("disabled", "administrative")
 
 
 class BreakerBoard:
@@ -314,13 +321,17 @@ class BreakerBoard:
     """
 
     def __init__(self, config: OverloadConfig, clock: Callable[[], float],
-                 on_close: Optional[Callable[[str], None]] = None):
+                 on_close: Optional[Callable[[str], None]] = None,
+                 tracer=None):
         self.config = config
         self.clock = clock
         self.on_close = on_close
+        #: repro.obs tracer; every transition becomes a "breaker" point
+        #: event carrying the machine-readable reason
+        self.tracer = tracer
         self._breakers: dict[str, CircuitBreaker] = {}
-        #: every transition, for audits: (time, node, from, to)
-        self.transitions: list[tuple[float, str, str, str]] = []
+        #: every transition, for audits: (time, node, from, to, reason)
+        self.transitions: list[tuple[float, str, str, str, str]] = []
         self.mgmt_timeouts: dict[str, int] = {}
 
     def breaker(self, node: str) -> CircuitBreaker:
@@ -330,8 +341,12 @@ class BreakerBoard:
                 on_transition=self._record_transition)
         return self._breakers[node]
 
-    def _record_transition(self, node: str, origin: str, to: str) -> None:
-        self.transitions.append((self.clock(), node, origin, to))
+    def _record_transition(self, node: str, origin: str, to: str,
+                           reason: str) -> None:
+        self.transitions.append((self.clock(), node, origin, to, reason))
+        if self.tracer is not None:
+            self.tracer.point("breaker", f"{origin}->{to}", node=node,
+                              reason=reason)
         if to == "closed" and self.on_close is not None:
             self.on_close(node)
 
@@ -412,14 +427,16 @@ class OverloadControl:
     wired into the front end's :class:`~repro.core.policies.RoutingView`
     (breaker gate + slow-start ramp)."""
 
-    def __init__(self, sim: Simulator, config: OverloadConfig, view):
+    def __init__(self, sim: Simulator, config: OverloadConfig, view,
+                 tracer=None):
         self.sim = sim
         self.config = config
         self.admission = AdmissionController(sim, config)
         # a backend whose breaker re-closes ramps back in just like one the
         # monitor marks up: slow-start covers both recovery paths
         self.breakers = BreakerBoard(config, clock=lambda: sim.now,
-                                     on_close=view.begin_slow_start)
+                                     on_close=view.begin_slow_start,
+                                     tracer=tracer)
         self.retry_budget = RetryBudget(ratio=config.retry_budget_ratio,
                                         initial=config.retry_budget_initial,
                                         cap=config.retry_budget_cap)

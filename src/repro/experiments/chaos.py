@@ -59,6 +59,8 @@ class EpisodeResult:
     audit_clean: bool
     reconciled: bool          # final audit needed a reconcile pass
     finalize_done: bool
+    #: flight-recorder dump captured when the episode failed (traced runs)
+    timeline: str = ""
 
     @property
     def survived(self) -> bool:
@@ -90,7 +92,7 @@ class ChaosRunner:
     def __init__(self, seed: int = 1, episodes: int = 20,
                  duration: float = 6.0, clients: int = 10,
                  n_objects: int = 300, settle: float = 2.5,
-                 extra_faults: int = 2):
+                 extra_faults: int = 2, trace: bool = False):
         if episodes < 1:
             raise ValueError("need at least one episode")
         if duration <= 1.0:
@@ -102,6 +104,9 @@ class ChaosRunner:
         self.n_objects = n_objects
         self.settle = settle
         self.extra_faults = extra_faults
+        #: attach a repro.obs tracer to every episode; a failed episode's
+        #: result then carries the flight recorder's final timeline
+        self.trace = trace
         self.results: list[EpisodeResult] = []
 
     # -- one episode --------------------------------------------------------
@@ -109,21 +114,23 @@ class ChaosRunner:
         config = ExperimentConfig(
             scheme="partition-ca", workload=WORKLOAD_A,
             seed=self.seed * 1000 + index, n_objects=self.n_objects,
-            warmup=0.5, duration=self.duration, n_client_machines=6)
+            warmup=0.5, duration=self.duration, n_client_machines=6,
+            trace=self.trace)
         deployment = build_deployment(config)
         sim, lan = deployment.sim, deployment.lan
         servers = deployment.servers
         primary = deployment.frontend
+        tracer = deployment.tracer
 
         # §2.3: hot backup distributor monitoring the primary
         backup = ContentAwareDistributor(
             sim, lan, distributor_spec(), servers, UrlTable(),
             prefork=config.prefork, max_pool_size=config.max_pool_size,
-            warmup=config.warmup, name="dist-backup")
+            warmup=config.warmup, tracer=tracer, name="dist-backup")
 
         # §3.1 management plane: controller + per-node brokers + monitor
         controller = Controller(sim, primary.nic, deployment.url_table,
-                                deployment.doctree)
+                                deployment.doctree, tracer=tracer)
         controller.default_timeout = 1.0
         registry: dict[str, Broker] = {}
         for name in sorted(servers):
@@ -132,7 +139,7 @@ class ChaosRunner:
             controller.register_broker(broker)
         monitor = ClusterMonitor(sim, controller, primary.view,
                                  interval=0.3, misses_to_fail=2,
-                                 probe_timeout=0.5)
+                                 probe_timeout=0.5, tracer=tracer)
         monitor.start()
 
         def rebind_after_failover(p: HaDistributorPair) -> None:
@@ -149,7 +156,8 @@ class ChaosRunner:
 
         pair = HaDistributorPair(sim, primary, backup,
                                  heartbeat_interval=0.2, misses_to_fail=2,
-                                 on_failover=rebind_after_failover)
+                                 on_failover=rebind_after_failover,
+                                 tracer=tracer)
 
         # the fault schedule, installed through the engine's injection hook
         ep_rng = RngStream(self.seed, f"chaos/episode/{index}")
@@ -166,7 +174,7 @@ class ChaosRunner:
                                pair=pair, brokers=registry,
                                loss_rng=ep_rng.substream("loss"),
                                agent_rng=ep_rng.substream("agents"),
-                               rig=rig)
+                               rig=rig, tracer=tracer)
         schedule.install(targets)
         rig.start_clients(self.clients)
 
@@ -220,7 +228,7 @@ class ChaosRunner:
         audit = finalize.get("audit", {})
         audit_clean = bool(audit) and not audit.get("missing") and \
             not audit.get("orphaned")
-        return EpisodeResult(
+        result = EpisodeResult(
             episode=index,
             schedule=schedule,
             completed=rig.meter.completions,
@@ -234,6 +242,10 @@ class ChaosRunner:
             audit_clean=audit_clean,
             reconciled=finalize.get("reconciled", False),
             finalize_done=finalize.get("done", False))
+        if tracer is not None and not result.survived:
+            # the failed episode's last moments, for the postmortem
+            result.timeline = tracer.recorder.render()
+        return result
 
     # -- the whole run -------------------------------------------------------
     def run(self) -> list[EpisodeResult]:
@@ -278,6 +290,9 @@ class ChaosRunner:
                 f"{result.schedule.describe()}")
             if not result.survived:
                 lines.append(f"            {result.failure_summary()}")
+                if result.timeline:
+                    lines.extend("    " + ln
+                                 for ln in result.timeline.splitlines())
         failed = sum(1 for r in self.results if not r.survived)
         lines.append("")
         lines.append(f"{len(self.results) - failed}/{len(self.results)} "
@@ -332,6 +347,10 @@ class OverloadEpisodeResult:
     invariant_violations: list
     leak_violations: list
     config: Optional[OverloadConfig]
+    #: the episode's repro.obs tracer (None unless ``trace=True``)
+    tracer: Optional[object] = None
+    #: flight-recorder dump captured when a traced episode failed
+    timeline: str = ""
 
     @property
     def goodput(self) -> float:
@@ -415,6 +434,8 @@ class OverloadEpisodeResult:
         status = "SURVIVED" if self.survived else \
             f"FAILED -- {self.failure_summary()}"
         lines.append(f"  {status}")
+        if not self.survived and self.timeline:
+            lines.extend("  " + ln for ln in self.timeline.splitlines())
         return "\n".join(lines)
 
 
@@ -422,7 +443,8 @@ def run_overload_episode(seed: int = 1, duration: float = 6.0,
                          clients: int = 10, n_objects: int = 300,
                          settle: float = 2.5, multiplier: float = 4.0,
                          config: OverloadConfig = OVERLOAD_EPISODE_CONFIG,
-                         enabled: bool = True) -> OverloadEpisodeResult:
+                         enabled: bool = True,
+                         trace: bool = False) -> OverloadEpisodeResult:
     """One seeded flash-crowd + slow-disk episode against the HA testbed.
 
     A 4x client burst overruns the admission bounds (shedding), while a
@@ -440,23 +462,25 @@ def run_overload_episode(seed: int = 1, duration: float = 6.0,
         scheme="partition-ca", workload=WORKLOAD_A, seed=seed,
         n_objects=n_objects, warmup=0.5, duration=duration,
         n_client_machines=6, prewarm=False,
-        overload=config if enabled else None)
+        overload=config if enabled else None, trace=trace)
     deployment = build_deployment(exp)
     sim, lan, servers = deployment.sim, deployment.lan, deployment.servers
     primary = deployment.frontend
+    tracer = deployment.tracer
 
     backup = ContentAwareDistributor(
         sim, lan, distributor_spec(), servers, UrlTable(),
         prefork=exp.prefork, max_pool_size=exp.max_pool_size,
-        warmup=exp.warmup, name="dist-backup")
+        warmup=exp.warmup, tracer=tracer, name="dist-backup")
     pair = HaDistributorPair(
         sim, primary, backup, heartbeat_interval=0.2, misses_to_fail=2,
-        retry_budget=primary.overload.retry_budget if enabled else None)
+        retry_budget=primary.overload.retry_budget if enabled else None,
+        tracer=tracer)
 
     # management plane; with overload on, dispatch timeouts feed the same
     # breaker board the data plane trips (satellite health signal)
     controller = Controller(sim, primary.nic, deployment.url_table,
-                            deployment.doctree)
+                            deployment.doctree, tracer=tracer)
     controller.default_timeout = 1.0
     if enabled:
         controller.health_sink = primary.overload.breakers
@@ -467,7 +491,7 @@ def run_overload_episode(seed: int = 1, duration: float = 6.0,
         controller.register_broker(broker)
     monitor = ClusterMonitor(sim, controller, primary.view,
                              interval=0.3, misses_to_fail=2,
-                             probe_timeout=0.5)
+                             probe_timeout=0.5, tracer=tracer)
     monitor.start()
 
     ep_rng = RngStream(seed, "chaos/overload")
@@ -487,7 +511,7 @@ def run_overload_episode(seed: int = 1, duration: float = 6.0,
                      duration=0.25 * duration),
     ])
     targets = ChaosTargets(sim=sim, lan=lan, servers=servers, pair=pair,
-                           brokers=registry, rig=rig)
+                           brokers=registry, rig=rig, tracer=tracer)
     schedule.install(targets)
 
     rig.start_clients(clients)
@@ -518,7 +542,7 @@ def run_overload_episode(seed: int = 1, duration: float = 6.0,
 
     ctl = primary.overload
     count = primary.metrics.counter
-    return OverloadEpisodeResult(
+    result = OverloadEpisodeResult(
         seed=seed,
         enabled=enabled,
         duration=duration,
@@ -545,4 +569,8 @@ def run_overload_episode(seed: int = 1, duration: float = 6.0,
         invariant_violations=[f"{v.rule} {v.path}: {v.message}"
                               for v in violations],
         leak_violations=leaks,
-        config=config if enabled else None)
+        config=config if enabled else None,
+        tracer=tracer)
+    if tracer is not None and not result.survived:
+        result.timeline = tracer.recorder.render()
+    return result

@@ -40,8 +40,13 @@ def collect_golden_metrics() -> dict:
     overhead = url_table_overhead(n_objects=scale["n_objects"],
                                   lookups=scale["lookups"],
                                   seed=scale["seed"])
+    from ..obs import TraceSummary
     from .chaos import run_overload_episode
-    ovl = run_overload_episode(**GOLDEN_OVERLOAD_SCALE)
+    # the overload episode runs traced: because the tracer is passive, the
+    # overload counters must match an untraced run exactly -- the fixture
+    # itself pins the zero-perturbation contract -- and the span/event
+    # counts become the trace_summary golden surface
+    ovl = run_overload_episode(**GOLDEN_OVERLOAD_SCALE, trace=True)
     return {
         "scale": {"clients": list(scale["clients"]),
                   "duration": scale["duration"],
@@ -78,6 +83,7 @@ def collect_golden_metrics() -> dict:
             "peak_queue": ovl.admission_peak_queue,
             "survived": ovl.survived,
         },
+        "trace_summary": TraceSummary.from_tracer(ovl.tracer).counts(),
     }
 
 

@@ -63,6 +63,10 @@ class ExperimentConfig:
     #: slow-start) into the front end; None keeps the paper's unprotected
     #: data plane
     overload: Optional[OverloadConfig] = None
+    #: attach a repro.obs tracer to the deployment: per-request spans,
+    #: breaker/shed/pool point events, and a flight recorder.  Off by
+    #: default -- tracer=None keeps the event sequence byte-for-byte
+    trace: bool = False
 
     def __post_init__(self):
         if self.scheme not in SCHEMES:
@@ -87,6 +91,8 @@ class Deployment:
     sampler: RequestSampler
     rig: WebBenchRig
     nfs: Optional[NfsServer] = None
+    #: the repro.obs tracer, when config.trace is on
+    tracer: Optional[object] = None
 
     def run(self, n_clients: int) -> dict:
         """Drive ``n_clients`` for the configured duration; return summary."""
@@ -173,19 +179,25 @@ def build_deployment(config: ExperimentConfig) -> Deployment:
         path = url.split("?", 1)[0]
         return catalog.get(path) if path in catalog else None
 
+    tracer = None
+    if config.trace:
+        # local import keeps the observability layer optional for plain runs
+        from ..obs import Tracer
+        tracer = Tracer(sim)
+
     if config.scheme == "partition-ca":
         frontend: Frontend = ContentAwareDistributor(
             sim, lan, distributor_spec(), servers, url_table,
             prefork=config.prefork, max_pool_size=config.max_pool_size,
-            warmup=config.warmup, overload=config.overload)
+            warmup=config.warmup, overload=config.overload, tracer=tracer)
     elif config.scheme == "replication-lard":
         frontend = LardRouter(sim, lan, distributor_spec(), servers,
                               resolver, warmup=config.warmup,
-                              overload=config.overload)
+                              overload=config.overload, tracer=tracer)
     else:
         frontend = L4Router(sim, lan, distributor_spec(), servers,
                             resolver, warmup=config.warmup,
-                            overload=config.overload)
+                            overload=config.overload, tracer=tracer)
 
     if config.prewarm:
         _prewarm_caches(catalog, servers, nfs)
@@ -200,7 +212,7 @@ def build_deployment(config: ExperimentConfig) -> Deployment:
     deployment = Deployment(config=config, sim=sim, lan=lan, catalog=catalog,
                             servers=servers, frontend=frontend,
                             url_table=url_table, doctree=doctree,
-                            sampler=sampler, rig=rig, nfs=nfs)
+                            sampler=sampler, rig=rig, nfs=nfs, tracer=tracer)
     if config.debug_invariants:
         # local import keeps the analysis layer optional for plain runs
         from ..analysis.invariants import install_invariants

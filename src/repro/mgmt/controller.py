@@ -37,11 +37,13 @@ class Controller:
     """Receives admin commands, dispatches agents, updates routing state."""
 
     def __init__(self, sim: Simulator, nic: Nic,
-                 url_table: UrlTable, doctree: DocTree):
+                 url_table: UrlTable, doctree: DocTree, tracer=None):
         self.sim = sim
         self.nic = nic
         self.url_table = url_table
         self.doctree = doctree
+        #: repro.obs tracer; every dispatch becomes an "agent" span
+        self.tracer = tracer
         self.brokers: dict[str, Broker] = {}
         self._pending: dict[int, SimEvent] = {}
         #: applied to every dispatch that doesn't pass an explicit timeout;
@@ -88,9 +90,14 @@ class Controller:
         done = self.sim.event()
         self._pending[dispatch.dispatch_id] = done
         self.dispatches += 1
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.begin("agent", agent.name, node=node,
+                                     dispatch=dispatch.dispatch_id)
         broker.deliver(dispatch)
         if timeout is None:
             timeout = self.default_timeout
+        timed_out = False
         if timeout is None:
             result: AgentResult = yield done
         else:
@@ -98,6 +105,7 @@ class Controller:
             if done.triggered:
                 result = done.value
             else:
+                timed_out = True
                 self._pending.pop(dispatch.dispatch_id, None)
                 self.timeouts += 1
                 if self.health_sink is not None:
@@ -108,6 +116,10 @@ class Controller:
                                      completed_at=self.sim.now)
         if not result.ok:
             self.failures += 1
+        if span is not None:
+            status = "ok" if result.ok else (
+                "timeout" if timed_out else "failed")
+            self.tracer.end(span, status=status)
         return result
 
     # -- content management operations (§3.2) ------------------------------

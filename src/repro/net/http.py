@@ -80,6 +80,10 @@ class HttpRequest:
     request_id: int = dataclasses.field(
         default_factory=lambda: next(_request_ids))
     issued_at: float = 0.0
+    #: repro.obs correlation id, stamped by a tracing front end at submit
+    #: time so ``route()`` implementations can tag their lookup events
+    #: (0 = untraced)
+    trace_id: int = 0
 
     def __post_init__(self):
         # Validate eagerly so malformed URLs fail at creation, not routing.

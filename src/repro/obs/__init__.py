@@ -1,0 +1,28 @@
+"""repro.obs -- deterministic tracing and the flight recorder.
+
+The observability backbone for the reproduction: structured spans + point
+events keyed by sim-time and monotone ids (:mod:`~repro.obs.tracer`), a
+bounded last-N ring dumped on invariant/chaos failures
+(:mod:`~repro.obs.recorder`), JSONL / Chrome trace-event exporters
+(:mod:`~repro.obs.export`), the aggregation experiments assert against
+(:mod:`~repro.obs.summary`), and the per-request waterfall renderer
+(:mod:`~repro.obs.waterfall`).
+
+Everything here obeys the repository's determinism contract: no wall
+clock, no global RNG, sorted iteration everywhere -- the
+``repro.analysis`` linter covers this package like any other.
+"""
+
+from .export import to_chrome_trace, to_jsonl
+from .recorder import FlightRecorder, format_event
+from .summary import TraceSummary
+from .tracer import Span, TraceEvent, Tracer
+from .waterfall import pick_waterfall_trace, render_waterfall
+
+__all__ = [
+    "Tracer", "TraceEvent", "Span",
+    "FlightRecorder", "format_event",
+    "to_jsonl", "to_chrome_trace",
+    "TraceSummary",
+    "render_waterfall", "pick_waterfall_trace",
+]

@@ -1,0 +1,82 @@
+"""Trace exporters: JSONL and Chrome trace-event format.
+
+Both exports are deterministic text: records come out in sequence order,
+dict keys are emitted sorted, and floats are plain ``repr`` -- the
+determinism tests compare the JSONL byte for byte across runs and
+``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["to_jsonl", "to_chrome_trace"]
+
+
+def to_jsonl(tracer) -> str:
+    """One JSON object per line: every event (in seq order), then every
+    span (in span-id order).  Events carry ``"rec": "event"``, spans
+    ``"rec": "span"``, so a consumer can split the stream back apart."""
+    lines = []
+    for event in tracer.events:
+        record = {"rec": "event"}
+        record.update(event.to_dict())
+        lines.append(json.dumps(record, sort_keys=True))
+    for span in tracer.spans:
+        record = {"rec": "span"}
+        record.update(span.to_dict())
+        lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _tid_map(tracer) -> dict:
+    """Stable node -> Chrome thread-id mapping (sorted node names)."""
+    names = sorted({e.node for e in tracer.events if e.node is not None})
+    return {name: idx + 1 for idx, name in enumerate(names)}
+
+
+def to_chrome_trace(tracer) -> str:
+    """The ``chrome://tracing`` / Perfetto JSON array format.
+
+    Completed spans become ``ph="X"`` complete events; point events become
+    ``ph="i"`` instants.  Sim-time is exported in microseconds (the
+    format's unit); each node renders as its own thread row.
+    """
+    tids = _tid_map(tracer)
+    records = []
+    for span in tracer.spans:
+        if span.end is None:
+            continue
+        args = {k: span.attrs[k] for k in sorted(span.attrs)}
+        args["status"] = span.status
+        if span.trace_id is not None:
+            args["trace"] = span.trace_id
+        records.append({
+            "name": f"{span.kind}/{span.name}",
+            "cat": span.kind,
+            "ph": "X",
+            "ts": round(span.start * 1e6, 3),
+            "dur": round((span.end - span.start) * 1e6, 3),
+            "pid": 1,
+            "tid": tids.get(span.node, 0),
+            "args": args,
+        })
+    for event in tracer.events:
+        if event.phase:
+            continue
+        args = {k: event.attrs[k] for k in sorted(event.attrs)}
+        if event.trace_id is not None:
+            args["trace"] = event.trace_id
+        records.append({
+            "name": f"{event.kind}/{event.name}",
+            "cat": event.kind,
+            "ph": "i",
+            "s": "t",
+            "ts": round(event.t * 1e6, 3),
+            "pid": 1,
+            "tid": tids.get(event.node, 0),
+            "args": args,
+        })
+    records.sort(key=lambda r: (r["ts"], r["tid"], r["name"]))
+    return json.dumps({"traceEvents": records,
+                       "displayTimeUnit": "ms"}, sort_keys=True)

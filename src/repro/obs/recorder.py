@@ -1,0 +1,70 @@
+"""The flight recorder: a bounded ring of the most recent trace events.
+
+When an invariant (INV001-010) fires or a chaos episode fails, the final
+counter snapshot says *that* something broke; the flight recorder says
+*what happened just before*.  It keeps the last ``capacity`` events in a
+deque and renders them as a formatted timeline that the invariant verifier
+appends to its failure report and the chaos harness attaches to a failed
+episode.
+
+The recorder never allocates per-event beyond the deque append, so it is
+safe to leave wired into long runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+__all__ = ["FlightRecorder", "format_event"]
+
+
+def format_event(event) -> str:
+    """One fixed-width timeline line for a :class:`~.tracer.TraceEvent`."""
+    trace = f"#{event.trace_id}" if event.trace_id is not None else "-"
+    phase = {"B": "[", "E": "]"}.get(event.phase, "*")
+    attrs = " ".join(f"{k}={event.attrs[k]}" for k in sorted(event.attrs))
+    return (f"{event.t:12.6f} {phase} {trace:>6} "
+            f"{event.kind + '/' + event.name:<34} "
+            f"{event.node or '-':<14} {attrs}").rstrip()
+
+
+class FlightRecorder:
+    """Last-N event ring buffer with a formatted timeline dump."""
+
+    def __init__(self, capacity: int = 512):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.recorded = 0
+        self._ring: deque = deque(maxlen=capacity)
+
+    def record(self, event) -> None:
+        self.recorded += 1
+        self._ring.append(event)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        """Events that fell off the front of the ring."""
+        return self.recorded - len(self._ring)
+
+    def events(self) -> list:
+        """Oldest-to-newest contents of the ring."""
+        return list(self._ring)
+
+    def render(self, last: Optional[int] = None) -> str:
+        """The formatted timeline of the (last ``last``) buffered events."""
+        events = self.events()
+        if last is not None:
+            events = events[-last:]
+        if not events:
+            return "flight recorder: empty"
+        header = (f"flight recorder: {len(events)} of {self.recorded} "
+                  f"events ({self.dropped} dropped)")
+        lines = [header, f"{'sim-time':>12} p {'trace':>6} "
+                         f"{'kind/name':<34} {'node':<14} attrs"]
+        lines += [format_event(e) for e in events]
+        return "\n".join(lines)

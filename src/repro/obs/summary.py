@@ -1,0 +1,111 @@
+"""TraceSummary: the aggregation experiments assert against.
+
+Collapses a tracer's raw logs into sorted-key counts and per-stage latency
+totals: span counts/durations by ``kind/name``, request-span terminal
+statuses, point-event counts by ``kind/name``, and decision ``reason``
+counts.  Everything an experiment pins (and the golden fixture records) is
+an integer count; durations are included for reports but rounded so the
+dict is JSON-stable.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TraceSummary"]
+
+
+class TraceSummary:
+    """Aggregated view of one tracer's spans and events."""
+
+    def __init__(self, spans: dict, events: dict, statuses: dict,
+                 reasons: dict, open_spans: int):
+        #: ``kind/name`` -> {count, total_s, mean_s} over *completed* spans
+        self.spans = spans
+        #: ``kind/name`` -> count over point events (span marks excluded)
+        self.events = events
+        #: terminal status -> count over completed request spans
+        self.statuses = statuses
+        #: ``kind/reason`` -> count over point events carrying a reason
+        self.reasons = reasons
+        #: spans never closed (a crash mid-request, or a harness bug)
+        self.open_spans = open_spans
+
+    @classmethod
+    def from_tracer(cls, tracer) -> "TraceSummary":
+        spans: dict = {}
+        statuses: dict = {}
+        open_spans = 0
+        for span in tracer.spans:
+            if span.end is None:
+                open_spans += 1
+                continue
+            key = f"{span.kind}/{span.name}" if span.kind != "request" \
+                else "request"
+            agg = spans.setdefault(key, {"count": 0, "total_s": 0.0})
+            agg["count"] += 1
+            agg["total_s"] += span.end - span.start
+            if span.kind == "request":
+                statuses[span.status] = statuses.get(span.status, 0) + 1
+        for agg in spans.values():
+            agg["total_s"] = round(agg["total_s"], 9)
+            agg["mean_s"] = round(agg["total_s"] / agg["count"], 9)
+        events: dict = {}
+        reasons: dict = {}
+        for event in tracer.events:
+            if event.phase:
+                continue
+            key = f"{event.kind}/{event.name}"
+            events[key] = events.get(key, 0) + 1
+            reason = event.attrs.get("reason")
+            if reason is not None:
+                rkey = f"{event.kind}/{reason}"
+                reasons[rkey] = reasons.get(rkey, 0) + 1
+        return cls(spans=spans, events=events, statuses=statuses,
+                   reasons=reasons, open_spans=open_spans)
+
+    def to_dict(self) -> dict:
+        """Sorted-key, JSON-stable dict (the golden-fixture surface)."""
+        return {
+            "events": {k: self.events[k] for k in sorted(self.events)},
+            "open_spans": self.open_spans,
+            "reasons": {k: self.reasons[k] for k in sorted(self.reasons)},
+            "spans": {k: dict(sorted(self.spans[k].items()))
+                      for k in sorted(self.spans)},
+            "statuses": {k: self.statuses[k]
+                         for k in sorted(self.statuses)},
+        }
+
+    def counts(self) -> dict:
+        """Counts only -- the additive golden-metrics section."""
+        return {
+            "events": {k: self.events[k] for k in sorted(self.events)},
+            "open_spans": self.open_spans,
+            "reasons": {k: self.reasons[k] for k in sorted(self.reasons)},
+            "spans": {k: self.spans[k]["count"] for k in sorted(self.spans)},
+            "statuses": {k: self.statuses[k]
+                         for k in sorted(self.statuses)},
+        }
+
+    def render(self) -> str:
+        """A readable per-stage breakdown for the CLI."""
+        lines = ["trace summary:",
+                 f"  {'span kind/name':<28} {'count':>7} {'total s':>10} "
+                 f"{'mean ms':>9}"]
+        for key in sorted(self.spans):
+            agg = self.spans[key]
+            lines.append(f"  {key:<28} {agg['count']:>7} "
+                         f"{agg['total_s']:>10.4f} "
+                         f"{agg['mean_s'] * 1000:>9.3f}")
+        if self.open_spans:
+            lines.append(f"  (open spans: {self.open_spans})")
+        lines.append(f"  {'event kind/name':<28} {'count':>7}")
+        for key in sorted(self.events):
+            lines.append(f"  {key:<28} {self.events[key]:>7}")
+        if self.statuses:
+            statuses = " ".join(f"{k}={self.statuses[k]}"
+                                for k in sorted(self.statuses))
+            lines.append(f"  request statuses: {statuses}")
+        if self.reasons:
+            reasons = " ".join(f"{k}={self.reasons[k]}"
+                               for k in sorted(self.reasons))
+            lines.append(f"  decision reasons: {reasons}")
+        return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Per-request waterfall rendering for the ``repro trace`` CLI.
+
+A waterfall shows one trace id's lifetime: every span as an offset +
+duration bar, every point event as a tick, in timeline order -- the
+request's path through admission, routing, binding, the splice state
+machine, and (when things go wrong) the shed/retry/breaker decisions that
+explain its fate.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_waterfall", "pick_waterfall_trace"]
+
+
+def _bar(start: float, end: float, t0: float, t1: float,
+         width: int) -> str:
+    """An ASCII interval bar positioned inside [t0, t1]."""
+    window = t1 - t0
+    if window <= 0:
+        return "#" * width
+    a = int((start - t0) / window * (width - 1))
+    b = int((end - t0) / window * (width - 1))
+    a = min(max(a, 0), width - 1)
+    b = min(max(b, a), width - 1)
+    return " " * a + "#" * (b - a + 1)
+
+
+def render_waterfall(tracer, trace_id: int, width: int = 32) -> str:
+    """Render one request's spans and events as a text waterfall."""
+    spans = [s for s in tracer.spans if s.trace_id == trace_id]
+    points = [e for e in tracer.events
+              if e.trace_id == trace_id and not e.phase]
+    if not spans and not points:
+        return f"trace #{trace_id}: no records"
+    t0 = min([s.start for s in spans] + [e.t for e in points])
+    t1 = max([s.end if s.end is not None else s.start for s in spans] +
+             [e.t for e in points])
+    rows = []
+    for span in spans:
+        end = span.end if span.end is not None else span.start
+        label = f"{span.kind}/{span.name}"
+        status = span.status or ("open" if span.open else "")
+        attrs = " ".join(f"{k}={span.attrs[k]}" for k in sorted(span.attrs)
+                         if k != "span")
+        detail = " ".join(x for x in (status, attrs) if x)
+        rows.append((span.start, 0, span.span_id,
+                     f"{(span.start - t0) * 1000:9.3f} "
+                     f"{(end - span.start) * 1000:9.3f} "
+                     f"{_bar(span.start, end, t0, t1, width):<{width}} "
+                     f"{label:<26} {detail}".rstrip()))
+    for event in points:
+        label = f"{event.kind}/{event.name}"
+        attrs = " ".join(f"{k}={event.attrs[k]}"
+                         for k in sorted(event.attrs))
+        offset = int((event.t - t0) / (t1 - t0) * (width - 1)) \
+            if t1 > t0 else 0
+        tick = " " * min(max(offset, 0), width - 1) + "|"
+        rows.append((event.t, 1, event.seq,
+                     f"{(event.t - t0) * 1000:9.3f} {'':9} "
+                     f"{tick:<{width}} {label:<26} {attrs}".rstrip()))
+    rows.sort(key=lambda r: (r[0], r[1], r[2]))
+    header = (f"trace #{trace_id}: t0={t0:.6f}s "
+              f"span={1000 * (t1 - t0):.3f}ms\n"
+              f"{'off ms':>9} {'dur ms':>9} {'timeline':<{width}} "
+              f"{'kind/name':<26} detail")
+    return header + "\n" + "\n".join(r[3] for r in rows)
+
+
+def pick_waterfall_trace(tracer):
+    """The default trace for the CLI: the one with the most records (ties
+    broken toward the earliest id), i.e. the most eventful request.
+    ``None`` when the tracer holds no per-request records."""
+    counts: dict[int, int] = {}
+    for event in tracer.events:
+        if event.trace_id is not None:
+            counts[event.trace_id] = counts.get(event.trace_id, 0) + 1
+    if not counts:
+        return None
+    return min(sorted(counts), key=lambda tid: (-counts[tid], tid))

@@ -105,6 +105,11 @@ class Histogram:
         self._ratio = (high / low) ** (1.0 / self.nbuckets)
         self.counts = [0] * self.nbuckets
         self.total = 0
+        #: observations that landed outside [low, high] -- they are counted
+        #: in the first/last bucket, but a large count here means the
+        #: configured range does not fit the data
+        self.underflow = 0
+        self.overflow = 0
         self.stats = SummaryStats(name)
 
     def _bucket(self, x: float) -> int:
@@ -118,6 +123,10 @@ class Histogram:
     def observe(self, x: float) -> None:
         self.counts[self._bucket(x)] += 1
         self.total += 1
+        if x < self.low:
+            self.underflow += 1
+        elif x > self.high:
+            self.overflow += 1
         self.stats.observe(x)
 
     def bucket_bounds(self, idx: int) -> tuple[float, float]:
@@ -125,20 +134,28 @@ class Histogram:
         return lo, lo * self._ratio
 
     def percentile(self, p: float) -> float:
-        """Estimate the p-th percentile (p in [0, 100])."""
+        """Estimate the p-th percentile (p in [0, 100]).
+
+        The interpolated estimate is clamped to the observed
+        ``[stats.min, stats.max]`` range, so an out-of-range observation
+        parked in an edge bucket (see ``underflow``/``overflow``) can never
+        make a percentile report a value no request actually saw.
+        """
         if not 0 <= p <= 100:
             raise ValueError("p must be within [0, 100]")
         if self.total == 0:
             return 0.0
         target = p / 100.0 * self.total
         acc = 0
+        estimate = self.high
         for idx, c in enumerate(self.counts):
             if acc + c >= target:
                 lo, hi = self.bucket_bounds(idx)
                 frac = (target - acc) / c if c else 0.0
-                return lo + (hi - lo) * frac
+                estimate = lo + (hi - lo) * frac
+                break
             acc += c
-        return self.high
+        return min(max(estimate, self.stats.min), self.stats.max)
 
 
 class TimeWeighted:
@@ -212,6 +229,8 @@ class MetricSet:
         self._counters: dict[str, Counter] = {}
         self._stats: dict[str, SummaryStats] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._timeweighted: dict[str, TimeWeighted] = {}
+        self._meters: dict[str, ThroughputMeter] = {}
 
     def counter(self, name: str) -> Counter:
         if name not in self._counters:
@@ -228,16 +247,47 @@ class MetricSet:
             self._histograms[name] = Histogram(name=name, **kwargs)
         return self._histograms[name]
 
-    def snapshot(self) -> dict:
-        """A plain-dict view for reports and assertions."""
+    def timeweighted(self, name: str, now: float = 0.0) -> TimeWeighted:
+        """A named piecewise-constant signal; ``now`` seeds first creation."""
+        if name not in self._timeweighted:
+            self._timeweighted[name] = TimeWeighted(now=now, name=name)
+        return self._timeweighted[name]
+
+    def meter(self, name: str, warmup: float = 0.0) -> ThroughputMeter:
+        """A named completion meter; ``warmup`` applies on first creation."""
+        if name not in self._meters:
+            self._meters[name] = ThroughputMeter(warmup=warmup, name=name)
+        return self._meters[name]
+
+    def snapshot(self, now: Optional[float] = None) -> dict:
+        """A plain-dict view for reports and assertions.
+
+        Keys are sorted in every section, so two equal metric sets always
+        serialize identically.  Passing ``now`` adds the time-average to
+        each ``timeweighted`` entry (the average is undefined without a
+        clock reading).
+        """
+        timeweighted = {}
+        for k in sorted(self._timeweighted):
+            v = self._timeweighted[k]
+            entry = {"value": v.value, "peak": v.peak}
+            if now is not None:
+                entry["avg"] = v.average(now)
+            timeweighted[k] = entry
         return {
-            "counters": {k: v.count for k, v in self._counters.items()},
+            "counters": {k: self._counters[k].count
+                         for k in sorted(self._counters)},
             "stats": {k: {"n": v.n, "mean": v.mean, "min": v.min,
                           "max": v.max, "stdev": v.stdev}
-                      for k, v in self._stats.items()},
+                      for k, v in sorted(self._stats.items())},
             "histograms": {k: {"n": v.total,
                                "p50": v.percentile(50),
                                "p95": v.percentile(95),
-                               "p99": v.percentile(99)}
-                           for k, v in self._histograms.items()},
+                               "p99": v.percentile(99),
+                               "underflow": v.underflow,
+                               "overflow": v.overflow}
+                           for k, v in sorted(self._histograms.items())},
+            "timeweighted": timeweighted,
+            "meters": {k: {"n": v.completions, "bytes": v.bytes}
+                       for k, v in sorted(self._meters.items())},
         }

@@ -1,0 +1,51 @@
+"""The ``repro trace`` CLI subcommand end-to-end (at reduced scale)."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+pytestmark = pytest.mark.trace
+
+#: Small enough for tier-1, large enough that the flash crowd sheds and
+#: the slow disk trips a breaker -- the decisions the waterfall must show.
+ARGS = ["trace", "--seed", "11", "--duration", "5.0", "--clients", "10",
+        "--objects", "200", "--settle", "2.0"]
+
+
+class TestTraceCli:
+    def test_summary_and_waterfall(self, capsys):
+        main(ARGS)
+        out = capsys.readouterr().out
+        assert "trace summary:" in out
+        assert "request statuses:" in out
+        assert "decision reasons:" in out
+        # the episode's signature decisions surface with their reasons
+        assert "shed/shed" in out
+        assert "admission-queue-full" in out
+        assert "breaker/closed->open" in out
+        # a per-request waterfall is rendered for the busiest trace
+        assert "trace #" in out
+        assert "off ms" in out
+
+    def test_filtered_event_listing(self, capsys):
+        main(ARGS + ["--kind", "breaker"])
+        out = capsys.readouterr().out
+        assert "closed->open" in out
+        assert "reason=" in out
+        assert "events matched" in out
+        assert "trace summary:" not in out
+
+    def test_exporter_files(self, tmp_path, capsys):
+        jsonl = tmp_path / "trace.jsonl"
+        chrome = tmp_path / "trace.json"
+        main(ARGS + ["--jsonl", str(jsonl), "--chrome", str(chrome)])
+        lines = jsonl.read_text(encoding="utf-8").splitlines()
+        assert lines
+        recs = {json.loads(line)["rec"] for line in lines}
+        assert recs == {"event", "span"}
+        doc = json.loads(chrome.read_text(encoding="utf-8"))
+        assert doc["traceEvents"]
+        out = capsys.readouterr().out
+        assert "wrote" in out

@@ -1,0 +1,57 @@
+"""Trace determinism: byte-identical JSONL across runs and hash seeds.
+
+The trace is part of the reproducibility surface -- two runs of the same
+seeded episode must export the *same bytes*, regardless of process or
+``PYTHONHASHSEED``.  Fresh subprocesses are mandatory here: module-level
+id counters (mapping entries, dispatch ids) advance across in-process
+runs, so only a clean interpreter observes the canonical byte stream.
+
+The obs package itself must also pass the determinism lints (no wall
+clock, no global RNG, no unsorted set iteration) -- the tracer cannot be
+allowed to perturb what it observes.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.determinism import DEFAULT_ROOT, lint_tree
+
+pytestmark = pytest.mark.trace
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+EXPORT_SCRIPT = """\
+import sys
+from repro.experiments.chaos import run_overload_episode
+from repro.obs import to_jsonl
+
+result = run_overload_episode(seed=3, duration=2.5, clients=6,
+                              n_objects=100, settle=1.0, trace=True)
+sys.stdout.write(to_jsonl(result.tracer))
+"""
+
+
+def export_jsonl(hashseed: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-c", EXPORT_SCRIPT],
+        capture_output=True, text=True, check=True,
+        env={"PYTHONPATH": SRC, "PYTHONHASHSEED": hashseed})
+    return proc.stdout
+
+
+class TestByteIdenticalExport:
+    def test_repeated_runs_and_hash_seeds_export_same_bytes(self):
+        first = export_jsonl("0")
+        again = export_jsonl("0")
+        reseeded = export_jsonl("1")
+        assert first, "traced episode exported no records"
+        assert first == again
+        assert first == reseeded
+
+
+class TestObsPackageLints:
+    def test_obs_tree_is_lint_clean(self):
+        assert lint_tree(DEFAULT_ROOT / "obs") == []

@@ -111,6 +111,32 @@ class TestHistogram:
         h.observe(4.0)
         assert h.stats.mean == pytest.approx(3.0)
 
+    def test_underflow_overflow_counted(self):
+        h = Histogram(low=1.0, high=100.0)
+        h.observe(0.001)
+        h.observe(0.5)
+        h.observe(50.0)
+        h.observe(1e9)
+        assert h.underflow == 2
+        assert h.overflow == 1
+        assert h.total == 4
+
+    def test_percentile_clamped_to_observed_range(self):
+        # an overflow parked in the top bucket must not let a percentile
+        # report a latency no request actually saw
+        h = Histogram(low=1e-3, high=10.0)
+        for _ in range(99):
+            h.observe(1.0)
+        h.observe(1e6)
+        assert h.percentile(99) <= h.stats.max == 1e6
+        assert h.percentile(50) >= h.stats.min == 1.0
+        # all mass in one value: every percentile collapses onto it
+        g = Histogram(low=1e-3, high=10.0)
+        g.observe(2.0)
+        g.observe(2.0)
+        for p in (1, 50, 99, 100):
+            assert g.percentile(p) == pytest.approx(2.0)
+
     @given(st.lists(st.floats(1e-5, 1e2), min_size=1, max_size=200))
     @settings(max_examples=50, deadline=None)
     def test_property_percentiles_monotone(self, xs):
@@ -178,3 +204,38 @@ class TestMetricSet:
         assert snap["counters"]["a"] == 2
         assert snap["stats"]["lat"]["n"] == 1
         assert snap["histograms"]["h"]["n"] == 1
+
+    def test_timeweighted_and_meter_accessors(self):
+        ms = MetricSet()
+        tw = ms.timeweighted("inflight")
+        tw.update(0.0, 4)
+        tw.update(2.0, 1)
+        assert ms.timeweighted("inflight") is tw
+        meter = ms.meter("throughput")
+        meter.record(1.0, nbytes=100)
+        assert ms.meter("throughput") is meter
+
+        snap = ms.snapshot(now=4.0)
+        assert snap["timeweighted"]["inflight"]["peak"] == 4
+        assert snap["timeweighted"]["inflight"]["value"] == 1
+        assert snap["timeweighted"]["inflight"]["avg"] == \
+            pytest.approx((4 * 2.0 + 1 * 2.0) / 4.0)
+        assert snap["meters"]["throughput"] == {"n": 1, "bytes": 100}
+        # without a clock reading the time-average is undefined
+        assert "avg" not in ms.snapshot()["timeweighted"]["inflight"]
+
+    def test_snapshot_sections_and_keys_sorted(self):
+        ms = MetricSet()
+        for name in ("zeta", "alpha", "mid"):
+            ms.counter(name).increment()
+            ms.stats(name).observe(1.0)
+            ms.histogram(name).observe(1.0)
+            ms.timeweighted(name)
+            ms.meter(name)
+        snap = ms.snapshot()
+        assert list(snap) == ["counters", "stats", "histograms",
+                              "timeweighted", "meters"]
+        for section in snap.values():
+            assert list(section) == sorted(section)
+        hist = snap["histograms"]["alpha"]
+        assert hist["underflow"] == 0 and hist["overflow"] == 0
