@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: verify test check chaos-smoke chaos chaos-overload trace golden
+.PHONY: verify test check chaos-smoke chaos chaos-overload trace golden bench
 
 ## The full tier-1 gate: unit/integration tests, the repro.analysis
 ## correctness passes, and the chaos smoke episodes.
@@ -27,6 +27,11 @@ chaos-overload:
 ## The traced overload episode: trace summary + per-request waterfall.
 trace:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro trace --seed 1
+
+## Kernel fast-path wall-clock benchmark (writes BENCH_kernel.json).
+## Not part of tier-1: wall-clock numbers are host-dependent.
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench
 
 ## Regenerate the golden-metrics fixture after a reviewed model change.
 golden:

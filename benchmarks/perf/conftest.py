@@ -1,0 +1,26 @@
+"""Wall-clock kernel benchmarks (DESIGN.md §11).
+
+Unlike the reproduction benchmarks one directory up, these measure the
+*simulator itself*: the kernel fast path against the segment-accurate
+path on the same seeded workloads.  They are marked ``bench`` and are not
+part of tier-1 (wall-clock assertions are host-dependent); run them via
+``make bench`` / ``repro bench`` or
+``pytest benchmarks/perf -m bench --benchmark-disable``.
+"""
+
+_emitted: list[str] = []
+
+
+def emit(text: str) -> None:
+    """Record a report block for the end-of-run summary."""
+    _emitted.append(text)
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _emitted:
+        return
+    terminalreporter.write_sep("=", "kernel fast-path benchmarks")
+    for block in _emitted:
+        terminalreporter.write_line("")
+        for line in block.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,40 @@
+"""The ISSUE acceptance benchmark: fast path vs segment path wall clock.
+
+The open-loop latency workload through the packet-level splicing
+distributor must run >= 5x faster on the kernel fast path, with a
+byte-identical result digest.  The request-level stages (Figure 2/3
+cells, the overload episode) must also be byte-identical; their speedups
+are bounded by model-layer work and only asserted to not regress (>= 1x
+within noise).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.experiments.bench import render_bench, run_bench
+
+pytestmark = pytest.mark.bench
+
+
+class TestKernelFastPath:
+    def test_openloop_speedup_and_equivalence(self):
+        payload = run_bench(stages=["openloop_latency"], scale="default")
+        emit(render_bench(payload))
+        stage = payload["stages"]["openloop_latency"]
+        assert stage["identical"], \
+            "fast path diverged from the segment path"
+        assert stage["speedup"] >= 5.0, \
+            f"fast path only {stage['speedup']}x vs segment path"
+        assert payload["target"]["met"]
+
+    def test_request_level_stages_identical(self):
+        payload = run_bench(stages=["fig2_workload_a", "fig3_workload_b",
+                                    "overload_episode"], scale="quick")
+        emit(render_bench(payload))
+        for name, stage in payload["stages"].items():
+            assert stage["identical"], f"{name}: fast path diverged"
+            # the request-level fast path trims events, never adds them
+            assert stage["events"]["fast"] < stage["events"]["segment"]
+            # wall clock must not regress beyond measurement noise
+            assert stage["speedup"] >= 0.9, \
+                f"{name}: fast path slower ({stage['speedup']}x)"

@@ -10,6 +10,7 @@ Commands
 ``chaos``     seeded fault-injection episodes (exit 1 if any fails)
 ``overload``  flash-crowd + slow-disk overload episode (exit 1 on failure)
 ``trace``     traced overload episode: summary, waterfall, JSONL/Chrome export
+``bench``     kernel fast-path wall-clock benchmark -> BENCH_kernel.json
 """
 
 from __future__ import annotations
@@ -151,6 +152,33 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0 if result.survived else 1
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .experiments.bench import BENCH_STAGES, render_bench, run_bench
+    stages = None if args.stages == "all" else args.stages.split(",")
+    if stages is not None:
+        unknown = [s for s in stages if s not in BENCH_STAGES]
+        if unknown:
+            print(f"unknown stages: {', '.join(unknown)} "
+                  f"(available: {', '.join(BENCH_STAGES)})", file=sys.stderr)
+            return 2
+    payload = run_bench(stages=stages, scale=args.scale, seed=args.seed,
+                        profile=args.profile)
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(render_bench(payload))
+    print(f"\nwrote {args.output}")
+    if args.profile:
+        print(f"profiled stage {payload['profile']['stage']} (fast path) "
+              f"-> {args.profile}; inspect with: python -m pstats "
+              f"{args.profile}")
+    ok = all(s["identical"] for s in payload["stages"].values()) and \
+        payload["target"]["met"] is not False
+    return 0 if ok else 1
+
+
 def cmd_schemes(args: argparse.Namespace) -> int:
     descriptions = {
         "replication-l4": "full replication + L4 router (WLC) -- config 1",
@@ -274,6 +302,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a Chrome trace-event file (load in "
                             "chrome://tracing or Perfetto)")
     p_trc.set_defaults(func=cmd_trace)
+
+    p_bch = sub.add_parser("bench",
+                           help="benchmark the kernel fast path against "
+                                "the segment-accurate path")
+    p_bch.add_argument("--scale", choices=("quick", "default", "full"),
+                       default="default")
+    p_bch.add_argument("--stages", default="all",
+                       help="comma-separated stage names (default: all); "
+                            "see repro.experiments.bench.BENCH_STAGES")
+    p_bch.add_argument("--seed", type=int, default=42)
+    p_bch.add_argument("--output", default="BENCH_kernel.json",
+                       help="where to write the results JSON")
+    p_bch.add_argument("--profile", default=None, metavar="PSTATS",
+                       help="re-run the slowest stage on the fast path "
+                            "under cProfile and dump pstats here")
+    p_bch.set_defaults(func=cmd_bench)
 
     p_chk = sub.add_parser("check",
                            help="determinism lint + state-machine check + "

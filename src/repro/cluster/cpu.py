@@ -43,11 +43,19 @@ class Cpu:
     def run(self, reference_seconds: float) -> Generator:
         """Execute a burst; use ``yield from cpu.run(...)`` inside a process."""
         duration = self.scaled(reference_seconds)
-        req = yield self._core.request()
-        try:
-            yield self.sim.timeout(duration)
-        finally:
-            self._core.release(req)
+        core = self._core
+        if self.sim.fast_path and core.can_acquire:
+            req = core.try_acquire()
+            try:
+                yield self.sim.hot_timeout(duration)
+            finally:
+                core.release(req)
+        else:
+            req = yield core.request()
+            try:
+                yield self.sim.timeout(duration)
+            finally:
+                core.release(req)
         self.busy_seconds += duration
         self.bursts += 1
 

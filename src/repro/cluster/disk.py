@@ -40,14 +40,32 @@ class Disk:
     def clear_slowdown(self) -> None:
         self.slowdown = 1.0
 
+    def _service(self, duration: float) -> Generator:
+        """Hold the arm for ``duration``.
+
+        A healthy (``slowdown == 1.0``), idle, unqueued disk takes the
+        single-event fast path; a degraded disk always pays the
+        event-accurate path so the disk-slowdown chaos fault keeps its
+        exact event interleaving.
+        """
+        arm = self._arm
+        if self.sim.fast_path and self.slowdown == 1.0 and arm.can_acquire:
+            req = arm.try_acquire()
+            try:
+                yield self.sim.hot_timeout(duration)
+            finally:
+                arm.release(req)
+        else:
+            req = yield arm.request()
+            try:
+                yield self.sim.timeout(duration)
+            finally:
+                arm.release(req)
+
     def read(self, nbytes: int) -> Generator:
         """Read an object; use ``yield from disk.read(nbytes)``."""
         duration = self.spec.read_time(nbytes) * self.slowdown
-        req = yield self._arm.request()
-        try:
-            yield self.sim.timeout(duration)
-        finally:
-            self._arm.release(req)
+        yield from self._service(duration)
         self.reads += 1
         self.bytes_read += nbytes
         self.busy_seconds += duration
@@ -55,11 +73,7 @@ class Disk:
     def write(self, nbytes: int) -> Generator:
         """Write an object (content copy landing); same service model."""
         duration = self.spec.read_time(nbytes) * self.slowdown
-        req = yield self._arm.request()
-        try:
-            yield self.sim.timeout(duration)
-        finally:
-            self._arm.release(req)
+        yield from self._service(duration)
         self.writes += 1
         self.bytes_written += nbytes
         self.busy_seconds += duration

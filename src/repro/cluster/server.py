@@ -115,7 +115,10 @@ class BackendServer:
             raise RuntimeError(f"{self.name} is down")
         started = self.sim.now
         self.active_requests += 1
-        slot = yield self.workers.request()
+        slot = (self.workers.try_acquire()
+                if self.sim.fast_path else None)
+        if slot is None:
+            slot = yield self.workers.request()
         try:
             factor = self._cpu_cost_factor()
             if item is None:

@@ -121,6 +121,34 @@ class ConnectionPool:
         ev.add_callback(self._mark_busy)
         return ev
 
+    def try_acquire(self) -> Optional[PooledConnection]:
+        """Synchronously take an idle connection, or ``None`` if the caller
+        would have to wait for a release.
+
+        The fast-path twin of :meth:`acquire`: growth, counters, and trace
+        points are byte-identical to the event-based path for the
+        no-wait case; lease accounting just happens immediately instead of
+        at event-delivery time (the delivery event fires at the same
+        timestamp, so nothing observable moves).
+        """
+        if len(self._idle) == 0 and self.total >= self.max_size:
+            return None
+        self.acquired += 1
+        grew = False
+        if len(self._idle) == 0:
+            self._idle.put(self._new_conn())
+            self.grown += 1
+            grew = True
+        if self.tracer is not None:
+            self.tracer.point("pool", "acquire", node=self.backend,
+                              idle=len(self._idle), waited=False,
+                              grown=grew)
+        conn = self._idle.try_get()
+        conn.in_use = True
+        conn.uses += 1
+        self._leased[conn.conn_id] = conn
+        return conn
+
     def _waiter_served(self, event: SimEvent) -> None:
         self.waiting -= 1
 

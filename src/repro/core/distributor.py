@@ -90,7 +90,12 @@ class ContentAwareDistributor(Frontend):
         return backend, record.item
 
     def acquire_backend(self, backend: str) -> Generator:
-        conn: PooledConnection = yield self.pools.pool(backend).acquire()
+        pool = self.pools.pool(backend)
+        if self.sim.fast_path:
+            conn = pool.try_acquire()
+            if conn is not None:
+                return conn
+        conn: PooledConnection = yield pool.acquire()
         return conn
 
     def release_backend(self, backend: str, token) -> None:

@@ -327,8 +327,19 @@ class Frontend:
             # FIN handling happens after the response reaches the client;
             # it consumes front-end CPU but adds nothing to user latency
             if self.costs.teardown_cpu:
-                self.sim.process(self.cpu.run(self.costs.teardown_cpu),
-                                 name="teardown")
+                core = self.cpu._core
+                if self.sim.fast_path and core.can_acquire:
+                    # collapse the fire-and-forget teardown process (4
+                    # events) into a synchronous grant plus one scheduled
+                    # release: the CPU is held for the identical window
+                    duration = self.cpu.scaled(self.costs.teardown_cpu)
+                    req = core.try_acquire()
+                    self.sim.schedule(
+                        duration,
+                        lambda: self._teardown_done(req, duration))
+                else:
+                    self.sim.process(self.cpu.run(self.costs.teardown_cpu),
+                                     name="teardown")
             return self._finish(entry, request, response, started, item,
                                 span=span)
         except BaseException:
@@ -343,11 +354,23 @@ class Frontend:
             if token is not None:
                 self.release_backend(backend, token)
 
+    def _teardown_done(self, req, duration: float) -> None:
+        self.cpu._core.release(req)
+        self.cpu.busy_seconds += duration
+        self.cpu.bursts += 1
+
     def _backend_serve(self, server: BackendServer, request: HttpRequest,
                        item: Optional[ContentItem]) -> Generator:
         """Await the backend's response, bounded by the request timeout."""
-        proc = self.sim.process(server.serve(request, item))
         ctl = self.overload
+        if (ctl is None or ctl.config.request_timeout <= 0) \
+                and self.sim.fast_path:
+            # no timeout race to arbitrate: run the serve inline instead of
+            # spawning a join-able process (nothing ever interrupts a
+            # submit mid-serve, so the spawn bought only isolation that the
+            # exception handling in _serve_spliced already provides)
+            return (yield from server.serve(request, item))
+        proc = self.sim.process(server.serve(request, item))
         if ctl is None or ctl.config.request_timeout <= 0:
             return (yield proc)
         timer = self.sim.timeout(ctl.config.request_timeout)

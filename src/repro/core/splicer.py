@@ -66,6 +66,9 @@ def _leg_transition(leg: "PoolLeg", new: str, tracer=None) -> None:
 class PoolLeg:
     """One pre-forked persistent connection: distributor -> backend."""
 
+    __slots__ = ("backend", "local", "remote", "state", "isn", "snd_nxt",
+                 "rcv_nxt", "established", "bound_entry", "uses")
+
     def __init__(self, backend: str, local: Address, remote: Address):
         self.backend = backend
         self.local = local
@@ -172,11 +175,12 @@ class SplicingDistributor:
             inbox.put(seg)
 
     def _vip_send(self, entry: MappingEntry, flags: TcpFlags,
-                  payload_len: int = 0, payload=None) -> None:
+                  payload_len: int = 0, payload=None,
+                  frags: int = 1) -> None:
         self.net.send(Segment(src=self.vip, dst=entry.client,
                               seq=entry.client_ack, ack=entry.client_seq,
                               flags=flags, payload_len=payload_len,
-                              payload=payload))
+                              payload=payload, frags=frags))
 
     def _client_conn(self, entry: MappingEntry, inbox: Store):
         """Per-connection state machine over the client's segments.
@@ -212,12 +216,13 @@ class SplicingDistributor:
                     src=leg.local, dst=leg.remote,
                     seq=leg.snd_nxt, ack=leg.rcv_nxt,
                     flags=TcpFlags.ACK | TcpFlags.PSH,
-                    payload_len=seg.payload_len, payload=seg.payload))
+                    payload_len=seg.payload_len, payload=seg.payload,
+                    frags=seg.frags))
                 leg.snd_nxt += seg.payload_len
                 entry.requests_relayed += 1
                 entry.bytes_to_server += seg.payload_len
-                self.relayed_to_server += 1
-                self._vip_send(entry, TcpFlags.ACK)
+                self.relayed_to_server += seg.frags
+                self._vip_send(entry, TcpFlags.ACK, frags=seg.frags)
                 if request.version is HttpVersion.HTTP_1_0:
                     entry.http10 = True
                 continue
@@ -294,10 +299,10 @@ class SplicingDistributor:
             return
         if seg.payload_len:
             leg.rcv_nxt = seg.seq + seg.payload_len
-            # ACK the backend on the pool leg...
+            # ACK the backend on the pool leg (one per relayed fragment)...
             self.net.send(Segment(src=leg.local, dst=leg.remote,
                                   seq=leg.snd_nxt, ack=leg.rcv_nxt,
-                                  flags=TcpFlags.ACK))
+                                  flags=TcpFlags.ACK, frags=seg.frags))
             # ...and relay the response to the client, rewritten.
             entry = leg.bound_entry
             if entry is None:
@@ -316,8 +321,8 @@ class SplicingDistributor:
                                   seq=entry.client_ack,
                                   ack=entry.client_seq, flags=flags,
                                   payload_len=seg.payload_len,
-                                  payload=seg.payload))
+                                  payload=seg.payload, frags=seg.frags))
             entry.client_ack += seg.payload_len + (1 if add_fin else 0)
             entry.bytes_to_client += seg.payload_len
-            self.relayed_to_client += 1
+            self.relayed_to_client += seg.frags
         # pure ACKs from the backend are absorbed

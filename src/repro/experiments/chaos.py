@@ -92,7 +92,8 @@ class ChaosRunner:
     def __init__(self, seed: int = 1, episodes: int = 20,
                  duration: float = 6.0, clients: int = 10,
                  n_objects: int = 300, settle: float = 2.5,
-                 extra_faults: int = 2, trace: bool = False):
+                 extra_faults: int = 2, trace: bool = False,
+                 fast_path: bool = False):
         if episodes < 1:
             raise ValueError("need at least one episode")
         if duration <= 1.0:
@@ -107,6 +108,9 @@ class ChaosRunner:
         #: attach a repro.obs tracer to every episode; a failed episode's
         #: result then carries the flight recorder's final timeline
         self.trace = trace
+        #: run every episode on the kernel fast path (byte-identical
+        #: outcomes; the equivalence suite pins this)
+        self.fast_path = fast_path
         self.results: list[EpisodeResult] = []
 
     # -- one episode --------------------------------------------------------
@@ -115,7 +119,7 @@ class ChaosRunner:
             scheme="partition-ca", workload=WORKLOAD_A,
             seed=self.seed * 1000 + index, n_objects=self.n_objects,
             warmup=0.5, duration=self.duration, n_client_machines=6,
-            trace=self.trace)
+            trace=self.trace, fast_path=self.fast_path)
         deployment = build_deployment(config)
         sim, lan = deployment.sim, deployment.lan
         servers = deployment.servers
@@ -351,6 +355,9 @@ class OverloadEpisodeResult:
     tracer: Optional[object] = None
     #: flight-recorder dump captured when a traced episode failed
     timeline: str = ""
+    #: kernel events scheduled over the episode (``Simulator.event_count``);
+    #: used by the benchmark harness, not part of the outcome table
+    events: int = 0
 
     @property
     def goodput(self) -> float:
@@ -444,7 +451,8 @@ def run_overload_episode(seed: int = 1, duration: float = 6.0,
                          settle: float = 2.5, multiplier: float = 4.0,
                          config: OverloadConfig = OVERLOAD_EPISODE_CONFIG,
                          enabled: bool = True,
-                         trace: bool = False) -> OverloadEpisodeResult:
+                         trace: bool = False,
+                         fast_path: bool = False) -> OverloadEpisodeResult:
     """One seeded flash-crowd + slow-disk episode against the HA testbed.
 
     A 4x client burst overruns the admission bounds (shedding), while a
@@ -462,7 +470,8 @@ def run_overload_episode(seed: int = 1, duration: float = 6.0,
         scheme="partition-ca", workload=WORKLOAD_A, seed=seed,
         n_objects=n_objects, warmup=0.5, duration=duration,
         n_client_machines=6, prewarm=False,
-        overload=config if enabled else None, trace=trace)
+        overload=config if enabled else None, trace=trace,
+        fast_path=fast_path)
     deployment = build_deployment(exp)
     sim, lan, servers = deployment.sim, deployment.lan, deployment.servers
     primary = deployment.frontend
@@ -570,7 +579,8 @@ def run_overload_episode(seed: int = 1, duration: float = 6.0,
                               for v in violations],
         leak_violations=leaks,
         config=config if enabled else None,
-        tracer=tracer)
+        tracer=tracer,
+        events=sim.event_count)
     if tracer is not None and not result.survived:
         result.timeline = tracer.recorder.render()
     return result

@@ -67,6 +67,11 @@ class ExperimentConfig:
     #: breaker/shed/pool point events, and a flight recorder.  Off by
     #: default -- tracer=None keeps the event sequence byte-for-byte
     trace: bool = False
+    #: enable the kernel fast path (DESIGN.md §11): resource grants become
+    #: synchronous and fault-free exchanges collapse to single completion
+    #: events.  Off by default; when on, golden metrics, trace JSONL, and
+    #: chaos outcome tables are byte-identical to the event-accurate path
+    fast_path: bool = False
 
     def __post_init__(self):
         if self.scheme not in SCHEMES:
@@ -151,7 +156,8 @@ def _prewarm_caches(catalog: SiteCatalog,
 def build_deployment(config: ExperimentConfig) -> Deployment:
     """Construct the §5.1 cluster wired for ``config.scheme``."""
     rng = RngStream(config.seed, f"exp/{config.scheme}/{config.workload.name}")
-    sim = Simulator(debug=config.debug_invariants)
+    sim = Simulator(debug=config.debug_invariants,
+                    fast_path=config.fast_path)
     lan = Lan(sim)
     specs = paper_testbed_specs()
     servers: dict[str, BackendServer] = {}

@@ -36,9 +36,17 @@ class Address:
 
     ip: str
     port: int
+    #: memoised ``str(self)`` -- rebuilt f-strings dominated the trace and
+    #: mapping-table hot paths; excluded from eq/hash/repr
+    _str: Optional[str] = dataclasses.field(
+        default=None, init=False, repr=False, compare=False)
 
     def __str__(self) -> str:
-        return f"{self.ip}:{self.port}"
+        s = self._str
+        if s is None:
+            s = f"{self.ip}:{self.port}"
+            object.__setattr__(self, "_str", s)
+        return s
 
 
 @dataclasses.dataclass(slots=True)
@@ -57,6 +65,17 @@ class Segment:
     flags: TcpFlags
     payload_len: int = 0
     payload: Any = None
+    #: number of wire segments this object stands for.  The kernel fast
+    #: path (DESIGN.md §11) coalesces an MSS-fragmented burst into one
+    #: aggregated segment carrying the burst's total ``payload_len`` and
+    #: ``frags``; ACKs and relays of an aggregated segment propagate the
+    #: same count so ``Network.segments_sent`` stays byte-identical to
+    #: the segment-at-a-time path
+    frags: int = 1
+    #: memoised flow key; segments are treated as immutable after creation
+    #: (rewrite() returns copies), so caching the pair is safe
+    _flow: Optional[tuple] = dataclasses.field(
+        default=None, init=False, repr=False, compare=False)
 
     @property
     def is_syn(self) -> bool:
@@ -85,7 +104,11 @@ class Segment:
 
     def flow_id(self) -> tuple[Address, Address]:
         """The (src, dst) pair identifying this direction of the flow."""
-        return (self.src, self.dst)
+        f = self._flow
+        if f is None:
+            f = (self.src, self.dst)
+            self._flow = f
+        return f
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         names = [f.name for f in TcpFlags if f and self.flags & f]
@@ -114,4 +137,5 @@ def rewrite(segment: Segment, *,
         flags=segment.flags,
         payload_len=segment.payload_len,
         payload=segment.payload,
+        frags=segment.frags,
     )

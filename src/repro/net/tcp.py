@@ -56,6 +56,9 @@ class Network:
         self.latency = latency
         self._handlers: dict[str, Callable[[Segment], None]] = {}
         self.segments_sent = 0
+        #: multi-segment bursts collapsed to one aggregated segment by the
+        #: kernel fast path (DESIGN.md §11); 0 on the segment-at-a-time path
+        self.flow_forwards = 0
 
     def register(self, ip: str, handler: Callable[[Segment], None]) -> None:
         if ip in self._handlers:
@@ -66,8 +69,13 @@ class Network:
         self._handlers.pop(ip, None)
 
     def send(self, segment: Segment) -> None:
-        """Schedule delivery of ``segment`` to its destination IP."""
-        self.segments_sent += 1
+        """Schedule delivery of ``segment`` to its destination IP.
+
+        An aggregated segment (``frags > 1``, fast path only) counts as
+        the whole burst it stands for, keeping ``segments_sent``
+        byte-identical between the fast and segment paths.
+        """
+        self.segments_sent += segment.frags
         handler = self._handlers.get(segment.dst.ip)
         if handler is None:
             return  # destination dark: packet silently dropped
@@ -174,17 +182,33 @@ class TcpSocket:
         Only the final segment carries ``payload`` (the parsed message
         object) -- the marker receivers and middleboxes use to recognize
         the last packet of an application message.
+
+        On the kernel fast path (DESIGN.md §11) the whole burst collapses
+        to one aggregated segment carrying ``frags=len(sizes)``: the
+        flow-level splice fast-forward.  Sequence arithmetic, counters,
+        and delivery time are identical (all fragments are emitted at the
+        same instant and the network delivers with fixed latency); only
+        the number of scheduled events changes.
         """
         if mss <= 0:
             raise ValueError("mss must be positive")
         if nbytes <= 0:
             raise ValueError("nbytes must be positive")
         full, rest = divmod(nbytes, mss)
+        nsegs = full + (1 if rest else 0)
+        if nsegs > 1 and self.sim.fast_path:
+            if self.state not in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT):
+                raise ProtocolError(f"send() in state {self.state}")
+            self.net.flow_forwards += 1
+            self._emit(TcpFlags.ACK | TcpFlags.PSH, payload_len=nbytes,
+                       payload=payload, frags=nsegs)
+            self.snd_nxt += nbytes
+            return nsegs
         sizes = [mss] * full + ([rest] if rest else [])
         for size in sizes[:-1]:
             self.send(None, size)
         self.send(payload, sizes[-1])
-        return len(sizes)
+        return nsegs
 
     def recv_message(self, total_bytes: int) -> "SimEvent | None":
         """Convenience generator: collect fragments until ``total_bytes``
@@ -229,12 +253,12 @@ class TcpSocket:
 
     # -- internals ------------------------------------------------------------
     def _emit(self, flags: TcpFlags, payload_len: int = 0,
-              payload=None) -> None:
+              payload=None, frags: int = 1) -> None:
         assert self.remote is not None
         self.net.send(Segment(src=self.local, dst=self.remote,
                               seq=self.snd_nxt, ack=self.rcv_nxt,
                               flags=flags, payload_len=payload_len,
-                              payload=payload))
+                              payload=payload, frags=frags))
 
     def _become_closed(self) -> None:
         self.state = TcpState.CLOSED
@@ -285,7 +309,9 @@ class TcpSocket:
         self.rcv_nxt += segment.seq_space()
         if segment.payload_len:
             self.inbox.put((segment.payload, segment.payload_len))
-        self._emit(TcpFlags.ACK)
+        # ACKing an aggregated segment stands for the per-fragment ACKs
+        # the segment path would have sent
+        self._emit(TcpFlags.ACK, frags=segment.frags)
 
     def _in_syn_sent(self, segment: Segment) -> None:
         if not (segment.is_syn and segment.is_ack):

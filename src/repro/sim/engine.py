@@ -73,6 +73,8 @@ class SimEvent:
     events are strictly one-shot.
     """
 
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "_defused")
+
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         self.callbacks: Optional[list[Callable[["SimEvent"], None]]] = []
@@ -157,17 +159,22 @@ class SimEvent:
 class Timeout(SimEvent):
     """An event that fires after ``delay`` units of virtual time."""
 
+    __slots__ = ("delay", "_pooled")
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
         super().__init__(sim)
         self.delay = delay
+        self._pooled = False
         self._value = value
         sim._enqueue(delay, self)
 
 
 class _Initialize(SimEvent):
     """Internal event that starts a freshly created process."""
+
+    __slots__ = ()
 
     def __init__(self, sim: "Simulator", process: "Process"):
         super().__init__(sim)
@@ -178,6 +185,8 @@ class _Initialize(SimEvent):
 
 class Process(SimEvent):
     """A running generator.  Also an event that triggers on completion."""
+
+    __slots__ = ("name", "_generator", "_target")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         if not hasattr(generator, "send"):
@@ -249,7 +258,7 @@ class Process(SimEvent):
                 "processes must yield SimEvent instances")
         if next_event.sim is not self.sim:
             raise RuntimeError("cannot wait on an event from another simulator")
-        if next_event.processed:
+        if next_event.callbacks is None:  # processed: resume immediately
             # Already fired: resume immediately (at the current time).
             immediate = SimEvent(self.sim)
             immediate._value = next_event._value
@@ -267,6 +276,8 @@ class Process(SimEvent):
 
 class _Condition(SimEvent):
     """Base for AllOf/AnyOf composites."""
+
+    __slots__ = ("events", "_done")
 
     def __init__(self, sim: "Simulator", events: Iterable[SimEvent]):
         super().__init__(sim)
@@ -294,15 +305,41 @@ class _Condition(SimEvent):
     def _check(self, event: SimEvent) -> None:
         raise NotImplementedError
 
+    def _detach_losers(self) -> None:
+        """Stop listening on events that did not decide the condition.
+
+        Once the condition has triggered, ``_check`` on a late event is a
+        no-op -- but the callback reference kept the condition (and its
+        collected result graph) alive until every component fired.  In long
+        overload episodes the abandoned backend-serve processes of timed-out
+        requests accumulated exactly this garbage; dropping the callback on
+        trigger lets the losers be collected as soon as they are processed.
+        """
+        check = self._check
+        for ev in self.events:
+            cbs = ev.callbacks
+            if cbs is None:
+                continue
+            try:
+                cbs.remove(check)
+            except ValueError:
+                continue
+            # _check used to observe (and thereby defuse) a loser's late
+            # failure; keep that contract now that it no longer listens
+            ev._defused = True
+
 
 class AllOf(_Condition):
     """Triggers when every component event has triggered."""
+
+    __slots__ = ()
 
     def _check(self, event: SimEvent) -> None:
         if self.triggered:
             return
         if event._exception is not None:
             self.fail(event._exception)
+            self._detach_losers()
             return
         self._done += 1
         if self._done == len(self.events):
@@ -312,13 +349,16 @@ class AllOf(_Condition):
 class AnyOf(_Condition):
     """Triggers as soon as one component event triggers."""
 
+    __slots__ = ()
+
     def _check(self, event: SimEvent) -> None:
         if self.triggered:
             return
         if event._exception is not None:
             self.fail(event._exception)
-            return
-        self.succeed(self._collect())
+        else:
+            self.succeed(self._collect())
+        self._detach_losers()
 
 
 class Injection:
@@ -369,12 +409,19 @@ class Simulator:
     monkeypatching any component.
     """
 
-    def __init__(self, debug: bool = False):
+    def __init__(self, debug: bool = False, fast_path: bool = False):
         self._now = 0.0
         self._heap: list[tuple[float, int, SimEvent]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
         self.debug = debug
+        #: opt-in kernel fast path: resource primitives may grant
+        #: synchronously and collapse multi-event exchanges into a single
+        #: completion timeout when (and only when) the collapsed form is
+        #: observably identical to the event-by-event one.
+        self.fast_path = fast_path
+        #: recycled one-shot timeouts for :meth:`hot_timeout`
+        self._timeout_pool: list[Timeout] = []
         #: registered checks as mutable [check, every, countdown] triples
         self._invariants: list[list] = []
         #: fault injections registered via :meth:`add_injection`
@@ -398,6 +445,30 @@ class Simulator:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that fires ``delay`` time units from now."""
         return Timeout(self, delay, value)
+
+    def hot_timeout(self, delay: float) -> Timeout:
+        """A pooled :class:`Timeout` for single-yield hot paths.
+
+        The returned event is recycled by :meth:`step` immediately after it
+        fires, so callers must *not* keep a reference past their ``yield``
+        (no conditions, no post-hoc ``triggered`` checks).  Only the kernel
+        fast paths use this; everything else goes through :meth:`timeout`.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        pool = self._timeout_pool
+        if pool:
+            t = pool.pop()
+            t.callbacks = []
+            t._value = None
+            t._exception = None
+            t._defused = False
+            t.delay = delay
+            self._enqueue(delay, t)
+            return t
+        t = Timeout(self, delay)
+        t._pooled = True
+        return t
 
     def process(self, generator: Generator, name: str = "") -> Process:
         """Start a new process from ``generator``."""
@@ -484,11 +555,20 @@ class Simulator:
                 entry[2] = entry[1]
                 entry[0]()
 
+    @property
+    def event_count(self) -> int:
+        """Total events scheduled so far (the monotone tie-break counter)."""
+        return self._eid
+
     def step(self) -> None:
         """Pop and fire exactly one event."""
         when, _eid, event = heapq.heappop(self._heap)
         self._now = when
         event._fire()
+        # Recycle pooled timeouts: every waiter resumed synchronously
+        # inside _fire(), so nothing can reference the event afterwards.
+        if type(event) is Timeout and event._pooled:
+            self._timeout_pool.append(event)
         if self._invariants:
             self._run_invariants()
 

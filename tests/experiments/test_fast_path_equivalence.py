@@ -1,0 +1,170 @@
+"""The DESIGN.md §11 equivalence contract: the kernel fast path buys
+wall-clock time only -- every simulated observable is byte-identical to
+the segment/event-accurate path.
+
+Covered surfaces: the packet-level splice fast-forward digest, Figure 2
+golden sections, ``MetricSet.snapshot()``, the overload episode's outcome
+table and trace JSONL, three seeded chaos episodes, the mid-run-fault
+automatic fallback, and subprocess runs across two ``PYTHONHASHSEED``
+values.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.experiments import ExperimentConfig, build_deployment, figure2
+from repro.experiments.bench import run_openloop_splice
+from repro.experiments.chaos import ChaosRunner, run_overload_episode
+from repro.obs import to_jsonl
+from repro.workload import WORKLOAD_A
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: one small cell reused by the snapshot and subprocess tests
+CELL = dict(scheme="partition-ca", duration=1.5, warmup=0.5,
+            n_objects=120, n_client_machines=4, seed=1234)
+N_CLIENTS = 4
+
+OVERLOAD_SCALE = dict(seed=11, duration=3.0, clients=6, n_objects=150,
+                      settle=1.5)
+CHAOS_SCALE = dict(seed=1, episodes=3, duration=3.0, clients=6,
+                   n_objects=150, settle=1.5)
+
+
+def _reset_process_counters():
+    """Rewind the process-wide id counters that show up in trace attrs.
+
+    Request/dispatch/connection ids are labels drawn from module-level
+    counters, so two episodes in one process label their traffic with
+    different numbers.  Resetting them lets trace JSONL from back-to-back
+    runs compare byte-for-byte (run-order hygiene, not a fast-path
+    concern -- subprocess runs need no reset).
+    """
+    import itertools
+
+    from repro.core import conn_pool, frontend
+    from repro.mgmt import messages
+    from repro.net import http
+
+    http._request_ids = itertools.count(1)
+    messages._dispatch_ids = itertools.count(1)
+    conn_pool._conn_ids = itertools.count(1)
+    frontend._client_ports = itertools.count(40000)
+
+
+def _run_cell(fast_path: bool, fault_window=None):
+    config = ExperimentConfig(workload=WORKLOAD_A, fast_path=fast_path,
+                              **CELL)
+    deployment = build_deployment(config)
+    if fault_window is not None:
+        start, stop, extra = fault_window
+        lan = deployment.lan
+        deployment.sim.schedule(start, lambda: lan.add_delay(extra))
+        deployment.sim.schedule(stop, lambda: lan.remove_delay(extra))
+    summary = deployment.run(N_CLIENTS)
+    return deployment, summary
+
+
+class TestSpliceFastForward:
+    def test_packet_path_byte_identical_and_collapsed(self):
+        segment = run_openloop_splice(rate=150.0, duration=0.4,
+                                      fast_path=False)
+        fast = run_openloop_splice(rate=150.0, duration=0.4,
+                                   fast_path=True)
+        # same completions, bytes, segment counts, relay counters, and
+        # per-request completion timeline -- byte for byte
+        assert segment["digest"] == fast["digest"]
+        # the segment path never coalesces; the fast path must have
+        assert segment["flow_forwards"] == 0
+        assert fast["flow_forwards"] > 0
+        # and coalescing is the point: far fewer scheduled events
+        assert fast["events"] < segment["events"] / 2
+
+
+class TestRequestLevelEquivalence:
+    def test_metricset_snapshot_identical(self):
+        dep_segment, seg_summary = _run_cell(fast_path=False)
+        dep_fast, fast_summary = _run_cell(fast_path=True)
+        assert seg_summary == fast_summary
+        now = dep_segment.config.duration
+        assert dep_segment.frontend.metrics.snapshot(now) == \
+            dep_fast.frontend.metrics.snapshot(now)
+
+    def test_figure2_golden_sections_identical(self):
+        kwargs = dict(clients=(8,), duration=2.5, warmup=1.0, seed=42)
+        segment = figure2(**kwargs, fast_path=False)
+        fast = figure2(**kwargs, fast_path=True)
+        assert json.dumps(segment, sort_keys=True) == \
+            json.dumps(fast, sort_keys=True)
+
+    def test_overload_outcome_and_trace_jsonl_identical(self):
+        _reset_process_counters()
+        segment = run_overload_episode(**OVERLOAD_SCALE, trace=True,
+                                       fast_path=False)
+        _reset_process_counters()
+        fast = run_overload_episode(**OVERLOAD_SCALE, trace=True,
+                                    fast_path=True)
+        assert segment.report() == fast.report()
+        assert to_jsonl(segment.tracer) == to_jsonl(fast.tracer)
+        # the fast path really engaged (fewer kernel events, same outcome)
+        assert fast.events < segment.events
+
+
+class TestChaosEquivalence:
+    def test_chaos_episode_outcomes_identical(self):
+        segment = ChaosRunner(**CHAOS_SCALE, fast_path=False)
+        segment.run()
+        fast = ChaosRunner(**CHAOS_SCALE, fast_path=True)
+        fast.run()
+        assert len(fast.results) >= 3
+        assert segment.report() == fast.report()
+
+    def test_mid_transfer_fault_forces_fallback(self):
+        """A LAN fault mid-run must push in-window transfers off the fast
+        path (deterministic automatic fallback), without changing any
+        observable."""
+        window = (0.6, 1.1, 0.0005)     # delay fault inside the run
+        _, seg_summary = _run_cell(fast_path=False, fault_window=window)
+        dep_fast, fast_summary = _run_cell(fast_path=True,
+                                           fault_window=window)
+        assert seg_summary == fast_summary
+        lan = dep_fast.lan
+        # transfers outside the window used the fast branch; transfers
+        # inside it fell back to the event-accurate branch
+        assert 0 < lan.fast_transfers < lan.total_transfers
+
+
+_SUBPROCESS_SCRIPT = """\
+import json
+from repro.experiments import ExperimentConfig, build_deployment
+from repro.workload import WORKLOAD_A
+
+config = ExperimentConfig(workload=WORKLOAD_A, scheme="partition-ca",
+                          duration=1.5, warmup=0.5, n_objects=120,
+                          n_client_machines=4, seed=1234,
+                          fast_path={fast_path})
+summary = build_deployment(config).run(4)
+print(json.dumps(summary, sort_keys=True))
+"""
+
+
+def _run_subprocess(hash_seed: str, fast_path: bool) -> str:
+    env = dict(os.environ, PYTHONHASHSEED=hash_seed, PYTHONPATH=SRC)
+    script = _SUBPROCESS_SCRIPT.format(fast_path=fast_path)
+    proc = subprocess.run([sys.executable, "-c", script],
+                          capture_output=True, text=True, env=env,
+                          timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestHashSeedIndependence:
+    def test_fast_path_identical_across_hash_seeds_and_paths(self):
+        fast_h0 = _run_subprocess("0", fast_path=True)
+        fast_h1 = _run_subprocess("1", fast_path=True)
+        segment_h0 = _run_subprocess("0", fast_path=False)
+        assert fast_h0 == fast_h1
+        assert fast_h0 == segment_h0

@@ -58,6 +58,28 @@ class TestCommands:
         assert "Figure 4" in out
         assert "Figure 2" not in out
 
+    def test_bench_single_stage(self, tmp_path, capsys):
+        import json
+        target = tmp_path / "bench.json"
+        assert run_cli("bench", "--scale", "quick",
+                       "--stages", "openloop_latency",
+                       "--output", str(target)) == 0
+        out = capsys.readouterr().out
+        assert "fast path vs segment path" in out
+        payload = json.loads(target.read_text())
+        assert payload["schema_version"] == 1
+        stage = payload["stages"]["openloop_latency"]
+        assert stage["identical"] is True
+        assert stage["events"]["fast"] < stage["events"]["segment"]
+        # wall-clock speedup itself is asserted in benchmarks/perf (the
+        # bench marker), not in tier-1 where host load would flake it
+        assert set(payload["target"]) == {"met", "min_speedup", "stage"}
+
+    def test_bench_rejects_unknown_stage(self, tmp_path, capsys):
+        assert run_cli("bench", "--stages", "nope",
+                       "--output", str(tmp_path / "x.json")) == 2
+        assert "unknown stages" in capsys.readouterr().err
+
     def test_sweep_writes_csv(self, tmp_path, capsys):
         target = tmp_path / "out.csv"
         assert run_cli("sweep", "--scheme", "partition-ca",
