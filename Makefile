@@ -1,7 +1,8 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: verify test check chaos-smoke chaos chaos-overload trace golden bench
+.PHONY: verify test check check-deep chaos-smoke chaos chaos-overload \
+	trace golden bench
 
 ## The full tier-1 gate: unit/integration tests, the repro.analysis
 ## correctness passes, and the chaos smoke episodes.
@@ -12,6 +13,10 @@ test:
 
 check:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro check
+
+## Whole-program gate/leak/stale-state analysis only (fast, static).
+check-deep:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro check --deep
 
 chaos-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q -m chaos_smoke

@@ -92,9 +92,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 def cmd_check(args: argparse.Namespace) -> int:
     from .analysis.__main__ import main as analysis_main
-    argv = ["--pass", args.passes]
+    passes = "deep" if args.deep else args.passes
+    argv = ["--pass", passes]
     if args.smoke_duration is not None:
         argv += ["--smoke-duration", str(args.smoke_duration)]
+    if args.baseline is not None:
+        argv += ["--baseline", args.baseline]
+    if args.format != "text":
+        argv += ["--format", args.format]
     return analysis_main(argv)
 
 
@@ -321,11 +326,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_chk = sub.add_parser("check",
                            help="determinism lint + state-machine check + "
-                                "runtime invariants")
+                                "runtime invariants + deep gate/leak/"
+                                "stale-state analysis")
     p_chk.add_argument("--pass", dest="passes",
                        choices=("determinism", "state-machine",
-                                "invariants", "all"),
+                                "invariants", "deep", "all"),
                        default="all")
+    p_chk.add_argument("--deep", action="store_true",
+                       help="shorthand for --pass deep (the whole-program "
+                            "gate/leak/stale-state analyzer)")
+    p_chk.add_argument("--baseline", default=None,
+                       help="baseline file of accepted deep findings")
+    p_chk.add_argument("--format", choices=("text", "jsonl"),
+                       default="text")
     p_chk.add_argument("--smoke-duration", type=float, default=None)
     p_chk.set_defaults(func=cmd_check)
     return parser

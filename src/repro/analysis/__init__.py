@@ -16,15 +16,22 @@ review alone cannot:
   ``.transition(...)`` call site requests a declared transition;
 * :mod:`repro.analysis.invariants` -- a runtime verifier asserting URL-table
   / catalog / server-store coherence and connection-pool lease balance,
-  wired into the simulation engine's debug hook.
+  wired into the simulation engine's debug hook;
+* :mod:`repro.analysis.deep` -- the whole-program CFG-based analyzer:
+  gate dominance for optional subsystems (GATE001-004), acquire/release
+  pairing across exception paths (LEAK001-003), and stale-read-across-
+  yield hazards (YLD001-002).
 
-Run all three from the command line::
+Run all four from the command line::
 
     python -m repro.analysis          # exits nonzero on any violation
 
-or individually via ``--pass determinism|state-machine|invariants``.
+or individually via ``--pass determinism|state-machine|invariants|deep``.
 """
 
+from .deep import (analyze_file, analyze_source, analyze_tree,
+                   apply_baseline, default_baseline_path, load_baseline,
+                   render_jsonl, sort_violations)
 from .determinism import lint_file, lint_source, lint_tree
 from .invariants import (InvariantError, check_invariants,
                          install_invariants, smoke_check, verify_invariants)
@@ -41,4 +48,7 @@ __all__ = [
     "check_state_machines",
     "InvariantError", "check_invariants", "verify_invariants",
     "install_invariants", "smoke_check",
+    "analyze_source", "analyze_file", "analyze_tree",
+    "apply_baseline", "default_baseline_path", "load_baseline",
+    "render_jsonl", "sort_violations",
 ]

@@ -12,16 +12,32 @@ import argparse
 import sys
 from pathlib import Path
 
+from .deep import analyze_tree, apply_baseline, default_baseline_path, \
+    load_baseline, render_jsonl
 from .determinism import DEFAULT_ROOT, lint_tree
 from .invariants import smoke_check
 from .statemachine import check_state_machines
 from .violations import Violation, render_report
 
-PASSES = ("determinism", "state-machine", "invariants", "all")
+PASSES = ("determinism", "state-machine", "invariants", "deep", "all")
+
+
+def run_deep(root: Path | None = None,
+             baseline: Path | None = None) -> list[Violation]:
+    """The whole-program gate/leak/stale-state pass, baseline-filtered.
+
+    Findings already present in the baseline file are not *new* and do
+    not fail the build; everything else does.
+    """
+    root = root or DEFAULT_ROOT
+    violations = analyze_tree(root)
+    baseline_path = baseline or default_baseline_path(root)
+    return apply_baseline(violations, load_baseline(baseline_path))
 
 
 def run_passes(which: str = "all", root: Path | None = None,
-               smoke_duration: float = 1.0) -> list[Violation]:
+               smoke_duration: float = 1.0,
+               baseline: Path | None = None) -> list[Violation]:
     root = root or DEFAULT_ROOT
     violations: list[Violation] = []
     if which in ("determinism", "all"):
@@ -30,6 +46,8 @@ def run_passes(which: str = "all", root: Path | None = None,
         violations.extend(check_state_machines(root))
     if which in ("invariants", "all"):
         violations.extend(smoke_check(duration=smoke_duration))
+    if which in ("deep", "all"):
+        violations.extend(run_deep(root, baseline=baseline))
     return violations
 
 
@@ -47,13 +65,27 @@ def main(argv=None) -> int:
     parser.add_argument("--smoke-duration", type=float, default=1.0,
                         help="simulated seconds for the invariants "
                              "smoke deployment")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline file of accepted deep findings "
+                             "(default: deep-baseline.txt at the repo "
+                             "root)")
+    parser.add_argument("--format", dest="fmt",
+                        choices=("text", "jsonl"), default="text",
+                        help="report format (jsonl is byte-stable for "
+                             "diffing and baselines)")
     args = parser.parse_args(argv)
     if args.root is not None and not args.root.is_dir():
         parser.error(f"--root {args.root}: not a directory")
 
     violations = run_passes(args.which, root=args.root,
-                            smoke_duration=args.smoke_duration)
-    print(render_report(violations))
+                            smoke_duration=args.smoke_duration,
+                            baseline=args.baseline)
+    if args.fmt == "jsonl":
+        out = render_jsonl(violations)
+        if out:
+            print(out)
+    else:
+        print(render_report(violations))
     return 1 if violations else 0
 
 

@@ -1,0 +1,445 @@
+"""Per-function control-flow graphs for the deep analyzer.
+
+Every deep pass (gate dominance, resource pairing, yield staleness) runs
+on the same graph: one node per simple statement or branch test, edges
+labelled with the branch condition and polarity that must hold to take
+them, and *exception edges* from every raise-capable statement to the
+innermost enclosing handler (or the function's exceptional exit).
+
+``try/finally`` is modelled by weaving three copies of the ``finally``
+body into the graph -- one per continuation (normal fall-through,
+exception re-raise, return) -- so a release that lives in a ``finally``
+is correctly seen on the exceptional and early-return paths.  Returns
+inside a ``try`` are routed through the return copy; exceptions through
+the exceptional copy, which then re-raises to the next enclosing
+handler.
+
+Dominance and dataflow
+----------------------
+:func:`solve` is a forward worklist solver parameterized by the pass's
+transfer/meet functions.  With meet = set intersection, the fact set at a
+node is exactly the set of edge labels that *dominate* it -- i.e. a gate
+use is proven guarded iff the guard's true-edge fact survives every path
+from entry (:func:`dominators` exposes the plain dominator sets for
+passes and tests that want them directly).  With meet = union the solver
+computes may-analyses (a leaked lease on *some* path).
+
+Exception edges propagate the state holding *before* the raising
+statement: an acquire that raises does not hold its resource, and any
+later statement that raises leaks whatever was held on entry to it.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from collections import deque
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = [
+    "Edge", "Node", "Cfg", "Ctx", "build_cfg", "conditions", "solve",
+    "dominators", "walk_scoped", "expr_raises", "CATCH_ALL_HANDLERS",
+]
+
+#: exception types treated as catch-alls (``Interrupt`` subclasses
+#: ``Exception`` in this codebase, so ``except Exception`` swallows
+#: every fault the simulator injects).
+CATCH_ALL_HANDLERS = frozenset({"BaseException", "Exception"})
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                ast.Lambda)
+
+
+def walk_scoped(tree: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested function/class
+    scopes (their bodies execute later, under different facts).  The
+    scope node itself *is* yielded, so passes can see e.g. a lambda
+    capturing a lease, without treating its body as current-scope
+    code."""
+    todo = deque([tree])
+    while todo:
+        node = todo.popleft()
+        yield node
+        if isinstance(node, _SCOPE_NODES) and node is not tree:
+            continue
+        for child in ast.iter_child_nodes(node):
+            todo.append(child)
+
+
+def expr_raises(tree: ast.AST) -> bool:
+    """Conservatively, can evaluating ``tree`` raise?  Calls, yields (a
+    waiting process can be interrupted), and explicit raises can; plain
+    name/constant shuffling cannot."""
+    for sub in walk_scoped(tree):
+        if isinstance(sub, (ast.Call, ast.Yield, ast.YieldFrom,
+                            ast.Await, ast.Raise)):
+            return True
+    return False
+
+
+@dataclasses.dataclass(frozen=True)
+class Edge:
+    """One CFG edge.  ``test``/``polarity`` label conditional edges with
+    the branch condition that must evaluate to ``polarity`` to take the
+    edge.  ``exc=True`` marks an exception edge (propagates the state
+    holding *before* the source node)."""
+
+    src: int
+    dst: int
+    test: Optional[ast.expr] = None
+    polarity: Optional[bool] = None
+    exc: bool = False
+
+
+@dataclasses.dataclass
+class Node:
+    """One CFG node: a simple statement, a branch test, or a structural
+    marker (entry/exit/merge)."""
+
+    index: int
+    kind: str  # entry|exit|exc-exit|stmt|test|loop|merge
+    stmt: Optional[ast.AST] = None
+    expr: Optional[ast.expr] = None  # the expression evaluated here
+
+    @property
+    def line(self) -> int:
+        anchor = self.expr if self.expr is not None else self.stmt
+        return getattr(anchor, "lineno", 0)
+
+    def scan_roots(self) -> tuple[ast.AST, ...]:
+        """The AST(s) a pass should inspect for uses at this node."""
+        if self.kind in ("test", "loop"):
+            return (self.expr,) if self.expr is not None else ()
+        if self.kind == "stmt" and self.stmt is not None:
+            return (self.stmt,)
+        return ()
+
+
+@dataclasses.dataclass
+class Cfg:
+    nodes: list[Node]
+    succs: list[list[Edge]]
+    entry: int
+    exit: int
+    exc_exit: int
+    func: ast.AST
+
+    def preds(self) -> list[list[Edge]]:
+        preds: list[list[Edge]] = [[] for _ in self.nodes]
+        for edges in self.succs:
+            for e in edges:
+                preds[e.dst].append(e)
+        return preds
+
+
+@dataclasses.dataclass(frozen=True)
+class Ctx:
+    """Builder context: where exceptions, returns, break/continue go."""
+
+    exc_targets: tuple[int, ...]
+    ret: int
+    brk: Optional[int] = None
+    cont: Optional[int] = None
+
+
+# A frontier is a list of dangling out-edges waiting for their target:
+# (source node, branch test, polarity).
+_Frontier = list[tuple[int, Optional[ast.expr], Optional[bool]]]
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.nodes: list[Node] = []
+        self.succs: list[list[Edge]] = []
+
+    def node(self, kind: str, stmt: Optional[ast.AST] = None,
+             expr: Optional[ast.expr] = None) -> int:
+        idx = len(self.nodes)
+        self.nodes.append(Node(index=idx, kind=kind, stmt=stmt, expr=expr))
+        self.succs.append([])
+        return idx
+
+    def edge(self, src: int, dst: int, test: Optional[ast.expr] = None,
+             polarity: Optional[bool] = None, exc: bool = False) -> None:
+        self.succs[src].append(Edge(src=src, dst=dst, test=test,
+                                    polarity=polarity, exc=exc))
+
+    def connect(self, frontier: _Frontier, dst: int) -> None:
+        for src, test, pol in frontier:
+            self.edge(src, dst, test, pol)
+
+    def exc_edges(self, src: int, ctx: Ctx) -> None:
+        for target in ctx.exc_targets:
+            self.edge(src, target, exc=True)
+
+    # -- statement dispatch -------------------------------------------------
+    def seq(self, stmts: list[ast.stmt], frontier: _Frontier,
+            ctx: Ctx) -> _Frontier:
+        for stmt in stmts:
+            frontier = self.stmt(stmt, frontier, ctx)
+        return frontier
+
+    def stmt(self, s: ast.stmt, frontier: _Frontier, ctx: Ctx) -> _Frontier:
+        if isinstance(s, ast.If):
+            return self._if(s, frontier, ctx)
+        if isinstance(s, ast.While):
+            return self._while(s, frontier, ctx)
+        if isinstance(s, (ast.For, ast.AsyncFor)):
+            return self._for(s, frontier, ctx)
+        if isinstance(s, ast.Try):
+            return self._try(s, frontier, ctx)
+        if isinstance(s, (ast.With, ast.AsyncWith)):
+            return self._with(s, frontier, ctx)
+        if isinstance(s, ast.Return):
+            n = self.node("stmt", s)
+            self.connect(frontier, n)
+            if s.value is not None and expr_raises(s.value):
+                self.exc_edges(n, ctx)
+            self.edge(n, ctx.ret)
+            return []
+        if isinstance(s, ast.Raise):
+            n = self.node("stmt", s)
+            self.connect(frontier, n)
+            self.exc_edges(n, ctx)
+            return []
+        if isinstance(s, ast.Break):
+            n = self.node("stmt", s)
+            self.connect(frontier, n)
+            if ctx.brk is not None:
+                self.edge(n, ctx.brk)
+            return []
+        if isinstance(s, ast.Continue):
+            n = self.node("stmt", s)
+            self.connect(frontier, n)
+            if ctx.cont is not None:
+                self.edge(n, ctx.cont)
+            return []
+        # simple statement (assignments, expression statements, nested
+        # defs, asserts, ...)
+        n = self.node("stmt", s)
+        self.connect(frontier, n)
+        if expr_raises(s) or isinstance(s, ast.Assert):
+            self.exc_edges(n, ctx)
+        return [(n, None, None)]
+
+    # -- structured statements ----------------------------------------------
+    def _if(self, s: ast.If, frontier: _Frontier, ctx: Ctx) -> _Frontier:
+        t = self.node("test", s, expr=s.test)
+        self.connect(frontier, t)
+        if expr_raises(s.test):
+            self.exc_edges(t, ctx)
+        body_f = self.seq(s.body, [(t, s.test, True)], ctx)
+        if s.orelse:
+            else_f = self.seq(s.orelse, [(t, s.test, False)], ctx)
+        else:
+            else_f = [(t, s.test, False)]
+        return body_f + else_f
+
+    def _while(self, s: ast.While, frontier: _Frontier,
+               ctx: Ctx) -> _Frontier:
+        head = self.node("test", s, expr=s.test)
+        self.connect(frontier, head)
+        if expr_raises(s.test):
+            self.exc_edges(head, ctx)
+        after = self.node("merge", s)
+        const_true = isinstance(s.test, ast.Constant) and bool(s.test.value)
+        if not const_true:
+            self.edge(head, after, s.test, False)
+        inner = dataclasses.replace(ctx, brk=after, cont=head)
+        body_f = self.seq(s.body, [(head, s.test, True)], inner)
+        self.connect(body_f, head)
+        frontier = [(after, None, None)]
+        if s.orelse:
+            frontier = self.seq(s.orelse, frontier, ctx)
+        return frontier
+
+    def _for(self, s: ast.For | ast.AsyncFor, frontier: _Frontier,
+             ctx: Ctx) -> _Frontier:
+        head = self.node("loop", s, expr=s.iter)
+        self.connect(frontier, head)
+        self.exc_edges(head, ctx)  # iterator protocol can raise
+        after = self.node("merge", s)
+        self.edge(head, after)
+        inner = dataclasses.replace(ctx, brk=after, cont=head)
+        body_f = self.seq(s.body, [(head, None, None)], inner)
+        self.connect(body_f, head)
+        frontier = [(after, None, None)]
+        if s.orelse:
+            frontier = self.seq(s.orelse, frontier, ctx)
+        return frontier
+
+    def _with(self, s: ast.With | ast.AsyncWith, frontier: _Frontier,
+              ctx: Ctx) -> _Frontier:
+        n = self.node("stmt", s)
+        self.connect(frontier, n)
+        self.exc_edges(n, ctx)
+        return self.seq(s.body, [(n, None, None)], ctx)
+
+    @staticmethod
+    def _is_catch_all(handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True
+        types = (handler.type.elts
+                 if isinstance(handler.type, ast.Tuple)
+                 else [handler.type])
+        for t in types:
+            name = t.id if isinstance(t, ast.Name) else getattr(t, "attr", "")
+            if name in CATCH_ALL_HANDLERS:
+                return True
+        return False
+
+    def _try(self, s: ast.Try, frontier: _Frontier, ctx: Ctx) -> _Frontier:
+        has_finally = bool(s.finalbody)
+        # entry merge nodes for each finally continuation, created up
+        # front so the try body can target them
+        fin_exc = self.node("merge", s) if has_finally else None
+        fin_ret = self.node("merge", s) if has_finally else None
+        fin_norm = self.node("merge", s) if has_finally else None
+
+        handler_entries = [self.node("merge", h) for h in s.handlers]
+        caught_all = any(self._is_catch_all(h) for h in s.handlers)
+
+        escape: tuple[int, ...]
+        if has_finally:
+            escape = (fin_exc,)  # type: ignore[assignment]
+        else:
+            escape = ctx.exc_targets
+        body_exc: tuple[int, ...] = tuple(handler_entries)
+        if not caught_all:
+            body_exc += escape
+        if not body_exc:
+            body_exc = escape
+        body_ctx = dataclasses.replace(
+            ctx, exc_targets=body_exc,
+            ret=fin_ret if has_finally else ctx.ret)
+
+        body_f = self.seq(s.body, frontier, body_ctx)
+        if s.orelse:
+            body_f = self.seq(s.orelse, body_f, body_ctx)
+
+        handler_ctx = dataclasses.replace(
+            ctx, exc_targets=escape,
+            ret=fin_ret if has_finally else ctx.ret)
+        after_f: _Frontier = list(body_f)
+        for h, h_entry in zip(s.handlers, handler_entries):
+            after_f += self.seq(h.body, [(h_entry, None, None)], handler_ctx)
+
+        if not has_finally:
+            return after_f
+
+        # normal continuation: after-try code follows the finally body
+        self.connect(after_f, fin_norm)  # type: ignore[arg-type]
+        norm_f = self.seq(s.finalbody, [(fin_norm, None, None)], ctx)
+        # exceptional continuation: run finally, then re-raise outward
+        exc_f = self.seq(s.finalbody, [(fin_exc, None, None)], ctx)
+        for target in ctx.exc_targets:
+            self.connect(exc_f, target)
+        # return continuation: run finally, then keep returning
+        ret_f = self.seq(s.finalbody, [(fin_ret, None, None)], ctx)
+        self.connect(ret_f, ctx.ret)
+        return norm_f
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> Cfg:
+    """Build the CFG of one function body."""
+    b = _Builder()
+    entry = b.node("entry", func)
+    exit_n = b.node("exit", func)
+    exc_n = b.node("exc-exit", func)
+    ctx = Ctx(exc_targets=(exc_n,), ret=exit_n)
+    frontier = b.seq(func.body, [(entry, None, None)], ctx)
+    b.connect(frontier, exit_n)
+    return Cfg(nodes=b.nodes, succs=b.succs, entry=entry, exit=exit_n,
+               exc_exit=exc_n, func=func)
+
+
+def conditions(test: ast.expr,
+               polarity: bool) -> list[tuple[ast.expr, bool]]:
+    """Decompose a branch condition into the atomic conditions known to
+    hold when ``test`` evaluated to ``polarity``.
+
+    Short-circuit semantics: when an ``and`` chain is true every operand
+    is true; when an ``or`` chain is false every operand is false.  The
+    opposite polarities pin down nothing (any operand may have decided).
+    """
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        return conditions(test.operand, not polarity)
+    if isinstance(test, ast.BoolOp):
+        wanted = isinstance(test.op, ast.And) if polarity \
+            else isinstance(test.op, ast.Or)
+        if not wanted:
+            return []
+        out: list[tuple[ast.expr, bool]] = []
+        for operand in test.values:
+            out.extend(conditions(operand, polarity))
+        return out
+    return [(test, polarity)]
+
+
+_State = Any
+
+
+def solve(cfg: Cfg, entry_state: _State,
+          transfer: Callable[[Node, _State], _State],
+          edge_transfer: Callable[[Edge, _State], Optional[_State]],
+          meet: Callable[[_State, _State], _State],
+          exc_transfer: Optional[
+              Callable[[Edge, _State, Node], Optional[_State]]] = None,
+          ) -> dict[int, _State]:
+    """Forward dataflow to fixpoint.  Returns the IN state per reachable
+    node index (unreachable nodes are absent).
+
+    ``edge_transfer`` may return ``None`` to kill an edge (e.g. a branch
+    the pass can prove untaken); ``exc_transfer`` (default: identity on
+    the *pre*-state) does the same for exception edges.
+    """
+    ins: dict[int, _State] = {cfg.entry: entry_state}
+    work: deque[int] = deque([cfg.entry])
+    queued = {cfg.entry}
+    while work:
+        i = work.popleft()
+        queued.discard(i)
+        in_i = ins[i]
+        out_i = transfer(cfg.nodes[i], in_i)
+        for e in cfg.succs[i]:
+            if e.exc:
+                contrib = (exc_transfer(e, in_i, cfg.nodes[i])
+                           if exc_transfer is not None else in_i)
+            else:
+                contrib = edge_transfer(e, out_i)
+            if contrib is None:
+                continue
+            old = ins.get(e.dst)
+            new = contrib if old is None else meet(old, contrib)
+            if new != old:
+                ins[e.dst] = new
+                if e.dst not in queued:
+                    work.append(e.dst)
+                    queued.add(e.dst)
+    return ins
+
+
+def dominators(cfg: Cfg) -> dict[int, frozenset[int]]:
+    """Classic iterative dominator sets over all edges (exception edges
+    included): ``dominators(cfg)[n]`` is the set of nodes on every path
+    from entry to ``n``."""
+    preds = cfg.preds()
+    all_nodes = frozenset(range(len(cfg.nodes)))
+    dom: dict[int, frozenset[int]] = {
+        n: all_nodes for n in range(len(cfg.nodes))}
+    dom[cfg.entry] = frozenset({cfg.entry})
+    changed = True
+    while changed:
+        changed = False
+        for n in range(len(cfg.nodes)):
+            if n == cfg.entry:
+                continue
+            incoming = [dom[e.src] for e in preds[n]]
+            if incoming:
+                new = frozenset.intersection(*incoming) | {n}
+            else:
+                new = frozenset({n})
+            if new != dom[n]:
+                dom[n] = new
+                changed = True
+    return dom

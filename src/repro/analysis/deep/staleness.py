@@ -1,0 +1,262 @@
+"""Stale-state / yield-point hazard detection (YLD001-002).
+
+A ``yield`` in process code is an interleaving point: any other process
+may run, and shared simulator/cluster state read *before* the yield may
+no longer describe the world *after* it.  This is the discrete-event
+analogue of a data race, and it cannot be caught by locking because
+there are no locks -- only the discipline of revalidating before
+mutating.  (PR 2's splice bug was exactly this: an entry looked up
+before a wait was aborted after it, double-freeing the slot.)
+
+Rules
+-----
+YLD001   a handle read from a shared table (``lookup``/``create`` on a
+         mapping/URL table) crosses a yield and is then used to mutate
+         shared state -- passed to a removal-type call or, for borrowed
+         handles, written through -- without revalidation.
+YLD002   iterating a *live* view of a shared container (``records()``,
+         ``.values()``, a registry dict) with a yield inside the loop
+         body; mutation during the wait corrupts the iterator.
+         Snapshot first (``list(...)``/``sorted(...)``).
+
+Owned vs borrowed: a handle returned by ``create`` is owned by this
+process -- writing its fields is fine, but removal calls still need the
+entry to be live.  A handle returned by ``lookup`` is borrowed -- both
+field writes and removal calls are flagged when stale.  Revalidation is
+a membership test that mentions the handle (``entry.client in
+self.mapping``) or a fresh read from the table.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Optional
+
+from ..violations import Violation
+from .cfg import Edge, Node, build_cfg, conditions, solve, walk_scoped
+
+__all__ = [
+    "SHARED_TABLE_HINTS", "LOOKUP_METHODS", "CREATE_METHODS",
+    "REMOVAL_METHODS", "LIVE_VIEW_METHODS", "SNAPSHOT_WRAPPERS",
+    "LIVE_CONTAINER_ATTRS", "analyze_staleness",
+]
+
+#: receiver text must contain one of these to count as a shared table
+SHARED_TABLE_HINTS = ("mapping", "url_table", "table")
+LOOKUP_METHODS = ("lookup", "get")
+CREATE_METHODS = ("create",)
+#: calls that remove/invalidate shared state keyed by a handle
+REMOVAL_METHODS = ("abort", "delete", "remove", "remove_location",
+                   "invalidate", "pop")
+#: zero-copy views over live containers
+LIVE_VIEW_METHODS = ("records", "values", "keys", "items", "entries")
+#: wrapping the iterable in one of these snapshots it
+SNAPSHOT_WRAPPERS = ("list", "sorted", "tuple", "set", "frozenset")
+#: bare attributes that are live shared registries (extend as new
+#: subsystems appear); plain data attributes are exempt
+LIVE_CONTAINER_ATTRS = ("brokers", "servers", "_pending", "_leased")
+
+
+@dataclasses.dataclass(frozen=True)
+class _Handle:
+    var: str
+    recv: str
+    owned: bool
+    stale: bool
+    line: int  # where the handle was read
+
+
+_State = frozenset
+
+
+def _mentions(tree: ast.AST, name: str) -> bool:
+    return any(isinstance(sub, ast.Name) and sub.id == name
+               for sub in walk_scoped(tree))
+
+
+def _shared_recv(call: ast.Call) -> Optional[str]:
+    if not isinstance(call.func, ast.Attribute):
+        return None
+    recv = ast.unparse(call.func.value)
+    if any(hint in recv for hint in SHARED_TABLE_HINTS):
+        return recv
+    return None
+
+
+def _handle_source(stmt: ast.AST) -> Optional[tuple[str, str, bool, int]]:
+    """(var, receiver, owned, line) when ``stmt`` binds a table handle."""
+    if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)):
+        return None
+    for sub in walk_scoped(stmt.value):
+        if not isinstance(sub, ast.Call):
+            continue
+        recv = _shared_recv(sub)
+        if recv is None:
+            continue
+        method = sub.func.attr  # type: ignore[union-attr]
+        if method in CREATE_METHODS:
+            return (stmt.targets[0].id, recv, True, stmt.lineno)
+        if method in LOOKUP_METHODS:
+            return (stmt.targets[0].id, recv, False, stmt.lineno)
+    return None
+
+
+def _has_yield(tree: ast.AST) -> bool:
+    return any(isinstance(sub, (ast.Yield, ast.YieldFrom))
+               for sub in walk_scoped(tree))
+
+
+class _Pass:
+    def __init__(self, path: str):
+        self.path = path
+        self.flagged: set[tuple[int, str]] = set()
+        self.violations: set[Violation] = set()
+
+    def _flag(self, line: int, var: str, message: str) -> None:
+        if (line, var) in self.flagged:
+            return
+        self.flagged.add((line, var))
+        self.violations.add(Violation(
+            rule="YLD001", path=self.path, line=line, message=message,
+            pass_name="deep"))
+
+    # -- transfer ----------------------------------------------------------
+    def transfer(self, node: Node, state: _State) -> _State:
+        roots = node.scan_roots()
+        if not roots:
+            return state
+        handles = set(state)
+        for root in roots:
+            if _has_yield(root):
+                handles = {dataclasses.replace(h, stale=True)
+                           for h in handles}
+            self._check(root, handles, node)
+            source = _handle_source(root)
+            if source is not None:
+                var, recv, owned, line = source
+                handles = {h for h in handles if h.var != var}
+                handles.add(_Handle(var=var, recv=recv, owned=owned,
+                                    stale=False, line=line))
+            elif isinstance(root, ast.Assign):
+                for t in root.targets:
+                    for name in ([t] if isinstance(t, ast.Name)
+                                 else list(ast.walk(t))):
+                        if isinstance(name, ast.Name):
+                            handles = {h for h in handles
+                                       if h.var != name.id}
+        if node.kind == "loop" and isinstance(node.stmt,
+                                              (ast.For, ast.AsyncFor)):
+            for sub in ast.walk(node.stmt.target):
+                if isinstance(sub, ast.Name):
+                    handles = {h for h in handles if h.var != sub.id}
+        return frozenset(handles)
+
+    def _check(self, root: ast.AST, handles: set[_Handle],
+               node: Node) -> None:
+        stale = {h for h in handles if h.stale}
+        if not stale:
+            return
+        for sub in walk_scoped(root):
+            if isinstance(sub, ast.Call) and \
+                    isinstance(sub.func, ast.Attribute) and \
+                    sub.func.attr in REMOVAL_METHODS:
+                recv = ast.unparse(sub.func.value)
+                args = list(sub.args) + [kw.value for kw in sub.keywords]
+                for h in stale:
+                    if h.recv == recv and \
+                            any(_mentions(a, h.var) for a in args):
+                        self._flag(
+                            sub.lineno, h.var,
+                            f"'{recv}.{sub.func.attr}(...)' keyed by "
+                            f"'{h.var}' (read at line {h.line}) after a "
+                            f"yield; another process may have removed "
+                            f"it -- revalidate membership first")
+            if isinstance(sub, (ast.Assign, ast.AugAssign)):
+                targets = sub.targets if isinstance(sub, ast.Assign) \
+                    else [sub.target]
+                for t in targets:
+                    base = t
+                    while isinstance(base, (ast.Attribute, ast.Subscript)):
+                        base = base.value
+                    if not isinstance(base, ast.Name):
+                        continue
+                    for h in stale:
+                        if h.owned or h.var != base.id or t is base:
+                            continue
+                        self._flag(
+                            sub.lineno, h.var,
+                            f"write through '{h.var}' (borrowed from "
+                            f"{h.recv} at line {h.line}) after a yield "
+                            f"without revalidation; the record may "
+                            f"have been removed or replaced")
+
+    # -- edges -------------------------------------------------------------
+    @staticmethod
+    def edge_transfer(edge: Edge, state: _State) -> Optional[_State]:
+        if edge.test is None or not state:
+            return state
+        handles = set(state)
+        for expr, _pol in conditions(edge.test, edge.polarity or False):
+            if isinstance(expr, ast.Compare) and len(expr.ops) == 1 and \
+                    isinstance(expr.ops[0], (ast.In, ast.NotIn)):
+                recv = ast.unparse(expr.comparators[0])
+                handles = {
+                    dataclasses.replace(h, stale=False)
+                    if h.recv == recv and _mentions(expr.left, h.var)
+                    else h
+                    for h in handles}
+        return frozenset(handles)
+
+
+def _live_iter_findings(func: ast.FunctionDef | ast.AsyncFunctionDef,
+                        path: str) -> list[Violation]:
+    out = []
+    for sub in walk_scoped(func):
+        if not isinstance(sub, (ast.For, ast.AsyncFor)):
+            continue
+        if not _has_yield(ast.Module(body=sub.body, type_ignores=[])):
+            continue
+        it = sub.iter
+        if isinstance(it, ast.Call) and isinstance(it.func, ast.Name) \
+                and it.func.id in SNAPSHOT_WRAPPERS:
+            continue
+        live: Optional[str] = None
+        if isinstance(it, ast.Call) and \
+                isinstance(it.func, ast.Attribute) and \
+                it.func.attr in LIVE_VIEW_METHODS and not it.args:
+            live = ast.unparse(it)
+        elif isinstance(it, ast.Attribute) and \
+                it.attr in LIVE_CONTAINER_ATTRS:
+            live = ast.unparse(it)
+        if live is None:
+            continue
+        out.append(Violation(
+            rule="YLD002", path=path, line=sub.lineno,
+            message=(f"iterating live view '{live}' with a yield in "
+                     f"the loop body; concurrent mutation corrupts "
+                     f"the iterator -- snapshot with list(...)/"
+                     f"sorted(...) first"),
+            pass_name="deep"))
+    return out
+
+
+def analyze_staleness(tree: ast.Module, path: str) -> list[Violation]:
+    """Run the yield-hazard pass over one module."""
+    out: list[Violation] = []
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _has_yield(func) and not any(
+                isinstance(s, (ast.Yield, ast.YieldFrom))
+                for s in ast.walk(func)):
+            continue  # not process code: no interleaving points
+        run = _Pass(path)
+        cfg = build_cfg(func)
+        solve(cfg, frozenset(), transfer=run.transfer,
+              edge_transfer=run.edge_transfer,
+              meet=lambda a, b: a | b)
+        out.extend(run.violations)
+        out.extend(_live_iter_findings(func, path))
+    return sorted(set(out), key=lambda v: (v.line, v.rule, v.message))

@@ -176,15 +176,15 @@ class Frontend:
                                                        span))
             ctl.retry_budget.on_request()
             admitted = yield from ctl.admission.admit()
-            if tracer is not None and admitted:
-                tracer.point("admission", "admitted",
-                             trace_id=span.trace_id, node=self.name)
             if not admitted:
                 # shed at the accept stage: no mapping entry, no pooled
                 # connection -- nothing allocated, nothing to leak
                 return self._shed(request, started, "overload/shed",
                                   span=span, reason="admission-queue-full")
             try:
+                if tracer is not None:
+                    tracer.point("admission", "admitted",
+                                 trace_id=span.trace_id, node=self.name)
                 return (yield from self._serve_spliced(request, client_nic,
                                                        client_addr, started,
                                                        span))
@@ -205,14 +205,16 @@ class Frontend:
         client = client_addr or Address("client", next(_client_ports))
         entry = self.mapping.create(client, started,
                                     vip_isn=next(self._vip_isns))
-        if tid is not None:
-            entry.trace_id = tid
-        self.mapping.transition(entry, MappingState.ESTABLISHED)
         backend: Optional[str] = None
         token = None
         attempts = 0
         stage = None
         try:
+            # from here on the entry is covered by the RST handler below:
+            # a raising transition hook must not strand it in the table
+            if tid is not None:
+                entry.trace_id = tid
+            self.mapping.transition(entry, MappingState.ESTABLISHED)
             # TCP handshake with the client (one WAN round trip), then the
             # request bytes ride client -> front end
             if tracer is not None:
@@ -303,7 +305,8 @@ class Frontend:
                 if self.overload is None:
                     raise failure
                 if not self._may_retry(attempts, tid):
-                    self.mapping.abort(entry.client)
+                    if entry.client in self.mapping:
+                        self.mapping.abort(entry.client)
                     return self._shed(request, started, "overload/degraded",
                                       span=span,
                                       reason=type(failure).__name__)
@@ -317,7 +320,8 @@ class Frontend:
                 # SM005: BOUND never returns to ESTABLISHED -- the splice
                 # is torn down (RST) and the client connection re-enters
                 # the table as a fresh entry before the re-route
-                self.mapping.abort(entry.client)
+                if entry.client in self.mapping:
+                    self.mapping.abort(entry.client)
                 entry = self.mapping.create(client, self.sim.now,
                                             vip_isn=next(self._vip_isns))
                 if tid is not None:
@@ -344,11 +348,14 @@ class Frontend:
                                 span=span)
         except BaseException:
             # RST path: a failed or interrupted request must not leak its
-            # mapping entry (the invariant verifier checks lease balance)
-            if stage is not None and stage.end is None:
-                tracer.end(stage, status="interrupted")
-            if entry.client in self.mapping:
-                self.mapping.abort(entry.client)
+            # mapping entry (the invariant verifier checks lease balance),
+            # even if closing the stage span itself raises
+            try:
+                if stage is not None and stage.end is None:
+                    tracer.end(stage, status="interrupted")
+            finally:
+                if entry.client in self.mapping:
+                    self.mapping.abort(entry.client)
             raise
         finally:
             if token is not None:
@@ -419,7 +426,9 @@ class Frontend:
         return RequestOutcome(response=response,
                               latency=self.sim.now - started, backend=None,
                               shed=True,
-                              retry_after=self.overload.config.retry_after)
+                              retry_after=(self.overload.config.retry_after
+                                           if self.overload is not None
+                                           else 0.0))
 
     def _finish(self, entry, request: HttpRequest, response: HttpResponse,
                 started: float, item: Optional[ContentItem],

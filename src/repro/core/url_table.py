@@ -217,7 +217,10 @@ class UrlTable:
         stack: list[_Level] = [self._root]
         while stack:
             level = stack.pop()
-            for child in level.children.values():
+            # deliberately a live generator: callers (top_by_hits, sweep
+            # candidates) materialize it immediately and never yield to
+            # the simulator mid-iteration
+            for child in level.children.values():  # det: allow[yld002]
                 if isinstance(child, UrlRecord):
                     yield child
                 else:

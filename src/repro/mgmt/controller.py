@@ -203,6 +203,12 @@ class Controller:
             if not (result.ok and result.detail.get("updated")):
                 raise ManagementError(
                     f"update {item.path} on {node} failed: {result.detail}")
+        # the dispatch loop yields: a concurrent remove/rename may have
+        # dropped the record while agents were in flight -- revalidate
+        # before writing through the pre-yield handle
+        if record.path not in self.url_table:
+            raise ManagementError(
+                f"update {item.path}: document removed during update")
         record.item.size_bytes = item.size_bytes
         self.log.append((self.sim.now, "update", item.path,
                          ",".join(sorted(record.locations))))

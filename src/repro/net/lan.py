@@ -187,12 +187,16 @@ class Lan:
             self.retransmissions += 1
             yield self.sim.timeout(self.retransmit_delay)
         tx_req = yield src.tx.request()
-        rx_req = yield dst.rx.request()
         try:
-            yield self.sim.timeout(self.transfer_time(src, dst, nbytes)
-                                   + self.extra_latency)
+            # the RX wait is interruptible: TX must not leak if this
+            # transfer is torn down while queued for the receiver
+            rx_req = yield dst.rx.request()
+            try:
+                yield self.sim.timeout(self.transfer_time(src, dst, nbytes)
+                                       + self.extra_latency)
+            finally:
+                dst.rx.release(rx_req)
         finally:
-            dst.rx.release(rx_req)
             src.tx.release(tx_req)
         self.total_transfers += 1
         self.total_bytes += nbytes

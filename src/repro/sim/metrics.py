@@ -225,7 +225,7 @@ class ThroughputMeter:
 class MetricSet:
     """A lazily-populated, namespaced bag of collectors."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._stats: dict[str, SummaryStats] = {}
         self._histograms: dict[str, Histogram] = {}
@@ -267,10 +267,10 @@ class MetricSet:
         each ``timeweighted`` entry (the average is undefined without a
         clock reading).
         """
-        timeweighted = {}
+        timeweighted: dict[str, dict[str, float]] = {}
         for k in sorted(self._timeweighted):
             v = self._timeweighted[k]
-            entry = {"value": v.value, "peak": v.peak}
+            entry: dict[str, float] = {"value": v.value, "peak": v.peak}
             if now is not None:
                 entry["avg"] = v.average(now)
             timeweighted[k] = entry

@@ -100,7 +100,7 @@ class ZipfSampler:
         weights = [1.0 / (k ** alpha) for k in range(1, n + 1)]
         total = sum(weights)
         acc = 0.0
-        self._cdf = []
+        self._cdf: list[float] = []
         for w in weights:
             acc += w / total
             self._cdf.append(acc)

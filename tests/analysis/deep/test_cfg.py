@@ -1,0 +1,163 @@
+"""The shared CFG infrastructure: shape, dominators, conditions, edges."""
+
+import ast
+
+from repro.analysis.deep.cfg import (build_cfg, conditions, dominators,
+                                     expr_raises, solve, walk_scoped)
+
+
+def _func(src: str) -> ast.FunctionDef:
+    node = ast.parse(src).body[0]
+    assert isinstance(node, ast.FunctionDef)
+    return node
+
+
+def test_straight_line_shape():
+    cfg = build_cfg(_func("def f():\n    a = 1\n    return a\n"))
+    # entry -> a=1 -> return -> exit, no exception edges
+    assert cfg.entry != cfg.exit
+    reachable = {cfg.entry}
+    frontier = [cfg.entry]
+    while frontier:
+        i = frontier.pop()
+        for e in cfg.succs[i]:
+            if e.dst not in reachable:
+                reachable.add(e.dst)
+                frontier.append(e.dst)
+    assert cfg.exit in reachable
+    assert not any(e.exc for i in range(len(cfg.nodes))
+                   for e in cfg.succs[i])
+
+
+def test_if_branches_and_polarity():
+    cfg = build_cfg(_func(
+        "def f(x):\n"
+        "    if x:\n"
+        "        a = 1\n"
+        "    else:\n"
+        "        a = 2\n"
+        "    return a\n"))
+    tests = [i for i, n in enumerate(cfg.nodes) if n.kind == "test"]
+    assert len(tests) == 1
+    pols = sorted(e.polarity for e in cfg.succs[tests[0]])
+    assert pols == [False, True]
+
+
+def test_dominators_branch_join():
+    cfg = build_cfg(_func(
+        "def f(x):\n"
+        "    if x:\n"
+        "        a = 1\n"
+        "    else:\n"
+        "        a = 2\n"
+        "    return a\n"))
+    dom = dominators(cfg)
+    test_i = next(i for i, n in enumerate(cfg.nodes) if n.kind == "test")
+    arms = [i for i, n in enumerate(cfg.nodes)
+            if n.kind == "stmt" and n.line in (3, 5)]
+    ret = next(i for i, n in enumerate(cfg.nodes)
+               if n.kind == "stmt" and n.line == 6)
+    # the test dominates both arms and the join; neither arm dominates it
+    for arm in arms:
+        assert test_i in dom[arm]
+        assert arm not in dom[ret]
+    assert test_i in dom[ret]
+
+
+def test_call_raises_to_exc_exit():
+    cfg = build_cfg(_func("def f(self):\n    self.boom()\n"))
+    exc_edges = [e for i in range(len(cfg.nodes))
+                 for e in cfg.succs[i] if e.exc]
+    assert exc_edges and all(e.dst == cfg.exc_exit for e in exc_edges)
+
+
+def test_catch_all_handler_intercepts():
+    cfg = build_cfg(_func(
+        "def f(self):\n"
+        "    try:\n"
+        "        self.boom()\n"
+        "    except Exception:\n"
+        "        self.cleanup()\n"))
+    body_i = next(i for i, n in enumerate(cfg.nodes) if n.line == 3
+                  and n.kind == "stmt")
+    # the raising call's exception edge lands in the handler, not the
+    # function's exceptional exit
+    exc_dsts = {e.dst for e in cfg.succs[body_i] if e.exc}
+    assert exc_dsts and cfg.exc_exit not in exc_dsts
+
+
+def test_finally_runs_on_exception_path():
+    src = ("def f(self):\n"
+           "    self.acquire()\n"
+           "    try:\n"
+           "        self.boom()\n"
+           "    finally:\n"
+           "        self.release()\n")
+    cfg = build_cfg(_func(src))
+    # a forward may-pass: 'held' survives unless a release node is crossed
+    def transfer(node, state):
+        roots = node.scan_roots()
+        text = " ".join(ast.unparse(r) for r in roots)
+        if "self.acquire" in text:
+            return frozenset({"held"})
+        if "self.release" in text:
+            return frozenset()
+        return state
+    def exc_transfer(edge, in_state, node):
+        # the cleanup call itself is non-raising, as in the leak pass
+        text = " ".join(ast.unparse(r) for r in node.scan_roots())
+        if "self.release" in text:
+            return None
+        return in_state
+    ins = solve(cfg, frozenset(), transfer=transfer,
+                edge_transfer=lambda e, s: s,
+                meet=lambda a, b: a | b, exc_transfer=exc_transfer)
+    assert "held" not in ins.get(cfg.exc_exit, frozenset())
+    assert "held" not in ins.get(cfg.exit, frozenset())
+
+
+def test_while_true_has_no_false_edge():
+    cfg = build_cfg(_func(
+        "def f(self):\n"
+        "    while True:\n"
+        "        if self.done():\n"
+        "            return 1\n"))
+    loop_tests = [i for i, n in enumerate(cfg.nodes)
+                  if n.kind == "test" and n.line == 2]
+    for i in loop_tests:
+        assert all(e.polarity is not False for e in cfg.succs[i])
+
+
+def test_conditions_decomposition():
+    def conds(expr_src, polarity):
+        expr = ast.parse(expr_src, mode="eval").body
+        return sorted((ast.unparse(e), p)
+                      for e, p in conditions(expr, polarity))
+
+    # And-true pins every operand true; not flips
+    assert conds("a and not b", True) == [("a", True), ("b", False)]
+    # Or-false pins every operand false
+    assert conds("a or b", False) == [("a", False), ("b", False)]
+    # Or-true proves nothing about individual operands
+    assert conds("a or b", True) == []
+
+
+def test_expr_raises():
+    assert expr_raises(ast.parse("f()", mode="eval").body)
+    assert not expr_raises(ast.parse("a + 1", mode="eval").body)
+
+
+def test_walk_scoped_skips_inner_scopes():
+    tree = ast.parse(
+        "def outer():\n"
+        "    x = 1\n"
+        "    def inner():\n"
+        "        y = 2\n"
+        "    z = (lambda: w)\n").body[0]
+    names = {n.id for n in walk_scoped(tree) if isinstance(n, ast.Name)}
+    assert "x" in names and "z" in names
+    # inner-scope bodies are not walked, but the scope nodes themselves
+    # are yielded (so lambda captures remain visible to callers)
+    assert "y" not in names and "w" not in names
+    kinds = {type(n) for n in walk_scoped(tree)}
+    assert ast.Lambda in kinds

@@ -1,0 +1,101 @@
+"""End-to-end: `repro check --deep`, determinism, baseline, exit codes."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.__main__ import main as analysis_main
+from repro.analysis.deep import (analyze_tree, apply_baseline,
+                                 default_baseline_path, load_baseline,
+                                 render_jsonl)
+
+REPO = Path(__file__).resolve().parents[3]
+SRC_ROOT = REPO / "src" / "repro"
+
+BAD_MODULE = (
+    "class Node:\n"
+    "    def __init__(self, tracer=None):\n"
+    "        self.tracer = tracer\n"
+    "    def run(self):\n"
+    "        self.tracer.point('a', 'b')\n"
+    "        req = yield self.core.request()\n"
+    "        yield self.sim.timeout(1.0)\n"
+    "        self.core.release(req)\n")
+
+
+def _run_deep(root: Path, seed: str, *extra: str):
+    env = dict(os.environ, PYTHONHASHSEED=seed,
+               PYTHONPATH=str(REPO / "src"))
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "--pass", "deep",
+         "--root", str(root), "--format", "jsonl", *extra],
+        capture_output=True, env=env, cwd=REPO)
+
+
+def test_source_tree_is_clean():
+    """The analyzer's own mandate: src/repro carries no deep findings."""
+    violations = apply_baseline(
+        analyze_tree(SRC_ROOT),
+        load_baseline(default_baseline_path(SRC_ROOT)))
+    assert violations == [], "\n".join(str(v) for v in violations)
+
+
+def test_checked_in_baseline_is_empty():
+    assert load_baseline(REPO / "deep-baseline.txt") == frozenset()
+
+
+def test_exit_codes_and_jsonl(tmp_path):
+    (tmp_path / "mod.py").write_text(BAD_MODULE)
+    proc = _run_deep(tmp_path, "0")
+    assert proc.returncode == 1
+    lines = proc.stdout.decode().strip().splitlines()
+    rules = [json.loads(line)["rule"] for line in lines]
+    assert rules == ["GATE001", "LEAK001"]
+    for line in lines:
+        record = json.loads(line)
+        assert set(record) == {"rule", "path", "line", "message", "pass"}
+
+
+def test_output_byte_identical_across_hash_seeds(tmp_path):
+    (tmp_path / "mod.py").write_text(BAD_MODULE)
+    (tmp_path / "other.py").write_text(BAD_MODULE.replace("Node", "Peer"))
+    runs = [_run_deep(tmp_path, seed) for seed in ("0", "1")]
+    assert runs[0].returncode == runs[1].returncode == 1
+    assert runs[0].stdout == runs[1].stdout
+    assert runs[0].stdout  # non-trivial comparison
+
+
+def test_baseline_suppresses_known_findings(tmp_path):
+    (tmp_path / "mod.py").write_text(BAD_MODULE)
+    findings = analyze_tree(tmp_path)
+    assert findings
+    baseline = tmp_path / "accepted.txt"
+    baseline.write_text("# reviewed\n"
+                        + "\n".join(str(v) for v in findings) + "\n")
+    proc = _run_deep(tmp_path, "0", "--baseline", str(baseline))
+    assert proc.returncode == 0
+    assert proc.stdout.decode().strip() == ""
+
+
+def test_default_baseline_lives_at_repo_root_for_src_layout():
+    assert default_baseline_path(SRC_ROOT) == REPO / "deep-baseline.txt"
+
+
+def test_render_jsonl_is_sorted_and_stable(tmp_path):
+    (tmp_path / "mod.py").write_text(BAD_MODULE)
+    violations = analyze_tree(tmp_path)
+    text = render_jsonl(violations)
+    assert text == render_jsonl(list(reversed(violations)))
+    keys = [tuple(json.loads(line)[k] for k in ("path", "line", "rule"))
+            for line in text.splitlines()]
+    assert keys == sorted(keys)
+
+
+def test_in_process_deep_pass_exit_code(tmp_path, capsys):
+    (tmp_path / "mod.py").write_text(BAD_MODULE)
+    assert analysis_main(["--pass", "deep", "--root", str(tmp_path)]) == 1
+    assert "GATE001" in capsys.readouterr().out
+    assert analysis_main(["--pass", "deep",
+                          "--root", str(SRC_ROOT)]) == 0

@@ -1,0 +1,181 @@
+"""Gate-dominance analysis (GATE001-004): fixtures and mutation tests."""
+
+import ast
+
+from repro.analysis.deep import analyze_source
+from repro.analysis.deep.gates import GATES, analyze_gates
+
+
+def codes(src: str) -> list[tuple[str, int]]:
+    tree = ast.parse(src)
+    return [(v.rule, v.line) for v in analyze_gates(tree, "fixture.py")]
+
+
+# -- GATE001: tracer ---------------------------------------------------
+
+TRACER_GUARDED = '''
+class Node:
+    def __init__(self, tracer=None):
+        self.tracer = tracer
+    def handle(self):
+        if self.tracer is not None:
+            self.tracer.point("a", "b")
+'''
+
+
+def test_gate001_unguarded_tracer_use():
+    assert codes(
+        "class Node:\n"
+        "    def __init__(self, tracer=None):\n"
+        "        self.tracer = tracer\n"
+        "    def handle(self):\n"
+        "        self.tracer.point('a', 'b')\n"
+    ) == [("GATE001", 5)]
+
+
+def test_gate001_guarded_is_clean():
+    assert codes(TRACER_GUARDED) == []
+
+
+def test_gate001_mutation_removing_guard_trips():
+    """Deleting the dominating guard from a clean snippet fires GATE001."""
+    mutated = TRACER_GUARDED.replace(
+        "        if self.tracer is not None:\n    ", "    ")
+    assert mutated != TRACER_GUARDED
+    assert [c for c, _ in codes(mutated)] == ["GATE001"]
+
+
+def test_gate001_alias_and_early_return():
+    assert codes(
+        "class Node:\n"
+        "    def __init__(self, tracer=None):\n"
+        "        self.tracer = tracer\n"
+        "    def handle(self):\n"
+        "        tracer = self.tracer\n"
+        "        if tracer is None:\n"
+        "            return\n"
+        "        tracer.begin('s', 'x')\n"
+    ) == []
+
+
+def test_gate001_witness_variable():
+    # span being non-None proves the tracer was non-None when it was made
+    assert codes(
+        "class Node:\n"
+        "    def __init__(self, tracer=None):\n"
+        "        self.tracer = tracer\n"
+        "    def handle(self):\n"
+        "        span = None\n"
+        "        if self.tracer is not None:\n"
+        "            span = self.tracer.begin('s', 'x')\n"
+        "        self.work()\n"
+        "        if span is not None:\n"
+        "            self.tracer.end(span)\n"
+    ) == []
+
+
+def test_gate001_not_optional_in_this_class():
+    # a class that always constructs its tracer has no gate to check
+    assert codes(
+        "class Node:\n"
+        "    def __init__(self):\n"
+        "        self.tracer = Tracer()\n"
+        "    def handle(self):\n"
+        "        self.tracer.point('a', 'b')\n"
+    ) == []
+
+
+def test_gate001_boolop_inline_guard():
+    assert codes(
+        "class Node:\n"
+        "    def __init__(self, tracer=None):\n"
+        "        self.tracer = tracer\n"
+        "    def handle(self, ok):\n"
+        "        if self.tracer is not None and ok:\n"
+        "            self.tracer.point('a', 'b')\n"
+    ) == []
+
+
+# -- GATE002: overload control and friends -----------------------------
+
+def test_gate002_unguarded_overload():
+    assert codes(
+        "class Node:\n"
+        "    def __init__(self, overload=None):\n"
+        "        self.overload = overload\n"
+        "    def shed(self):\n"
+        "        return self.overload.config.retry_after\n"
+    ) == [("GATE002", 5)]
+
+
+def test_gate002_conditional_expression_guard():
+    assert codes(
+        "class Node:\n"
+        "    def __init__(self, overload=None):\n"
+        "        self.overload = overload\n"
+        "    def shed(self):\n"
+        "        return (self.overload.config.retry_after\n"
+        "                if self.overload is not None else 0.0)\n"
+    ) == []
+
+
+# -- GATE003: fast-path fallback ---------------------------------------
+
+def test_gate003_fast_path_without_fallback():
+    found = codes(
+        "class Node:\n"
+        "    def run(self):\n"
+        "        if self.sim.fast_path:\n"
+        "            return self._fast()\n")
+    assert [c for c, _ in found] == ["GATE003"]
+
+
+def test_gate003_with_fallback_is_clean():
+    assert codes(
+        "class Node:\n"
+        "    def run(self):\n"
+        "        if self.sim.fast_path:\n"
+        "            return self._fast()\n"
+        "        return self._slow()\n"
+    ) == []
+
+
+def test_gate003_mutation_removing_fallback_trips():
+    good = ("class Node:\n"
+            "    def run(self):\n"
+            "        if self.sim.fast_path:\n"
+            "            return self._fast()\n"
+            "        return self._slow()\n")
+    assert codes(good) == []
+    mutated = good.replace("        return self._slow()\n", "")
+    assert [c for c, _ in codes(mutated)] == ["GATE003"]
+
+
+# -- GATE004: use under a known-None gate ------------------------------
+
+def test_gate004_use_in_none_branch():
+    found = codes(
+        "class Node:\n"
+        "    def __init__(self, overload=None):\n"
+        "        self.overload = overload\n"
+        "    def handle(self):\n"
+        "        if self.overload is None:\n"
+        "            self.overload.breakers.on_dispatch('b')\n")
+    assert [c for c, _ in found] == ["GATE004"]
+
+
+# -- registry ----------------------------------------------------------
+
+def test_registry_is_one_table():
+    attrs = [spec.attr for spec in GATES]
+    assert "tracer" in attrs and "overload" in attrs
+    assert len(attrs) == len(set(attrs))
+
+
+def test_pragma_suppresses_gate_finding():
+    src = ("class Node:\n"
+           "    def __init__(self, tracer=None):\n"
+           "        self.tracer = tracer\n"
+           "    def handle(self):\n"
+           "        self.tracer.point('a', 'b')  # det: allow[gate001]\n")
+    assert analyze_source(src, "fixture.py") == []

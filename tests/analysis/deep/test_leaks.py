@@ -1,0 +1,165 @@
+"""Resource-pairing analysis (LEAK001-003): fixtures and mutation tests."""
+
+import ast
+
+from repro.analysis.deep.leaks import RESOURCES, analyze_leaks
+
+
+def codes(src: str) -> list[tuple[str, int]]:
+    tree = ast.parse(src)
+    return [(v.rule, v.line) for v in analyze_leaks(tree, "fixture.py")]
+
+
+# -- LEAK001: leases ---------------------------------------------------
+
+LEASE_PAIRED = '''
+class Node:
+    def run(self):
+        req = yield self.core.request()
+        try:
+            yield self.sim.timeout(1.0)
+        finally:
+            self.core.release(req)
+'''
+
+
+def test_leak001_release_outside_finally():
+    # the timeout yield can be interrupted; the release is never reached
+    found = codes(
+        "class Node:\n"
+        "    def run(self):\n"
+        "        req = yield self.core.request()\n"
+        "        yield self.sim.timeout(1.0)\n"
+        "        self.core.release(req)\n")
+    assert found == [("LEAK001", 3)]
+
+
+def test_leak001_finally_paired_is_clean():
+    assert codes(LEASE_PAIRED) == []
+
+
+def test_leak001_mutation_removing_finally_release_trips():
+    """Deleting the finally release from a clean snippet fires LEAK001."""
+    mutated = LEASE_PAIRED.replace(
+        "            self.core.release(req)", "            pass")
+    assert mutated != LEASE_PAIRED
+    assert [c for c, _ in codes(mutated)] == ["LEAK001"]
+
+
+def test_leak001_try_acquire_truthiness_refinement():
+    # a failed conditional acquire holds nothing on the falsy edge
+    assert codes(
+        "class Node:\n"
+        "    def run(self):\n"
+        "        yield self.sim.timeout(1.0)\n"
+        "        req = self.core.try_acquire()\n"
+        "        if req is None:\n"
+        "            return\n"
+        "        self.core.release(req)\n"
+    ) == []
+
+
+def test_leak001_lambda_capture_is_ownership_transfer():
+    # deferred-release closure: the scheduled callback owns the lease
+    assert codes(
+        "class Node:\n"
+        "    def run(self):\n"
+        "        yield self.sim.timeout(1.0)\n"
+        "        req = self.core.try_acquire()\n"
+        "        self.sim.schedule(1.0, lambda: self.core.release(req))\n"
+    ) == []
+
+
+def test_leak001_plain_request_call_is_not_an_acquire():
+    # HTTP-style factories named "request" are unrelated to Resource
+    # leases; only the yielded protocol form counts
+    assert codes(
+        "class Node:\n"
+        "    def run(self):\n"
+        "        yield self.sim.timeout(1.0)\n"
+        "        http = self.sampler.request(client_id=1)\n"
+        "        self.send(http)\n"
+    ) == []
+
+
+def test_leak001_sync_functions_are_out_of_scope():
+    # pairing is only checked in process (generator) code
+    assert codes(
+        "class Node:\n"
+        "    def run(self):\n"
+        "        req = self.core.try_acquire()\n"
+        "        self.pending = req\n"
+    ) == []
+
+
+# -- LEAK002: mapping entries ------------------------------------------
+
+def test_leak002_entry_lost_on_early_return():
+    found = codes(
+        "class Node:\n"
+        "    def run(self, client):\n"
+        "        yield self.sim.timeout(1.0)\n"
+        "        entry = self.mapping.create(client, 0.0)\n"
+        "        if entry.state:\n"
+        "            return\n"
+        "        self.mapping.abort(entry.client)\n")
+    assert found == [("LEAK002", 4)]
+
+
+def test_leak002_membership_guarded_abort_is_clean():
+    assert codes(
+        "class Node:\n"
+        "    def run(self, client):\n"
+        "        entry = self.mapping.create(client, 0.0)\n"
+        "        try:\n"
+        "            yield self.sim.timeout(1.0)\n"
+        "        except BaseException:\n"
+        "            if entry.client in self.mapping:\n"
+        "                self.mapping.abort(entry.client)\n"
+        "            raise\n"
+        "        self.mapping.delete(entry.client)\n"
+    ) == []
+
+
+def test_leak002_handoff_to_finisher_is_clean():
+    # passing the entry to another component transfers ownership
+    assert codes(
+        "class Node:\n"
+        "    def run(self, client):\n"
+        "        yield self.sim.timeout(1.0)\n"
+        "        entry = self.mapping.create(client, 0.0)\n"
+        "        return self._finish(entry)\n"
+    ) == []
+
+
+# -- LEAK003: admission slots ------------------------------------------
+
+def test_leak003_unprotected_window_after_admit():
+    found = codes(
+        "class Node:\n"
+        "    def run(self):\n"
+        "        admitted = yield from self.ctl.admission.admit()\n"
+        "        if not admitted:\n"
+        "            return\n"
+        "        yield self.sim.timeout(1.0)\n"
+        "        self.ctl.admission.release()\n")
+    assert found == [("LEAK003", 3)]
+
+
+def test_leak003_finally_paired_is_clean():
+    assert codes(
+        "class Node:\n"
+        "    def run(self):\n"
+        "        admitted = yield from self.ctl.admission.admit()\n"
+        "        if not admitted:\n"
+        "            return\n"
+        "        try:\n"
+        "            yield self.sim.timeout(1.0)\n"
+        "        finally:\n"
+        "            self.ctl.admission.release()\n"
+    ) == []
+
+
+def test_resource_registry():
+    rules = [spec.rule for spec in RESOURCES]
+    assert rules == ["LEAK001", "LEAK002", "LEAK003"]

@@ -1,0 +1,127 @@
+"""Stale-state/yield-point hazards (YLD001-002): fixtures and mutations."""
+
+import ast
+
+from repro.analysis.deep import analyze_source
+from repro.analysis.deep.staleness import analyze_staleness
+
+
+def codes(src: str) -> list[tuple[str, int]]:
+    tree = ast.parse(src)
+    return [(v.rule, v.line) for v in analyze_staleness(tree, "fixture.py")]
+
+
+# -- YLD001: stale handle mutation -------------------------------------
+
+UPDATE_REVALIDATED = '''
+class Controller:
+    def update(self, path, size):
+        record = self.url_table.lookup(path)
+        yield self.sim.timeout(1.0)
+        if record.path not in self.url_table:
+            return
+        record.size = size
+'''
+
+
+def test_yld001_removal_through_stale_handle():
+    found = codes(
+        "class Node:\n"
+        "    def run(self, key):\n"
+        "        entry = self.mapping.get(key)\n"
+        "        yield self.sim.timeout(1.0)\n"
+        "        self.mapping.delete(entry.client)\n")
+    assert found == [("YLD001", 5)]
+
+
+def test_yld001_write_through_stale_borrowed_handle():
+    found = codes(
+        "class Controller:\n"
+        "    def update(self, path, size):\n"
+        "        record = self.url_table.lookup(path)\n"
+        "        yield self.sim.timeout(1.0)\n"
+        "        record.size = size\n")
+    assert found == [("YLD001", 5)]
+
+
+def test_yld001_revalidated_is_clean():
+    assert codes(UPDATE_REVALIDATED) == []
+
+
+def test_yld001_mutation_removing_revalidation_trips():
+    """Deleting the membership re-check fires YLD001 again."""
+    mutated = UPDATE_REVALIDATED.replace(
+        "        if record.path not in self.url_table:\n"
+        "            return\n", "")
+    assert mutated != UPDATE_REVALIDATED
+    assert [c for c, _ in codes(mutated)] == ["YLD001"]
+
+
+def test_yld001_no_yield_between_read_and_write_is_clean():
+    assert codes(
+        "class Controller:\n"
+        "    def update(self, path, size):\n"
+        "        yield self.sim.timeout(1.0)\n"
+        "        record = self.url_table.lookup(path)\n"
+        "        record.size = size\n"
+    ) == []
+
+
+def test_yld001_owned_handles_may_be_written():
+    # a record this function just created is not someone else's to drop
+    assert codes(
+        "class Controller:\n"
+        "    def update(self, client, size):\n"
+        "        yield self.sim.timeout(1.0)\n"
+        "        entry = self.mapping.create(client, 0.0)\n"
+        "        entry.size = size\n"
+    ) == []
+
+
+# -- YLD002: live-view iteration ---------------------------------------
+
+def test_yld002_live_view_iteration_with_yield():
+    found = codes(
+        "class Node:\n"
+        "    def run(self):\n"
+        "        for entry in self.mapping.records():\n"
+        "            yield self.sim.timeout(1.0)\n")
+    assert found == [("YLD002", 3)]
+
+
+def test_yld002_snapshot_wrapper_is_clean():
+    assert codes(
+        "class Node:\n"
+        "    def run(self):\n"
+        "        for entry in list(self.mapping.records()):\n"
+        "            yield self.sim.timeout(1.0)\n"
+    ) == []
+
+
+def test_yld002_loop_without_yield_is_clean():
+    assert codes(
+        "class Node:\n"
+        "    def run(self):\n"
+        "        yield self.sim.timeout(1.0)\n"
+        "        for entry in self.mapping.records():\n"
+        "            self.touch(entry)\n"
+    ) == []
+
+
+def test_yld002_mutation_removing_snapshot_trips():
+    good = ("class Node:\n"
+            "    def run(self):\n"
+            "        for entry in sorted(self.registry.values()):\n"
+            "            yield self.sim.timeout(1.0)\n")
+    assert codes(good) == []
+    mutated = good.replace("sorted(self.registry.values())",
+                           "self.registry.values()")
+    assert [c for c, _ in codes(mutated)] == ["YLD002"]
+
+
+def test_pragma_suppresses_yld_finding():
+    src = ("class Node:\n"
+           "    def run(self):\n"
+           "        for e in self.mapping.records():  # det: allow[yld002]\n"
+           "            yield self.sim.timeout(1.0)\n")
+    assert analyze_source(src, "fixture.py") == []

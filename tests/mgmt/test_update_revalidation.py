@@ -1,0 +1,50 @@
+"""Regression test for the YLD001 finding in Controller.update_content.
+
+The update loop yields while agents are in flight; a concurrent remove
+can drop the document meanwhile.  The pre-yield UrlRecord handle must be
+revalidated before writing through it, otherwise the write mutates a
+record no longer reachable from the table.
+"""
+
+from repro.content import ContentItem, ContentType, DocTree
+from repro.mgmt import ManagementError
+from tests.mgmt.test_mgmt import build, item, run_op
+
+
+def test_concurrent_removal_fails_update_cleanly():
+    sim, servers, controller, registry = build()
+    node = sorted(servers)[0]
+    doc = item("/mutable.html", size=4096)
+    run_op(sim, controller, controller.place(doc, node))
+    record = controller.url_table.lookup(doc.path)
+    new_version = item("/mutable.html", size=6000)
+    errors = []
+
+    def updater():
+        try:
+            yield from controller.update_content(new_version)
+        except ManagementError as exc:
+            errors.append(str(exc))
+
+    def saboteur():
+        # fires while the update agent is still in flight
+        yield sim.timeout(1e-4)
+        controller.url_table.remove(doc.path)
+
+    sim.process(updater())
+    sim.process(saboteur())
+    sim.run()
+    [message] = errors
+    assert "removed during update" in message
+    # the stale handle was not written through
+    assert record.item.size_bytes == 4096
+
+
+def test_update_still_succeeds_without_interference():
+    sim, servers, controller, registry = build()
+    node = sorted(servers)[0]
+    doc = item("/mutable.html", size=4096)
+    run_op(sim, controller, controller.place(doc, node))
+    run_op(sim, controller,
+           controller.update_content(item("/mutable.html", size=6000)))
+    assert controller.url_table.lookup(doc.path).item.size_bytes == 6000
