@@ -2,7 +2,7 @@ PYTHON ?= python
 PYTHONPATH := src
 
 .PHONY: verify test check check-deep chaos-smoke chaos chaos-overload \
-	trace golden bench
+	trace golden bench sweep sweep-smoke
 
 ## The full tier-1 gate: unit/integration tests, the repro.analysis
 ## correctness passes, and the chaos smoke episodes.
@@ -37,6 +37,17 @@ trace:
 ## Not part of tier-1: wall-clock numbers are host-dependent.
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench
+
+## Run the checked-in sweep spec across 4 workers (DESIGN §13); the
+## merged report is byte-identical regardless of the worker count.
+sweep:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro sweep \
+		--spec specs/sweep_smoke.json --workers 4 --out sweeps
+
+## CI smoke: same spec, 2 workers, fresh output root.
+sweep-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro sweep \
+		--spec specs/sweep_smoke.json --workers 2 --out .sweep-smoke
 
 ## Regenerate the golden-metrics fixture after a reviewed model change.
 golden:

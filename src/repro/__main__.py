@@ -11,6 +11,9 @@ Commands
 ``overload``  flash-crowd + slow-disk overload episode (exit 1 on failure)
 ``trace``     traced overload episode: summary, waterfall, JSONL/Chrome export
 ``bench``     kernel fast-path wall-clock benchmark -> BENCH_kernel.json
+``sweep``     run a SweepSpec matrix across worker processes and merge the
+              per-run artifacts into one deterministic report (DESIGN §13)
+``sweep-clients``  sweep client counts for one cell, write CSV
 """
 
 from __future__ import annotations
@@ -80,13 +83,50 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_sweep(args: argparse.Namespace) -> int:
+def cmd_sweep_clients(args: argparse.Namespace) -> int:
     workload = WORKLOAD_A if args.workload == "A" else WORKLOAD_B
     result = sweep_clients(args.scheme, workload, args.clients,
                            seed=args.seed, duration=args.duration,
                            warmup=args.warmup, n_objects=args.objects)
     write_csv(result, args.output)
     print(f"wrote {len(result.rows)} rows to {args.output}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments.sweep import (SweepEngine, SweepError, load_spec,
+                                    merge_sweep, render_report, write_report)
+    try:
+        spec = load_spec(args.spec)
+        engine = SweepEngine(spec, args.out, workers=args.workers,
+                             resume=args.resume, cell_filter=args.filter,
+                             limit=args.limit)
+        if args.list:
+            for cell in engine.selected_cells():
+                print(f"{cell.run_id}  {cell.cell_id}")
+            return 0
+        if args.workers == 1:
+            # serial runs narrate per cell; parallel completion order is
+            # nondeterministic, so only the merged report speaks for it
+            engine.on_progress = \
+                lambda cell_id, kind: print(f"  [{kind:>7s}] {cell_id}")
+        status = engine.run()
+        print(f"sweep {spec.name} [{spec.spec_hash}] -> {status.directory}")
+        print(f"  {len(status.executed)} executed, "
+              f"{len(status.resumed)} resumed, "
+              f"{len(status.invalidated)} re-run (corrupt artifact)")
+        if not status.complete:
+            print(f"  partial: {len(status.pending)} cells pending; "
+                  f"continue with --resume")
+            return 0
+        report = merge_sweep(spec, args.out, cell_filter=args.filter)
+        path = write_report(spec, args.out, cell_filter=args.filter,
+                            report=report)
+        print(render_report(report))
+        print(f"report: {path}")
+    except SweepError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -235,13 +275,41 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_run)
     p_run.set_defaults(func=cmd_run)
 
+    p_swc = sub.add_parser("sweep-clients",
+                           help="sweep client counts for one cell, "
+                                "write CSV")
+    p_swc.add_argument("--scheme", choices=SCHEMES, default="partition-ca")
+    p_swc.add_argument("--workload", choices=("A", "B"), default="A")
+    p_swc.add_argument("--objects", type=int, default=None)
+    p_swc.add_argument("--output", default="sweep.csv")
+    common(p_swc)
+    p_swc.set_defaults(func=cmd_sweep_clients)
+
     p_swp = sub.add_parser("sweep",
-                           help="sweep client counts, write CSV")
-    p_swp.add_argument("--scheme", choices=SCHEMES, default="partition-ca")
-    p_swp.add_argument("--workload", choices=("A", "B"), default="A")
-    p_swp.add_argument("--objects", type=int, default=None)
-    p_swp.add_argument("--output", default="sweep.csv")
-    common(p_swp)
+                           help="run a SweepSpec matrix across worker "
+                                "processes, write per-run artifacts, and "
+                                "merge them into one deterministic report")
+    p_swp.add_argument("--spec", required=True,
+                       help="SweepSpec JSON file (e.g. "
+                            "specs/sweep_smoke.json)")
+    p_swp.add_argument("--out", default="sweeps",
+                       help="output root; artifacts land under "
+                            "OUT/<name>-<spec_hash>/runs/")
+    p_swp.add_argument("--workers", type=int, default=1,
+                       help="worker processes (default 1: serial, "
+                            "in-process)")
+    p_swp.add_argument("--resume", action="store_true",
+                       help="keep valid artifacts from a previous "
+                            "(interrupted) sweep; re-run missing or "
+                            "corrupt ones")
+    p_swp.add_argument("--filter", default=None,
+                       help="only run/merge cells whose cell id contains "
+                            "this substring")
+    p_swp.add_argument("--limit", type=int, default=None,
+                       help="run at most N pending cells, then stop "
+                            "without merging (finish with --resume)")
+    p_swp.add_argument("--list", action="store_true",
+                       help="print the expanded run matrix and exit")
     p_swp.set_defaults(func=cmd_sweep)
 
     p_sch = sub.add_parser("schemes", help="list placement/routing schemes")

@@ -111,6 +111,10 @@ class Node:
         if self.kind in ("test", "loop"):
             return (self.expr,) if self.expr is not None else ()
         if self.kind == "stmt" and self.stmt is not None:
+            if isinstance(self.stmt, (ast.With, ast.AsyncWith)):
+                # the body has its own nodes (and facts); only the
+                # context managers are evaluated at the with-head
+                return tuple(item.context_expr for item in self.stmt.items)
             return (self.stmt,)
         return ()
 

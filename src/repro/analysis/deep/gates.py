@@ -87,6 +87,8 @@ GATES: tuple[GateSpec, ...] = (
              describe="transition hook"),
     GateSpec("on_response", "GATE002", callable_gate=True,
              describe="response hook"),
+    GateSpec("on_progress", "GATE002", callable_gate=True,
+             describe="sweep progress hook"),
 )
 
 FAST_PATH_ATTR = "fast_path"

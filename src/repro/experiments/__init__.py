@@ -4,6 +4,8 @@ from .chaos import ChaosRunner, EpisodeResult
 from .figures import (DEFAULT_CLIENTS, figure2, figure3, figure4,
                       render_table, url_table_overhead)
 from .runner import SweepResult, grid, sweep_clients, write_csv
+from .sweep import (SweepEngine, SweepError, SweepSpec, load_spec,
+                    merge_sweep, write_report)
 from .testbed import (SCHEMES, Deployment, ExperimentConfig,
                       build_deployment)
 
@@ -13,4 +15,6 @@ __all__ = [
     "render_table", "DEFAULT_CLIENTS",
     "SweepResult", "sweep_clients", "grid", "write_csv",
     "ChaosRunner", "EpisodeResult",
+    "SweepSpec", "SweepEngine", "SweepError", "load_spec", "merge_sweep",
+    "write_report",
 ]

@@ -1,0 +1,271 @@
+"""The sweep engine: expand, fan out, write content-addressed artifacts.
+
+Every run is executed by :func:`execute_cell` -- process-global counters
+are rewound first, so an artifact is a pure function of its cell no
+matter which worker produced it or what that worker ran before.
+Artifacts are written atomically (temp file + ``os.replace``) under
+``<out>/<name>-<spec_hash>/runs/<run_id>.json``; a killed worker leaves
+either a complete artifact or none (a stray temp file is ignored and a
+truncated one fails validation), which is what makes ``resume=True``
+safe: valid artifacts are skipped, missing or corrupt ones are re-run,
+and the resumed sweep's artifact set is byte-identical to an
+uninterrupted one.
+
+Workers default to the ``fork`` start method where the platform offers
+it (cheap, and safe for a pure-python simulator) and fall back to
+``spawn`` elsewhere; either way the merged report is byte-identical to a
+serial in-process run, which the fleet-determinism battery pins.  When
+using ``spawn`` (or calling the engine from your own script), the usual
+multiprocessing rule applies: guard the driver with
+``if __name__ == "__main__":``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import os
+import shutil
+import traceback
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from .spec import (RunCell, SweepError, SweepSpec, canonical_json,
+                   sha256_hex)
+from .targets import run_target
+
+__all__ = ["ARTIFACT_SCHEMA_VERSION", "SweepEngine", "SweepStatus",
+           "execute_cell", "write_artifact", "load_artifact", "sweep_dir",
+           "runs_dir"]
+
+ARTIFACT_SCHEMA_VERSION = 1
+
+
+def sweep_dir(out_root: str | Path, spec: SweepSpec) -> Path:
+    """Content-addressed sweep directory: edits to a spec never collide
+    with artifacts of the old spec."""
+    return Path(out_root) / f"{spec.name}-{spec.spec_hash}"
+
+
+def runs_dir(out_root: str | Path, spec: SweepSpec) -> Path:
+    return sweep_dir(out_root, spec) / "runs"
+
+
+def artifact_path(run_directory: Path, cell: RunCell) -> Path:
+    return run_directory / f"{cell.run_id}.json"
+
+
+def execute_cell(cell: RunCell) -> dict:
+    """Run one cell and return its artifact dict (not yet written)."""
+    result = run_target(cell.target, cell.params_dict())
+    return {
+        "schema_version": ARTIFACT_SCHEMA_VERSION,
+        "cell_id": cell.cell_id,
+        "run_id": cell.run_id,
+        "target": cell.target,
+        "params": cell.params_dict(),
+        "result": result,
+        "result_sha256": sha256_hex(canonical_json(result)),
+    }
+
+
+def write_artifact(run_directory: Path, artifact: dict) -> Path:
+    """Atomically persist one artifact; returns its final path."""
+    final = run_directory / f"{artifact['run_id']}.json"
+    temp = run_directory / f".{artifact['run_id']}.tmp.{os.getpid()}"
+    temp.write_text(canonical_json(artifact), encoding="utf-8")
+    os.replace(temp, final)
+    return final
+
+
+def load_artifact(run_directory: Path, cell: RunCell) -> Optional[dict]:
+    """Load and validate one artifact; ``None`` if absent or invalid.
+
+    Validation covers the full resume contract: parseable JSON, matching
+    schema version, run/cell identity, the exact cell params, and a
+    recomputed result digest -- a truncated or hand-edited artifact fails
+    here and the cell is re-run.
+    """
+    path = artifact_path(run_directory, cell)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(data, dict):
+        return None
+    if data.get("schema_version") != ARTIFACT_SCHEMA_VERSION:
+        return None
+    if data.get("run_id") != cell.run_id or \
+            data.get("cell_id") != cell.cell_id:
+        return None
+    if data.get("target") != cell.target or \
+            data.get("params") != cell.params_dict():
+        return None
+    result = data.get("result")
+    if result is None or \
+            data.get("result_sha256") != sha256_hex(canonical_json(result)):
+        return None
+    return data
+
+
+def _worker_run(payload: tuple[str, tuple, str]) -> tuple[str, str]:
+    """Pool entry point: run one cell, persist its artifact.
+
+    Returns ``(cell_id, "")`` on success or ``(cell_id, traceback)`` on
+    failure; exceptions never cross the pool boundary, so one failed run
+    does not tear down the others mid-write.
+    """
+    target, params, run_directory = payload
+    cell = RunCell(target=target, params=params)
+    try:
+        artifact = execute_cell(cell)
+        write_artifact(Path(run_directory), artifact)
+        return (cell.cell_id, "")
+    except Exception:
+        return (cell.cell_id, traceback.format_exc())
+
+
+@dataclasses.dataclass
+class SweepStatus:
+    """What one :meth:`SweepEngine.run` invocation did."""
+
+    spec_hash: str
+    directory: Path
+    selected: list[str]        # cell ids in the (filtered) matrix
+    executed: list[str]        # cell ids run by this invocation
+    resumed: list[str]         # cell ids skipped: valid artifact on disk
+    invalidated: list[str]     # cell ids whose stale artifact was re-run
+    pending: list[str]         # cell ids still missing (limit cut them)
+
+    @property
+    def complete(self) -> bool:
+        return not self.pending
+
+
+class SweepEngine:
+    """Expand a spec and drive its runs across worker processes."""
+
+    def __init__(self, spec: SweepSpec, out_root: str | Path,
+                 workers: int = 1, resume: bool = False,
+                 cell_filter: Optional[str] = None,
+                 limit: Optional[int] = None,
+                 shuffle_seed: Optional[int] = None,
+                 start_method: Optional[str] = None):
+        if workers < 1:
+            raise SweepError("workers must be >= 1")
+        if limit is not None and limit < 1:
+            raise SweepError("limit must be >= 1")
+        available = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in available else "spawn"
+        elif start_method not in available:
+            raise SweepError(f"start method {start_method!r} not available "
+                             f"here (choose from {sorted(available)})")
+        self.spec = spec
+        self.out_root = Path(out_root)
+        self.workers = workers
+        self.resume = resume
+        self.cell_filter = cell_filter
+        self.limit = limit
+        self.start_method = start_method
+        #: dispatch-order override for the fleet-determinism battery: a
+        #: keyed-hash shuffle of the pending cells proves the merged
+        #: report does not depend on completion order
+        self.shuffle_seed = shuffle_seed
+        #: optional observer called as ``on_progress(cell_id, kind)`` with
+        #: kind in {"run", "resume", "invalid"}; None stays silent
+        self.on_progress: Optional[Callable[[str, str], None]] = None
+
+    # -- matrix selection ---------------------------------------------------
+    def selected_cells(self) -> list[RunCell]:
+        cells = self.spec.cells()
+        if self.cell_filter is not None:
+            cells = [c for c in cells if self.cell_filter in c.cell_id]
+            if not cells:
+                raise SweepError(f"filter {self.cell_filter!r} matches no "
+                                 f"cell of spec {self.spec.name!r}")
+        return cells
+
+    def _dispatch_order(self, cells: list[RunCell]) -> list[RunCell]:
+        if self.shuffle_seed is None:
+            return cells
+        return sorted(cells, key=lambda c: sha256_hex(
+            f"{self.shuffle_seed}/{c.run_id}"))
+
+    # -- execution ----------------------------------------------------------
+    def run(self) -> SweepStatus:
+        cells = self.selected_cells()
+        directory = sweep_dir(self.out_root, self.spec)
+        run_directory = runs_dir(self.out_root, self.spec)
+        if not self.resume and directory.exists():
+            shutil.rmtree(directory)
+        run_directory.mkdir(parents=True, exist_ok=True)
+        # provenance: the spec that owns these artifacts, byte-stable
+        (directory / "spec.json").write_text(
+            canonical_json(self.spec.as_dict()), encoding="utf-8")
+
+        resumed: list[str] = []
+        invalidated: list[str] = []
+        todo: list[RunCell] = []
+        for cell in cells:
+            if self.resume:
+                existing = artifact_path(run_directory, cell)
+                if load_artifact(run_directory, cell) is not None:
+                    resumed.append(cell.cell_id)
+                    if self.on_progress is not None:
+                        self.on_progress(cell.cell_id, "resume")
+                    continue
+                if existing.exists():
+                    invalidated.append(cell.cell_id)
+                    if self.on_progress is not None:
+                        self.on_progress(cell.cell_id, "invalid")
+            todo.append(cell)
+
+        todo = self._dispatch_order(todo)
+        pending: list[str] = []
+        if self.limit is not None and len(todo) > self.limit:
+            pending = sorted(c.cell_id for c in todo[self.limit:])
+            todo = todo[:self.limit]
+
+        failures = self._execute(todo, run_directory)
+        if failures:
+            detail = "\n\n".join(f"{cell_id}:\n{tb}"
+                                 for cell_id, tb in sorted(failures))
+            raise SweepError(
+                f"{len(failures)} run(s) failed:\n{detail}")
+
+        return SweepStatus(
+            spec_hash=self.spec.spec_hash,
+            directory=directory,
+            selected=[c.cell_id for c in cells],
+            executed=[c.cell_id for c in todo],
+            resumed=resumed,
+            invalidated=invalidated,
+            pending=pending)
+
+    def _execute(self, todo: list[RunCell],
+                 run_directory: Path) -> list[tuple[str, str]]:
+        failures: list[tuple[str, str]] = []
+        if self.workers == 1:
+            for cell in todo:
+                cell_id, error = _worker_run(
+                    (cell.target, cell.params, str(run_directory)))
+                if error:
+                    failures.append((cell_id, error))
+                elif self.on_progress is not None:
+                    self.on_progress(cell_id, "run")
+            return failures
+        payloads = [(cell.target, cell.params, str(run_directory))
+                    for cell in todo]
+        if not payloads:
+            return failures
+        context = multiprocessing.get_context(self.start_method)
+        with context.Pool(processes=min(self.workers, len(payloads))) \
+                as pool:
+            for cell_id, error in pool.imap_unordered(_worker_run, payloads):
+                if error:
+                    failures.append((cell_id, error))
+                elif self.on_progress is not None:
+                    self.on_progress(cell_id, "run")
+        return failures

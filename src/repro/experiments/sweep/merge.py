@@ -1,0 +1,133 @@
+"""Deterministic merge: per-run artifacts -> one byte-stable report.
+
+The merge reads every artifact of the (filtered) matrix back from disk,
+validates each one, folds them into a single report dict keyed by cell
+id, and computes cross-cell aggregates.  The fold iterates the matrix in
+its canonical (sorted) order and the report is serialised with sorted
+keys, so the bytes are independent of worker count, completion order,
+resume history, and ``PYTHONHASHSEED`` -- the fleet-determinism battery
+in ``tests/experiments/test_sweep_determinism.py`` pins exactly this.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from .engine import load_artifact, runs_dir, sweep_dir
+from .spec import (RunCell, SweepError, SweepSpec, canonical_json,
+                   sha256_hex)
+
+__all__ = ["REPORT_SCHEMA_VERSION", "merge_sweep", "write_report",
+           "render_report"]
+
+REPORT_SCHEMA_VERSION = 1
+
+
+def _aggregates(cells: dict[str, dict]) -> dict:
+    by_target: dict[str, dict] = {}
+    survived = 0
+    survival_runs = 0
+    for cell_id in sorted(cells):
+        entry = cells[cell_id]
+        result = entry["result"]
+        agg = by_target.setdefault(entry["target"], {
+            "runs": 0, "completed": 0, "errors": 0})
+        agg["runs"] += 1
+        agg["completed"] += result["completed"]
+        agg["errors"] += result["errors"]
+        if "survived" in result:
+            survival_runs += 1
+            if result["survived"]:
+                survived += 1
+    return {
+        "runs": len(cells),
+        "completed": sum(t["completed"] for t in by_target.values()),
+        "errors": sum(t["errors"] for t in by_target.values()),
+        "by_target": by_target,
+        "survival": {"survived": survived, "runs": survival_runs,
+                     "all_survived": survived == survival_runs},
+        # cheap cross-check for report consumers: the fold of every
+        # per-run result digest, in canonical cell order
+        "merge_sha256": sha256_hex(canonical_json(
+            [[cell_id, cells[cell_id]["result_sha256"]]
+             for cell_id in sorted(cells)])),
+    }
+
+
+def merge_sweep(spec: SweepSpec, out_root: str | Path,
+                cell_filter: Optional[str] = None) -> dict:
+    """Fold the sweep's artifacts into the report dict.
+
+    Raises :class:`SweepError` if any artifact of the (filtered) matrix
+    is missing or fails validation -- merging a partial sweep is an
+    error, not a silently smaller report.
+    """
+    matrix: list[RunCell] = spec.cells()
+    if cell_filter is not None:
+        matrix = [c for c in matrix if cell_filter in c.cell_id]
+        if not matrix:
+            raise SweepError(f"filter {cell_filter!r} matches no cell of "
+                             f"spec {spec.name!r}")
+    run_directory = runs_dir(out_root, spec)
+    cells: dict[str, dict] = {}
+    missing: list[str] = []
+    for cell in matrix:
+        artifact = load_artifact(run_directory, cell)
+        if artifact is None:
+            missing.append(cell.cell_id)
+            continue
+        cells[cell.cell_id] = {
+            "run_id": artifact["run_id"],
+            "target": artifact["target"],
+            "params": artifact["params"],
+            "result": artifact["result"],
+            "result_sha256": artifact["result_sha256"],
+        }
+    if missing:
+        raise SweepError(
+            f"cannot merge sweep {spec.name!r}: {len(missing)} of "
+            f"{len(matrix)} artifacts missing or invalid:\n  "
+            + "\n  ".join(sorted(missing)))
+    return {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "spec": spec.as_dict(),
+        "spec_hash": spec.spec_hash,
+        "filter": cell_filter,
+        "cells": cells,
+        "aggregates": _aggregates(cells),
+    }
+
+
+def write_report(spec: SweepSpec, out_root: str | Path,
+                 cell_filter: Optional[str] = None,
+                 report: Optional[dict] = None) -> Path:
+    """Merge (unless a merged ``report`` is passed in) and persist
+    ``report.json``; returns its path."""
+    if report is None:
+        report = merge_sweep(spec, out_root, cell_filter=cell_filter)
+    path = sweep_dir(out_root, spec) / "report.json"
+    path.write_text(canonical_json(report), encoding="utf-8")
+    return path
+
+
+def render_report(report: dict) -> str:
+    """Terminal table for ``repro sweep``."""
+    from ..figures import render_table
+    aggregates = report["aggregates"]
+    rows = []
+    for target in sorted(aggregates["by_target"]):
+        entry = aggregates["by_target"][target]
+        rows.append([target, entry["runs"], entry["completed"],
+                     entry["errors"]])
+    rows.append(["total", aggregates["runs"], aggregates["completed"],
+                 aggregates["errors"]])
+    survival = aggregates["survival"]
+    title = (f"sweep {report['spec']['name']} "
+             f"[{report['spec_hash']}] -- {aggregates['runs']} runs")
+    table = render_table(title, ["target", "runs", "completed", "errors"],
+                         rows)
+    verdict = (f"survival: {survival['survived']}/{survival['runs']}"
+               if survival["runs"] else "survival: n/a")
+    return f"{table}\n{verdict}\nmerge sha256: " \
+           f"{aggregates['merge_sha256'][:16]}"

@@ -1,0 +1,228 @@
+"""SweepSpec: a declarative, deterministic run matrix.
+
+A spec is a name plus a list of :class:`MatrixBlock`\\ s.  Each block
+names a run target (see :mod:`repro.experiments.sweep.targets`), a
+``base`` dict of fixed parameters, and an ``axes`` dict of parameter ->
+value-list pairs; the block expands into the cross product of its axes
+over the base.  The full matrix is the concatenation of every block's
+cells, sorted by ``cell_id`` -- the expansion order is a pure function
+of the spec, never of dict iteration order or ``PYTHONHASHSEED``.
+
+Identity is content-addressed at both levels:
+
+* ``RunCell.run_id`` -- hash of the canonical ``{target, params}`` JSON;
+  the artifact filename.
+* ``SweepSpec.spec_hash`` -- hash of the canonical spec dict; the sweep
+  directory name, so editing a spec never collides with old artifacts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+from pathlib import Path
+from typing import Any, Optional
+
+__all__ = ["SweepError", "MatrixBlock", "RunCell", "SweepSpec",
+           "SPEC_SCHEMA_VERSION", "canonical_json", "sha256_hex",
+           "short_hash", "load_spec", "spec_from_dict"]
+
+SPEC_SCHEMA_VERSION = 1
+
+#: parameter values must be JSON scalars: they live in cell ids, artifact
+#: filenames, and report keys, all of which must render canonically
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+class SweepError(RuntimeError):
+    """Malformed spec, corrupt/missing artifact, or failed run."""
+
+
+def canonical_json(obj: Any) -> str:
+    """The one serialisation every hash, artifact, and report uses."""
+    return json.dumps(obj, sort_keys=True, indent=2, ensure_ascii=True) + "\n"
+
+
+def sha256_hex(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def short_hash(obj: Any) -> str:
+    """12-hex content address of an object's canonical JSON."""
+    return sha256_hex(canonical_json(obj))[:12]
+
+
+def _format_value(value: Any) -> str:
+    # JSON literals: True -> "true", "A" -> '"A"' -- unambiguous and
+    # identical to what the canonical artifact JSON renders
+    return json.dumps(value, sort_keys=True)
+
+
+@dataclasses.dataclass(frozen=True)
+class RunCell:
+    """One run of the matrix: a target name plus concrete parameters."""
+
+    target: str
+    params: tuple[tuple[str, Any], ...]     # sorted (name, value) pairs
+
+    @staticmethod
+    def make(target: str, params: dict[str, Any]) -> "RunCell":
+        return RunCell(target=target, params=tuple(sorted(params.items())))
+
+    def params_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    @property
+    def cell_id(self) -> str:
+        """Human-readable identity: ``target[k=v,k=v,...]``."""
+        inner = ",".join(f"{k}={_format_value(v)}" for k, v in self.params)
+        return f"{self.target}[{inner}]"
+
+    @property
+    def run_id(self) -> str:
+        """Content address; the artifact filename stem."""
+        return short_hash({"target": self.target,
+                           "params": self.params_dict()})
+
+
+@dataclasses.dataclass(frozen=True)
+class MatrixBlock:
+    """One block of the matrix: target x base params x axis cross product."""
+
+    target: str
+    base: tuple[tuple[str, Any], ...]
+    axes: tuple[tuple[str, tuple[Any, ...]], ...]    # sorted by axis name
+
+    @staticmethod
+    def make(target: str, base: Optional[dict[str, Any]] = None,
+             axes: Optional[dict[str, Any]] = None) -> "MatrixBlock":
+        base = dict(base or {})
+        axes = {name: tuple(values) for name, values in (axes or {}).items()}
+        overlap = sorted(set(base) & set(axes))
+        if overlap:
+            raise SweepError(f"block {target!r}: parameters {overlap} appear "
+                             f"in both base and axes")
+        for name, values in sorted(axes.items()):
+            if not values:
+                raise SweepError(f"block {target!r}: axis {name!r} is empty")
+            if len(set(map(_format_value, values))) != len(values):
+                raise SweepError(f"block {target!r}: axis {name!r} has "
+                                 f"duplicate values")
+        for name, value in itertools.chain(
+                sorted(base.items()),
+                ((n, v) for n, vals in sorted(axes.items()) for v in vals)):
+            if not isinstance(value, _SCALAR_TYPES):
+                raise SweepError(
+                    f"block {target!r}: parameter {name!r} value {value!r} "
+                    f"is not a JSON scalar")
+        return MatrixBlock(target=target,
+                           base=tuple(sorted(base.items())),
+                           axes=tuple(sorted(axes.items())))
+
+    def as_dict(self) -> dict:
+        return {"target": self.target,
+                "base": dict(self.base),
+                "axes": {name: list(values) for name, values in self.axes}}
+
+    def cells(self) -> list[RunCell]:
+        """Row-major cross product over the (sorted) axis names."""
+        names = [name for name, _ in self.axes]
+        value_lists = [values for _, values in self.axes]
+        cells = []
+        for combo in itertools.product(*value_lists):
+            params = dict(self.base)
+            params.update(zip(names, combo))
+            cells.append(RunCell.make(self.target, params))
+        return cells
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepSpec:
+    """A named, content-addressed run matrix."""
+
+    name: str
+    blocks: tuple[MatrixBlock, ...]
+
+    @staticmethod
+    def make(name: str, blocks: list[MatrixBlock]) -> "SweepSpec":
+        if not name or not name.replace("-", "").replace("_", "").isalnum():
+            raise SweepError(f"spec name {name!r} must be a non-empty "
+                             f"[-_a-zA-Z0-9] slug")
+        if not blocks:
+            raise SweepError("spec has no blocks")
+        spec = SweepSpec(name=name, blocks=tuple(blocks))
+        seen: dict[str, str] = {}
+        for cell in spec.cells():
+            if cell.run_id in seen:
+                raise SweepError(f"duplicate cell {cell.cell_id} "
+                                 f"(also expanded as {seen[cell.run_id]})")
+            seen[cell.run_id] = cell.cell_id
+        return spec
+
+    def as_dict(self) -> dict:
+        return {"schema_version": SPEC_SCHEMA_VERSION,
+                "name": self.name,
+                "blocks": [block.as_dict() for block in self.blocks]}
+
+    @property
+    def spec_hash(self) -> str:
+        return short_hash(self.as_dict())
+
+    def cells(self) -> list[RunCell]:
+        """The full matrix, sorted by cell id (the canonical run order)."""
+        cells = [cell for block in self.blocks for cell in block.cells()]
+        cells.sort(key=lambda c: c.cell_id)
+        return cells
+
+
+def spec_from_dict(data: dict, source: str = "<dict>") -> SweepSpec:
+    """Validate and build a :class:`SweepSpec` from parsed JSON."""
+    if not isinstance(data, dict):
+        raise SweepError(f"{source}: spec must be a JSON object")
+    version = data.get("schema_version")
+    if version != SPEC_SCHEMA_VERSION:
+        raise SweepError(f"{source}: schema_version {version!r} "
+                         f"(expected {SPEC_SCHEMA_VERSION})")
+    unknown = sorted(set(data) - {"schema_version", "name", "blocks"})
+    if unknown:
+        raise SweepError(f"{source}: unknown spec keys {unknown}")
+    name = data.get("name")
+    if not isinstance(name, str):
+        raise SweepError(f"{source}: spec name must be a string")
+    raw_blocks = data.get("blocks")
+    if not isinstance(raw_blocks, list) or not raw_blocks:
+        raise SweepError(f"{source}: blocks must be a non-empty list")
+    blocks = []
+    for i, raw in enumerate(raw_blocks):
+        if not isinstance(raw, dict):
+            raise SweepError(f"{source}: block {i} must be an object")
+        bad = sorted(set(raw) - {"target", "base", "axes"})
+        if bad:
+            raise SweepError(f"{source}: block {i} has unknown keys {bad}")
+        target = raw.get("target")
+        if not isinstance(target, str):
+            raise SweepError(f"{source}: block {i} needs a string target")
+        base = raw.get("base", {})
+        axes = raw.get("axes", {})
+        if not isinstance(base, dict) or not isinstance(axes, dict):
+            raise SweepError(f"{source}: block {i} base/axes must be objects")
+        for axis, values in sorted(axes.items()):
+            if not isinstance(values, list):
+                raise SweepError(f"{source}: block {i} axis {axis!r} must "
+                                 f"be a list of values")
+        blocks.append(MatrixBlock.make(target, base, axes))
+    return SweepSpec.make(name, blocks)
+
+
+def load_spec(path: str | Path) -> SweepSpec:
+    """Load a spec from a JSON file."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise SweepError(f"spec file not found: {path}")
+    except json.JSONDecodeError as exc:
+        raise SweepError(f"{path}: not valid JSON ({exc})")
+    return spec_from_dict(data, source=str(path))

@@ -96,6 +96,44 @@ def test_gate001_boolop_inline_guard():
     ) == []
 
 
+def test_gate001_guard_inside_with_body():
+    """The with-head node must scan only the context managers, not the
+    body -- otherwise guarded uses inside the body are re-scanned with
+    the with-entry facts and false-positive."""
+    assert codes(
+        "class Node:\n"
+        "    def __init__(self, tracer=None):\n"
+        "        self.tracer = tracer\n"
+        "    def handle(self, pool):\n"
+        "        with pool as p:\n"
+        "            for item in p.work():\n"
+        "                if self.tracer is not None:\n"
+        "                    self.tracer.point('a', item)\n"
+    ) == []
+
+
+def test_gate001_unguarded_use_in_with_still_flagged():
+    assert codes(
+        "class Node:\n"
+        "    def __init__(self, tracer=None):\n"
+        "        self.tracer = tracer\n"
+        "    def handle(self, pool):\n"
+        "        with pool as p:\n"
+        "            self.tracer.point('a', 'b')\n"
+    ) == [("GATE001", 6)]
+
+
+def test_gate001_gate_use_in_context_manager_expr_flagged():
+    assert codes(
+        "class Node:\n"
+        "    def __init__(self, tracer=None):\n"
+        "        self.tracer = tracer\n"
+        "    def handle(self):\n"
+        "        with self.tracer.begin('s', 'x') as span:\n"
+        "            pass\n"
+    ) == [("GATE001", 5)]
+
+
 # -- GATE002: overload control and friends -----------------------------
 
 def test_gate002_unguarded_overload():

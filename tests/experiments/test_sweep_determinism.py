@@ -1,0 +1,79 @@
+"""Fleet determinism: the merged sweep report is byte-identical across
+worker counts (1/2/4), across an artificially shuffled task-completion
+order, and across start methods -- the acceptance property of DESIGN §13.
+"""
+
+import pytest
+
+from repro.experiments.sweep import (SweepEngine, merge_sweep, runs_dir,
+                                     write_report)
+
+from .sweep_specs import tiny_spec
+
+pytestmark = pytest.mark.sweep
+
+
+def _sweep_bytes(tmp_path, tag, **engine_kwargs):
+    spec = tiny_spec()
+    out = tmp_path / tag
+    SweepEngine(spec, out, **engine_kwargs).run()
+    report = write_report(spec, out).read_bytes()
+    artifacts = {p.name: p.read_bytes()
+                 for p in sorted(runs_dir(out, spec).iterdir())}
+    return report, artifacts
+
+
+class TestFleetDeterminism:
+    def test_report_identical_across_worker_counts_and_order(self, tmp_path):
+        serial, serial_arts = _sweep_bytes(tmp_path, "w1", workers=1)
+        two, two_arts = _sweep_bytes(tmp_path, "w2", workers=2)
+        four, four_arts = _sweep_bytes(tmp_path, "w4", workers=4)
+        # an artificially shuffled task order: the keyed-hash shuffle
+        # permutes both dispatch and (serial) completion order
+        shuffled, shuffled_arts = _sweep_bytes(tmp_path, "shuf", workers=1,
+                                               shuffle_seed=7)
+        reshuffled, _ = _sweep_bytes(tmp_path, "shuf2", workers=2,
+                                     shuffle_seed=1312)
+        assert serial == two == four == shuffled == reshuffled
+        assert serial_arts == two_arts == four_arts == shuffled_arts
+
+    def test_shuffle_actually_permutes_dispatch(self, tmp_path):
+        spec = tiny_spec()
+        canonical = [c.cell_id for c in spec.cells()]
+        engine = SweepEngine(spec, tmp_path / "x", workers=1,
+                             shuffle_seed=7)
+        shuffled = [c.cell_id
+                    for c in engine._dispatch_order(spec.cells())]
+        assert sorted(shuffled) == sorted(canonical)
+        assert shuffled != canonical
+
+    def test_spawn_start_method_matches_fork(self, tmp_path):
+        serial, _ = _sweep_bytes(tmp_path, "fork2", workers=2,
+                                 start_method="fork")
+        spawned, _ = _sweep_bytes(tmp_path, "spawn2", workers=2,
+                                  start_method="spawn")
+        assert serial == spawned
+
+
+class TestMergeContract:
+    def test_report_independent_of_stray_files(self, tmp_path):
+        """Merge reads exactly the matrix's artifacts: leftover temp files
+        or unrelated junk in runs/ change nothing."""
+        spec = tiny_spec()
+        out = tmp_path / "s"
+        SweepEngine(spec, out, workers=1).run()
+        baseline = merge_sweep(spec, out)
+        (runs_dir(out, spec) / ".deadbeef.tmp.99").write_text("junk")
+        (runs_dir(out, spec) / "unrelated.json").write_text("{}")
+        assert merge_sweep(spec, out) == baseline
+
+    def test_filtered_sweep_merges_only_matching_cells(self, tmp_path):
+        spec = tiny_spec()
+        out = tmp_path / "f"
+        engine = SweepEngine(spec, out, workers=1, cell_filter="openloop")
+        status = engine.run()
+        assert len(status.selected) == 2
+        report = merge_sweep(spec, out, cell_filter="openloop")
+        assert sorted(report["cells"]) == status.selected
+        assert report["filter"] == "openloop"
+        assert report["aggregates"]["runs"] == 2

@@ -1,0 +1,119 @@
+"""Resume contract: an interrupted sweep continues where it stopped, a
+corrupted artifact is detected and re-run, and the resumed report is
+byte-identical to an uninterrupted one.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.sweep import (SweepEngine, SweepError, load_artifact,
+                                     merge_sweep, runs_dir, write_report)
+
+from .sweep_specs import tiny_spec
+
+pytestmark = pytest.mark.sweep
+
+
+def _artifact_bytes(out, spec):
+    return {p.name: p.read_bytes()
+            for p in sorted(runs_dir(out, spec).glob("*.json"))}
+
+
+class TestResume:
+    def test_interrupt_resume_matches_uninterrupted(self, tmp_path):
+        spec = tiny_spec()
+        baseline_out = tmp_path / "full"
+        SweepEngine(spec, baseline_out, workers=1).run()
+        baseline_report = write_report(spec, baseline_out).read_bytes()
+        baseline_artifacts = _artifact_bytes(baseline_out, spec)
+
+        # "interrupt" after 2 of 4 runs via limit
+        out = tmp_path / "resumed"
+        partial = SweepEngine(spec, out, workers=1, limit=2).run()
+        assert not partial.complete
+        assert len(partial.executed) == 2 and len(partial.pending) == 2
+
+        # merging a partial sweep refuses loudly
+        with pytest.raises(SweepError, match="missing or invalid"):
+            merge_sweep(spec, out)
+
+        # corrupt one completed artifact: truncate it mid-file
+        done = sorted(runs_dir(out, spec).glob("*.json"))[0]
+        done.write_bytes(done.read_bytes()[:40])
+
+        resumed = SweepEngine(spec, out, workers=2, resume=True).run()
+        assert resumed.complete
+        assert len(resumed.resumed) == 1          # the surviving artifact
+        assert len(resumed.invalidated) == 1      # the truncated one
+        assert len(resumed.executed) == 3         # 2 pending + 1 re-run
+
+        assert write_report(spec, out).read_bytes() == baseline_report
+        assert _artifact_bytes(out, spec) == baseline_artifacts
+
+    def test_resume_of_complete_sweep_runs_nothing(self, tmp_path):
+        spec = tiny_spec()
+        out = tmp_path / "s"
+        SweepEngine(spec, out, workers=1).run()
+        report = write_report(spec, out).read_bytes()
+        again = SweepEngine(spec, out, workers=4, resume=True).run()
+        assert again.executed == []
+        assert sorted(again.resumed) == again.selected
+        assert write_report(spec, out).read_bytes() == report
+
+    def test_fresh_run_clears_stale_sweep_dir(self, tmp_path):
+        spec = tiny_spec()
+        out = tmp_path / "s"
+        SweepEngine(spec, out, workers=1, limit=1).run()
+        stray = runs_dir(out, spec) / "stale.json"
+        stray.write_text("{}")
+        status = SweepEngine(spec, out, workers=1).run()  # resume=False
+        assert not stray.exists()
+        assert status.complete and status.resumed == []
+
+
+class TestArtifactValidation:
+    @pytest.fixture()
+    def completed(self, tmp_path):
+        spec = tiny_spec()
+        out = tmp_path / "s"
+        SweepEngine(spec, out, workers=1).run()
+        return spec, runs_dir(out, spec)
+
+    def _mutate(self, run_directory, cell, edit):
+        path = run_directory / f"{cell.run_id}.json"
+        data = json.loads(path.read_text())
+        edit(data)
+        path.write_text(json.dumps(data))
+
+    def test_valid_artifact_loads(self, completed):
+        spec, run_directory = completed
+        for cell in spec.cells():
+            assert load_artifact(run_directory, cell) is not None
+
+    def test_tampered_result_rejected(self, completed):
+        spec, run_directory = completed
+        cell = spec.cells()[0]
+        self._mutate(run_directory, cell,
+                     lambda d: d["result"].update(completed=999999))
+        assert load_artifact(run_directory, cell) is None
+
+    def test_schema_version_mismatch_rejected(self, completed):
+        spec, run_directory = completed
+        cell = spec.cells()[0]
+        self._mutate(run_directory, cell,
+                     lambda d: d.update(schema_version=99))
+        assert load_artifact(run_directory, cell) is None
+
+    def test_foreign_identity_rejected(self, completed):
+        spec, run_directory = completed
+        cell = spec.cells()[0]
+        self._mutate(run_directory, cell,
+                     lambda d: d.update(cell_id="cell[seed=999]"))
+        assert load_artifact(run_directory, cell) is None
+
+    def test_missing_artifact_rejected(self, completed):
+        spec, run_directory = completed
+        cell = spec.cells()[0]
+        (run_directory / f"{cell.run_id}.json").unlink()
+        assert load_artifact(run_directory, cell) is None

@@ -1,0 +1,52 @@
+"""Subprocess determinism: a full ``repro sweep`` -- CLI entry point,
+worker pool, artifacts, and merged report -- is byte-identical across
+``PYTHONHASHSEED`` values, mirroring the fast-path contract in
+``test_fast_path_equivalence.py`` at sweep scale.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from .sweep_specs import TINY_SPEC_DICT
+
+pytestmark = pytest.mark.sweep
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _run_sweep_cli(tmp_path, tag: str, hash_seed: str,
+                   workers: int = 2) -> tuple[bytes, dict[str, bytes]]:
+    spec_path = tmp_path / "tiny.json"
+    if not spec_path.exists():
+        spec_path.write_text(json.dumps(TINY_SPEC_DICT))
+    out = tmp_path / tag
+    env = dict(os.environ, PYTHONHASHSEED=hash_seed, PYTHONPATH=SRC)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "sweep", "--spec", str(spec_path),
+         "--out", str(out), "--workers", str(workers)],
+        capture_output=True, text=True, env=env, timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    sweeps = list(out.iterdir())
+    assert len(sweeps) == 1
+    report = (sweeps[0] / "report.json").read_bytes()
+    artifacts = {p.name: p.read_bytes()
+                 for p in sorted((sweeps[0] / "runs").glob("*.json"))}
+    return report, artifacts
+
+
+class TestHashSeedIndependence:
+    def test_sweep_identical_across_hash_seeds(self, tmp_path):
+        report_h0, artifacts_h0 = _run_sweep_cli(tmp_path, "h0", "0")
+        report_h1, artifacts_h1 = _run_sweep_cli(tmp_path, "h1", "1")
+        assert report_h0 == report_h1
+        assert artifacts_h0 == artifacts_h1
+
+    def test_cli_parallel_matches_cli_serial(self, tmp_path):
+        parallel, _ = _run_sweep_cli(tmp_path, "w2", "0", workers=2)
+        serial, _ = _run_sweep_cli(tmp_path, "w1", "0", workers=1)
+        assert parallel == serial

@@ -80,15 +80,61 @@ class TestCommands:
                        "--output", str(tmp_path / "x.json")) == 2
         assert "unknown stages" in capsys.readouterr().err
 
-    def test_sweep_writes_csv(self, tmp_path, capsys):
+    def test_sweep_clients_writes_csv(self, tmp_path, capsys):
         target = tmp_path / "out.csv"
-        assert run_cli("sweep", "--scheme", "partition-ca",
+        assert run_cli("sweep-clients", "--scheme", "partition-ca",
                        "--workload", "A", "--clients", "4,8",
                        "--duration", "2.5", "--warmup", "0.5",
                        "--objects", "300", "--output", str(target)) == 0
         lines = target.read_text().splitlines()
         assert lines[0].startswith("scheme,workload,n_clients")
         assert len(lines) == 3
+
+    def test_sweep_runs_spec_and_resumes(self, tmp_path, capsys):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "schema_version": 1, "name": "cli-tiny",
+            "blocks": [{
+                "target": "openloop",
+                "base": {"rate": 150.0, "duration": 0.4, "seed": 42},
+                "axes": {"fast_path": [False, True]},
+            }],
+        }))
+        out = tmp_path / "sweeps"
+        assert run_cli("sweep", "--spec", str(spec_path),
+                       "--out", str(out)) == 0
+        first = capsys.readouterr().out
+        assert "sweep cli-tiny" in first
+        (sweep,) = out.iterdir()
+        report = json.loads((sweep / "report.json").read_text())
+        assert report["aggregates"]["runs"] == 2
+        # resuming a complete sweep runs nothing and reports the same
+        assert run_cli("sweep", "--spec", str(spec_path),
+                       "--out", str(out), "--resume") == 0
+        second = capsys.readouterr().out
+        assert "0 executed, 2 resumed" in second
+
+    def test_sweep_list_shows_matrix(self, tmp_path, capsys):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "schema_version": 1, "name": "cli-tiny",
+            "blocks": [{"target": "openloop",
+                        "base": {"rate": 150.0, "duration": 0.4},
+                        "axes": {"seed": [1, 2, 3]}}],
+        }))
+        assert run_cli("sweep", "--spec", str(spec_path), "--list") == 0
+        out = capsys.readouterr().out
+        assert out.count("openloop[") == 3
+
+    def test_sweep_rejects_bad_spec(self, tmp_path, capsys):
+        spec_path = tmp_path / "bad.json"
+        spec_path.write_text("{not json")
+        assert run_cli("sweep", "--spec", str(spec_path)) == 1
+        assert "not valid JSON" in capsys.readouterr().err
 
 
 class TestEntryPoint:
