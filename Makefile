@@ -2,7 +2,7 @@ PYTHON ?= python
 PYTHONPATH := src
 
 .PHONY: verify test check check-deep chaos-smoke chaos chaos-overload \
-	trace golden bench sweep sweep-smoke
+	trace golden bench sweep sweep-smoke recover recover-smoke
 
 ## The full tier-1 gate: unit/integration tests, the repro.analysis
 ## correctness passes, and the chaos smoke episodes.
@@ -49,7 +49,19 @@ sweep-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro sweep \
 		--spec specs/sweep_smoke.json --workers 2 --out .sweep-smoke
 
-## Regenerate the golden-metrics fixture after a reviewed model change.
+## Exhaustive crash-point exploration: crash the controller at every
+## WAL/dispatch boundary of the scripted episode, prove each converges.
+recover:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro recover --explore
+
+## CI smoke: a bounded shard of the exploration (first 12 boundaries).
+recover-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro recover --explore \
+		--limit 12
+
+## Regenerate the golden fixtures (metrics + recovery) after a reviewed
+## model change.
 golden:
 	REPRO_UPDATE_GOLDEN=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
-		tests/integration/test_golden_metrics.py -q
+		tests/integration/test_golden_metrics.py \
+		tests/integration/test_recovery_golden.py -q

@@ -11,6 +11,8 @@ Commands
 ``overload``  flash-crowd + slow-disk overload episode (exit 1 on failure)
 ``trace``     traced overload episode: summary, waterfall, JSONL/Chrome export
 ``bench``     kernel fast-path wall-clock benchmark -> BENCH_kernel.json
+``recover``   controller crash/recovery episode; ``--explore`` crashes the
+              controller at every WAL/dispatch boundary (DESIGN §14)
 ``sweep``     run a SweepSpec matrix across worker processes and merge the
               per-run artifacts into one deterministic report (DESIGN §13)
 ``sweep-clients``  sweep client counts for one cell, write CSV
@@ -93,9 +95,40 @@ def cmd_sweep_clients(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_recover(args: argparse.Namespace) -> int:
+    import json
+
+    from .chaos import explore_crash_points, render_exploration
+    from .experiments.recovery import (recovery_episode_fn, render_recovery,
+                                       run_recovery_episode)
+    from .mgmt import CrashPlan
+    kwargs = dict(n_objects=args.objects, restart_delay=args.restart_delay,
+                  checkpoint_every=args.checkpoint_every)
+    if args.explore:
+        report = explore_crash_points(
+            recovery_episode_fn(args.seed, **kwargs),
+            offset=args.offset, limit=args.limit)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(render_exploration(report, verbose=args.verbose))
+        return 0 if report["all_converged"] else 1
+    plan = (CrashPlan(at_boundary=args.boundary)
+            if args.boundary is not None else None)
+    outcome = run_recovery_episode(args.seed, crash_plan=plan, **kwargs)
+    if args.json:
+        print(json.dumps(outcome, indent=2, sort_keys=True))
+    else:
+        print(render_recovery(outcome))
+    return 0 if outcome["converged"] else 1
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
-    from .experiments.sweep import (SweepEngine, SweepError, load_spec,
-                                    merge_sweep, render_report, write_report)
+    import json
+
+    from .experiments.sweep import (SweepEngine, SweepError, compare_reports,
+                                    load_spec, merge_sweep, render_compare,
+                                    render_report, write_report)
     try:
         spec = load_spec(args.spec)
         engine = SweepEngine(spec, args.out, workers=args.workers,
@@ -124,6 +157,18 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                             report=report)
         print(render_report(report))
         print(f"report: {path}")
+        if args.compare is not None:
+            try:
+                with open(args.compare, encoding="utf-8") as fh:
+                    prior = json.load(fh)
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"cannot read prior report {args.compare}: {exc}",
+                      file=sys.stderr)
+                return 1
+            comparison = compare_reports(report, prior)
+            print(render_compare(comparison))
+            if comparison["regressed"]:
+                return 1
     except SweepError as exc:
         print(f"sweep failed: {exc}", file=sys.stderr)
         return 1
@@ -310,7 +355,37 @@ def build_parser() -> argparse.ArgumentParser:
                             "without merging (finish with --resume)")
     p_swp.add_argument("--list", action="store_true",
                        help="print the expanded run matrix and exit")
+    p_swp.add_argument("--compare", default=None, metavar="PRIOR_REPORT",
+                       help="after merging, diff the report against this "
+                            "prior report.json (per-cell and per-axis "
+                            "deltas; exit 1 on regression)")
     p_swp.set_defaults(func=cmd_sweep)
+
+    p_rec = sub.add_parser("recover",
+                           help="controller crash/recovery episode; "
+                                "--explore crashes it at every WAL/"
+                                "dispatch boundary and checks convergence")
+    p_rec.add_argument("--seed", type=int, default=1)
+    p_rec.add_argument("--objects", type=int, default=60)
+    p_rec.add_argument("--restart-delay", type=float, default=0.6,
+                       help="simulated seconds the controller stays down")
+    p_rec.add_argument("--checkpoint-every", type=int, default=24,
+                       help="WAL records between checkpoints")
+    p_rec.add_argument("--boundary", type=int, default=None,
+                       help="crash at this single boundary (1-based)")
+    p_rec.add_argument("--explore", action="store_true",
+                       help="crash at every boundary; exit 1 unless every "
+                            "crash point converges")
+    p_rec.add_argument("--offset", type=int, default=0,
+                       help="with --explore: skip the first N boundaries")
+    p_rec.add_argument("--limit", type=int, default=None,
+                       help="with --explore: explore at most N boundaries")
+    p_rec.add_argument("--verbose", action="store_true",
+                       help="with --explore: list every crash point, not "
+                            "just failures")
+    p_rec.add_argument("--json", action="store_true",
+                       help="emit the raw report as JSON")
+    p_rec.set_defaults(func=cmd_recover)
 
     p_sch = sub.add_parser("schemes", help="list placement/routing schemes")
     p_sch.set_defaults(func=cmd_schemes)

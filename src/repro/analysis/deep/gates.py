@@ -89,6 +89,18 @@ GATES: tuple[GateSpec, ...] = (
              describe="response hook"),
     GateSpec("on_progress", "GATE002", callable_gate=True,
              describe="sweep progress hook"),
+    # management-plane durability (DESIGN §14): the WAL plumbing is a
+    # classic None-gated subsystem; only its *mutating* API needs the
+    # guard (post-run reads of counters/open intents are consumer-only)
+    GateSpec("durability", "GATE002",
+             api=("log_intent", "log_dispatch", "log_apply", "log_commit",
+                  "log_abort", "boundary", "maybe_checkpoint", "attach",
+                  "take_checkpoint"),
+             describe="controller durability (WAL)"),
+    GateSpec("lease", "GATE002", describe="distributor lease"),
+    GateSpec("recover_state", "GATE002", callable_gate=True,
+             describe="takeover state-recovery hook"),
+    GateSpec("crash_plan", "GATE002", describe="crash-point plan"),
 )
 
 FAST_PATH_ATTR = "fast_path"

@@ -8,17 +8,21 @@ scenarios: typed faults (:mod:`~repro.chaos.faults`) placed on a seeded
 timeline (:mod:`~repro.chaos.schedule`) and injected through the engine's
 :meth:`~repro.sim.Simulator.add_injection` hook.  The chaos runner in
 :mod:`repro.experiments.chaos` drives whole episodes and asserts the
-survival properties.
+survival properties.  :mod:`~repro.chaos.crashpoints` goes further for
+the management plane: it crashes the controller at *every* WAL/dispatch
+boundary and asserts reconvergence at each one.
 """
 
+from .crashpoints import explore_crash_points, render_exploration
 from .faults import (AgentLoss, BackendCrash, ChaosTargets, DiskSlowdown,
-                     Fault, FAULT_KINDS, FlashCrowd, LanDelay, PacketLoss,
-                     Partition, PrimaryCrash)
+                     Fault, FAULT_KINDS, FlashCrowd, LanDelay, MgmtCrash,
+                     PacketLoss, Partition, PrimaryCrash)
 from .schedule import FaultSchedule, generate_schedule
 
 __all__ = [
     "ChaosTargets", "Fault", "FAULT_KINDS",
     "BackendCrash", "PrimaryCrash", "PacketLoss", "LanDelay", "Partition",
-    "DiskSlowdown", "AgentLoss", "FlashCrowd",
+    "DiskSlowdown", "AgentLoss", "FlashCrowd", "MgmtCrash",
     "FaultSchedule", "generate_schedule",
+    "explore_crash_points", "render_exploration",
 ]

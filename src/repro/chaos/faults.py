@@ -22,13 +22,14 @@ from typing import ClassVar, Optional
 
 from ..cluster import BackendServer
 from ..core.failover import HaDistributorPair
-from ..mgmt import Broker
+from ..mgmt import Broker, Controller
+from ..mgmt.durability import recover
 from ..net import Lan
 from ..sim import RngStream, Simulator
 
 __all__ = ["ChaosTargets", "Fault", "BackendCrash", "PrimaryCrash",
            "PacketLoss", "LanDelay", "Partition", "DiskSlowdown",
-           "AgentLoss", "FlashCrowd", "FAULT_KINDS"]
+           "AgentLoss", "FlashCrowd", "MgmtCrash", "FAULT_KINDS"]
 
 
 @dataclasses.dataclass
@@ -50,6 +51,8 @@ class ChaosTargets:
     #: repro.obs tracer; fault apply/revert become "chaos" point events
     #: (typed loosely for the same import-hygiene reason as ``rig``)
     tracer: Optional[object] = None
+    #: the management controller (MgmtCrash kills and restarts it)
+    controller: Optional[Controller] = None
 
 
 @dataclasses.dataclass(frozen=True, kw_only=True)
@@ -225,8 +228,45 @@ class FlashCrowd(Fault):
         targets.rig.drain_burst()
 
 
+@dataclasses.dataclass(frozen=True, kw_only=True)
+class MgmtCrash(Fault):
+    """The management controller process dies and later restarts.
+
+    A transient fault by construction: ``duration`` is the outage
+    window, after which the controller restarts and -- when durability
+    is enabled -- replays its WAL and resolves interrupted intents via
+    :func:`repro.mgmt.durability.recover`.  In-flight operations observe
+    :class:`~repro.mgmt.durability.ControllerCrashed` and unwind; the
+    cluster monitor skips its sweeps while the brain is down.
+    """
+
+    kind: ClassVar[str] = "mgmt-crash"
+    #: dispatch timeout for recovery's verify/re-drive probes
+    recovery_timeout: float = 1.0
+
+    def apply(self, targets: ChaosTargets) -> None:
+        if targets.controller is None:
+            raise ValueError("MgmtCrash needs targets.controller")
+        if self.duration <= 0:
+            raise ValueError("MgmtCrash must be transient (duration > 0)")
+        targets.controller.crash()
+
+    def revert(self, targets: ChaosTargets) -> None:
+        controller = targets.controller
+        if controller is None:
+            raise ValueError("MgmtCrash needs targets.controller")
+        controller.restart()
+        if controller.durability is not None:
+            targets.sim.process(
+                recover(controller, timeout=self.recovery_timeout),
+                name="mgmt-recovery")
+
+
 #: Every injectable fault class, in a fixed order (episode rotation uses
-#: this to guarantee coverage of all kinds across a run).
+#: this to guarantee coverage of all kinds across a run).  MgmtCrash is
+#: deliberately *not* in the rotation: appending it would shift the
+#: ``forced`` kind of every existing golden chaos episode.  Schedules
+#: opt in explicitly (``forced=MgmtCrash`` / ``extra_faults``).
 FAULT_KINDS: tuple[type[Fault], ...] = (
     BackendCrash, PrimaryCrash, PacketLoss, LanDelay, Partition,
     DiskSlowdown, AgentLoss, FlashCrowd)

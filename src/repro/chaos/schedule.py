@@ -14,8 +14,8 @@ from typing import Iterable, Optional, Sequence
 
 from ..sim import Injection, RngStream
 from .faults import (AgentLoss, BackendCrash, ChaosTargets, DiskSlowdown,
-                     Fault, FAULT_KINDS, FlashCrowd, LanDelay, PacketLoss,
-                     Partition, PrimaryCrash)
+                     Fault, FAULT_KINDS, FlashCrowd, LanDelay, MgmtCrash,
+                     PacketLoss, Partition, PrimaryCrash)
 
 __all__ = ["FaultSchedule", "generate_schedule"]
 
@@ -101,6 +101,9 @@ def _build_fault(cls: type[Fault], rng: RngStream,
     if cls is FlashCrowd:
         return FlashCrowd(multiplier=rng.uniform(2.0, 4.0), at=at,
                           duration=span)
+    if cls is MgmtCrash:
+        # the outage window is the seeded "delayed restart"
+        return MgmtCrash(at=at, duration=max(span, 0.3))
     raise ValueError(f"unknown fault class {cls!r}")
 
 

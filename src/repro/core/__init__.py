@@ -3,7 +3,7 @@ hooks, load balancing, and distributor fault tolerance."""
 
 from .conn_pool import ConnectionPool, PoolManager, PooledConnection
 from .distributor import ContentAwareDistributor
-from .failover import FrontendDown, HaDistributorPair
+from .failover import DistributorLease, FrontendDown, HaDistributorPair
 from .frontend import Frontend, FrontendCosts, RequestOutcome
 from .l4router import L4Router, l4_costs
 from .lard import LardRouter
@@ -37,7 +37,7 @@ __all__ = [
     "partition_by_priority", "partial_replication", "apply_plan",
     "LoadAccountant", "AutoReplicator", "RebalanceAction",
     "ReplicationActuator",
-    "FrontendDown", "HaDistributorPair",
+    "FrontendDown", "HaDistributorPair", "DistributorLease",
     "SplicingDistributor", "PoolLeg",
     "OverloadConfig", "OverloadControl", "AdmissionController",
     "CircuitBreaker", "BreakerBoard", "RetryBudget", "RequestTimeout",

@@ -29,11 +29,46 @@ from .distributor import ContentAwareDistributor
 from .frontend import Frontend
 from .overload import RetryBudget
 
-__all__ = ["FrontendDown", "HaDistributorPair"]
+__all__ = ["DistributorLease", "FrontendDown", "HaDistributorPair"]
 
 
 class FrontendDown(Exception):
     """No distributor is currently able to accept the request."""
+
+
+class DistributorLease:
+    """A time-bound claim on the distributor role.
+
+    The primary holds the lease; the backup renews it on every healthy
+    heartbeat and may only promote itself once the lease has *expired*.
+    This closes the split-brain window of the raw missed-heartbeat rule:
+    a slow-but-alive primary keeps its lease refreshed, so the backup
+    waits it out instead of promoting a second authority.  With
+    durability enabled, lease expiry is also the signal that the
+    recovered WAL state -- not a from-scratch table -- is the one the
+    standby must take over.
+    """
+
+    def __init__(self, sim: Simulator, term: float = 1.0):
+        if term <= 0:
+            raise ValueError("lease term must be positive")
+        self.sim = sim
+        self.term = term
+        self.expires_at = sim.now + term
+        self.renewals = 0
+
+    def renew(self) -> None:
+        """Extend the lease for one more term from now."""
+        self.expires_at = self.sim.now + self.term
+        self.renewals += 1
+
+    @property
+    def expired(self) -> bool:
+        return self.sim.now >= self.expires_at
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self.expires_at - self.sim.now)
 
 
 class HaDistributorPair:
@@ -49,6 +84,8 @@ class HaDistributorPair:
                  retry_budget: Optional[RetryBudget] = None,
                  on_failover: Optional[
                      Callable[["HaDistributorPair"], None]] = None,
+                 lease: Optional[DistributorLease] = None,
+                 recover_state: Optional[Callable[[], None]] = None,
                  tracer=None):
         if heartbeat_interval <= 0:
             raise ValueError("heartbeat_interval must be positive")
@@ -71,6 +108,14 @@ class HaDistributorPair:
         self.retry_budget = retry_budget
         self.budget_denied = 0
         self.on_failover = on_failover
+        #: lease-based promotion (None = classic missed-heartbeat rule,
+        #: byte-identical to the original behaviour)
+        self.lease = lease
+        #: hook run at takeover, *before* the backup starts serving:
+        #: restores the backup's tables from recovered (WAL) state so the
+        #: standby takes over from durable truth, not from scratch
+        self.recover_state = recover_state
+        self.lease_waits = 0
         #: repro.obs tracer; heartbeat/takeover activity becomes "ha" points
         self.tracer = tracer
         self.active = primary
@@ -94,6 +139,8 @@ class HaDistributorPair:
             self.heartbeats += 1
             if self.primary.alive:
                 missed = 0
+                if self.lease is not None:
+                    self.lease.renew()
                 if self.tracer is not None:
                     self.tracer.point("ha", "heartbeat",
                                       node=self.primary.name)
@@ -104,6 +151,16 @@ class HaDistributorPair:
                     self.tracer.point("ha", "heartbeat-miss",
                                       node=self.primary.name, missed=missed)
                 if missed >= self.misses_to_fail:
+                    if self.lease is not None and not self.lease.expired:
+                        # the primary's claim on the role is still live:
+                        # promoting now would risk two authorities
+                        self.lease_waits += 1
+                        if self.tracer is not None:
+                            self.tracer.point(
+                                "ha", "lease-wait",
+                                node=self.primary.name,
+                                remaining=self.lease.remaining)
+                        continue
                     self._take_over()
 
     def _replicate_state(self) -> None:
@@ -116,12 +173,18 @@ class HaDistributorPair:
     def _take_over(self) -> None:
         self.failed_over = True
         self.failover_at = self.sim.now
+        if self.recover_state is not None:
+            # rebuild the backup's routing state from durable truth
+            # before it serves a single request
+            self.recover_state()
         self.backup.recover()
         self.active = self.backup
+        reason = ("missed-heartbeats" if self.lease is None
+                  else "lease-expired")
         if self.tracer is not None:
             self.tracer.point("ha", "takeover", node=self.backup.name,
                               failed=self.primary.name,
-                              reason="missed-heartbeats")
+                              reason=reason)
         if self.on_failover is not None:
             self.on_failover(self)
 

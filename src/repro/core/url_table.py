@@ -233,6 +233,12 @@ class UrlTable:
     def locations(self, url: str) -> set[str]:
         return set(self._find(split_path(url)).locations)
 
+    def record(self, url: str) -> UrlRecord:
+        """Resolve a path *without* counting a hit (management-plane
+        reads must not perturb the hit counters §3.3 replication acts
+        on)."""
+        return self._find(split_path(url))
+
     def sync_from(self, other: "UrlTable") -> bool:
         """Replicate another table's content into this one (backup state
         replication, §2.3).  Returns True if anything changed; a no-op when

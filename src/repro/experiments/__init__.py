@@ -3,6 +3,9 @@
 from .chaos import ChaosRunner, EpisodeResult
 from .figures import (DEFAULT_CLIENTS, figure2, figure3, figure4,
                       render_table, url_table_overhead)
+from .recovery import (collect_recovery_golden, recovery_episode_fn,
+                       render_recovery, run_promotion_episode,
+                       run_recovery_episode)
 from .runner import SweepResult, grid, sweep_clients, write_csv
 from .sweep import (SweepEngine, SweepError, SweepSpec, load_spec,
                     merge_sweep, write_report)
@@ -17,4 +20,6 @@ __all__ = [
     "ChaosRunner", "EpisodeResult",
     "SweepSpec", "SweepEngine", "SweepError", "load_spec", "merge_sweep",
     "write_report",
+    "run_recovery_episode", "run_promotion_episode",
+    "recovery_episode_fn", "render_recovery", "collect_recovery_golden",
 ]

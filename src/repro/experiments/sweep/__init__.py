@@ -16,8 +16,8 @@ the resumed report is identical to an uninterrupted one.
 from .engine import (ARTIFACT_SCHEMA_VERSION, SweepEngine, SweepStatus,
                      execute_cell, load_artifact, runs_dir, sweep_dir,
                      write_artifact)
-from .merge import (REPORT_SCHEMA_VERSION, merge_sweep, render_report,
-                    write_report)
+from .merge import (REPORT_SCHEMA_VERSION, compare_reports, merge_sweep,
+                    render_compare, render_report, write_report)
 from .spec import (MatrixBlock, RunCell, SPEC_SCHEMA_VERSION, SweepError,
                    SweepSpec, canonical_json, load_spec, sha256_hex,
                    short_hash, spec_from_dict)
@@ -32,5 +32,6 @@ __all__ = [
     "SweepEngine", "SweepStatus", "execute_cell", "load_artifact",
     "write_artifact", "sweep_dir", "runs_dir",
     "merge_sweep", "write_report", "render_report",
+    "compare_reports", "render_compare",
     "TARGETS", "jsonify", "reset_process_counters", "run_target",
 ]

@@ -19,7 +19,7 @@ from .spec import (RunCell, SweepError, SweepSpec, canonical_json,
                    sha256_hex)
 
 __all__ = ["REPORT_SCHEMA_VERSION", "merge_sweep", "write_report",
-           "render_report"]
+           "render_report", "compare_reports", "render_compare"]
 
 REPORT_SCHEMA_VERSION = 1
 
@@ -109,6 +109,115 @@ def write_report(spec: SweepSpec, out_root: str | Path,
     path = sweep_dir(out_root, spec) / "report.json"
     path.write_text(canonical_json(report), encoding="utf-8")
     return path
+
+
+def compare_reports(current: dict, prior: dict) -> dict:
+    """Per-cell deltas between two merged sweep reports.
+
+    Cells are matched by cell id over the intersection of the two
+    matrices; added/removed cells are listed but never count as
+    regressions (a grown matrix is not a regression).  A common cell
+    regresses when its ``survived`` flag flips true -> false, its
+    ``errors`` rise, or its ``completed`` falls.  The comparison also
+    folds deltas per target and per parameter axis (every ``param:
+    value`` pair of the cell's own params), so a regression can be
+    localised to the axis value that moved.
+    """
+    cur_cells = current["cells"]
+    old_cells = prior["cells"]
+    common = sorted(set(cur_cells) & set(old_cells))
+    cells: dict[str, dict] = {}
+    regressions: list[dict] = []
+    by_target: dict[str, dict] = {}
+    axes: dict[str, dict[str, dict]] = {}
+    for cell_id in common:
+        cur = cur_cells[cell_id]
+        old = old_cells[cell_id]
+        deltas = {"completed": (cur["result"]["completed"]
+                                - old["result"]["completed"]),
+                  "errors": (cur["result"]["errors"]
+                             - old["result"]["errors"])}
+        entry: dict = {
+            "target": cur["target"],
+            "deltas": deltas,
+            "changed": cur["result_sha256"] != old["result_sha256"],
+        }
+        reasons = []
+        if "survived" in cur["result"] or "survived" in old["result"]:
+            was = old["result"].get("survived")
+            now = cur["result"].get("survived")
+            entry["survived"] = {"prior": was, "current": now}
+            if was is True and now is False:
+                reasons.append("survived true -> false")
+        if deltas["errors"] > 0:
+            reasons.append(f"errors +{deltas['errors']}")
+        if deltas["completed"] < 0:
+            reasons.append(f"completed {deltas['completed']}")
+        if reasons:
+            entry["regressed"] = True
+            regressions.append({"cell": cell_id, "reasons": reasons})
+        cells[cell_id] = entry
+        agg = by_target.setdefault(cur["target"], {
+            "cells": 0, "completed": 0, "errors": 0, "regressed": 0})
+        agg["cells"] += 1
+        agg["completed"] += deltas["completed"]
+        agg["errors"] += deltas["errors"]
+        agg["regressed"] += 1 if reasons else 0
+        for param in sorted(cur["params"]):
+            bucket = axes.setdefault(param, {}).setdefault(
+                str(cur["params"][param]),
+                {"cells": 0, "completed": 0, "errors": 0, "regressed": 0})
+            bucket["cells"] += 1
+            bucket["completed"] += deltas["completed"]
+            bucket["errors"] += deltas["errors"]
+            bucket["regressed"] += 1 if reasons else 0
+    return {
+        "current_spec_hash": current["spec_hash"],
+        "prior_spec_hash": prior["spec_hash"],
+        "cells": cells,
+        "added": sorted(set(cur_cells) - set(old_cells)),
+        "removed": sorted(set(old_cells) - set(cur_cells)),
+        "by_target": by_target,
+        "axes": axes,
+        "regressions": regressions,
+        "regressed": bool(regressions),
+    }
+
+
+def render_compare(comparison: dict) -> str:
+    """Terminal rendering for ``repro sweep --compare``."""
+    lines = [f"compare: {comparison['prior_spec_hash'][:12]} -> "
+             f"{comparison['current_spec_hash'][:12]} "
+             f"({len(comparison['cells'])} common cells, "
+             f"{len(comparison['added'])} added, "
+             f"{len(comparison['removed'])} removed)"]
+    for target in sorted(comparison["by_target"]):
+        agg = comparison["by_target"][target]
+        lines.append(f"  {target}: completed {agg['completed']:+d}, "
+                     f"errors {agg['errors']:+d} over "
+                     f"{agg['cells']} cells")
+    moved_axes = [
+        (param, value, bucket)
+        for param in sorted(comparison["axes"])
+        for value, bucket in sorted(comparison["axes"][param].items())
+        if bucket["completed"] or bucket["errors"] or bucket["regressed"]]
+    if moved_axes:
+        lines.append("  moved axes:")
+        for param, value, bucket in moved_axes:
+            lines.append(f"    {param}={value}: completed "
+                         f"{bucket['completed']:+d}, errors "
+                         f"{bucket['errors']:+d}"
+                         + (f", {bucket['regressed']} regressed"
+                            if bucket["regressed"] else ""))
+    if comparison["regressed"]:
+        lines.append(f"  REGRESSED ({len(comparison['regressions'])} "
+                     f"cells):")
+        for reg in comparison["regressions"]:
+            lines.append(f"    {reg['cell']}: "
+                         + "; ".join(reg["reasons"]))
+    else:
+        lines.append("  no regressions")
+    return "\n".join(lines)
 
 
 def render_report(report: dict) -> str:

@@ -183,6 +183,38 @@ def _target_overload(params: dict) -> dict:
             "report": result.report()}
 
 
+# -- recover: exhaustive crash-point exploration (DESIGN §14) ---------------
+
+_RECOVER_REQUIRED = frozenset({"seed"})
+_RECOVER_OPTIONAL = frozenset({"offset", "limit", "restart_delay",
+                               "n_objects", "checkpoint_every"})
+
+
+def _target_recover(params: dict) -> dict:
+    """Crash the controller at every WAL/dispatch boundary of the scripted
+    management episode; ``offset``/``limit`` shard the boundary space so a
+    sweep can fan the exploration across workers."""
+    from ...chaos import explore_crash_points
+    from ..recovery import recovery_episode_fn
+    _check_params("recover", params, _RECOVER_REQUIRED, _RECOVER_OPTIONAL)
+    episode = recovery_episode_fn(
+        params["seed"],
+        n_objects=params.get("n_objects", 60),
+        restart_delay=params.get("restart_delay", 0.6),
+        checkpoint_every=params.get("checkpoint_every", 24))
+    report = explore_crash_points(episode,
+                                  offset=params.get("offset", 0),
+                                  limit=params.get("limit"))
+    converged = sum(1 for e in report["explored"] if e["converged"])
+    return {"completed": converged,
+            "errors": len(report["failures"]),
+            "survived": report["all_converged"],
+            "boundaries": report["boundaries"],
+            "coverage": jsonify(report["coverage"]),
+            "failures": jsonify(report["failures"]),
+            "explored": jsonify(report["explored"])}
+
+
 # -- openloop: the packet-level splice bench stage (digest only) ------------
 
 _OPENLOOP_REQUIRED = frozenset({"seed"})
@@ -214,6 +246,7 @@ TARGETS: dict[str, Callable[[dict], dict]] = {
     "chaos": _target_chaos,
     "overload": _target_overload,
     "openloop": _target_openloop,
+    "recover": _target_recover,
 }
 
 

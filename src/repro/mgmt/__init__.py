@@ -5,6 +5,9 @@ from .agents import (Agent, CopyAgent, DeleteAgent, InventoryAgent,
 from .broker import Broker
 from .console import RemoteConsole
 from .controller import Controller, ManagementError
+from .durability import (ControllerCrashed, ControllerDurability,
+                         ControllerWal, CrashPlan, DurabilityConfig,
+                         RecoveryReport, WalCorruption, WalRecord, recover)
 from .messages import AgentDispatch, AgentResult, StatusReport
 from .monitor import ClusterMonitor, NodeEvent
 
@@ -14,4 +17,7 @@ __all__ = [
     "Broker", "Controller", "ManagementError", "RemoteConsole",
     "AgentDispatch", "AgentResult", "StatusReport",
     "ClusterMonitor", "NodeEvent",
+    "ControllerCrashed", "ControllerDurability", "ControllerWal",
+    "CrashPlan", "DurabilityConfig", "RecoveryReport", "WalCorruption",
+    "WalRecord", "recover",
 ]

@@ -18,12 +18,13 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from ..content import ContentItem, DocTree
-from ..core.url_table import UrlTable
+from ..core.url_table import UrlTable, UrlTableError
 from ..net import Nic
 from ..sim import SimEvent, Simulator
 from .agents import (Agent, CopyAgent, DeleteAgent, InventoryAgent,
                      RenameAgent, StatusAgent, UpdateAgent, VerifyAgent)
 from .broker import Broker
+from .durability import ControllerCrashed, item_to_payload
 from .messages import AgentDispatch, AgentResult, StatusReport
 
 __all__ = ["Controller", "ManagementError"]
@@ -53,6 +54,14 @@ class Controller:
         #: dispatch timeouts are reported per node so the management and
         #: data planes agree on which backend is sick
         self.health_sink = None
+        #: durable-state plumbing (a repro.mgmt.durability
+        #: ControllerDurability); None preserves the original
+        #: fire-and-forget, volatile-state behaviour byte for byte
+        self.durability = None
+        #: a crashed controller refuses dispatches until restart()
+        self.alive = True
+        self.crashes = 0
+        self.restarts = 0
         self.dispatches = 0
         self.failures = 0
         self.timeouts = 0
@@ -72,6 +81,53 @@ class Controller:
             if ev is not None:
                 ev.succeed(result)
 
+    # -- crash / restart (durable-state contract) ---------------------------
+    def crash(self) -> None:
+        """Kill the controller process.
+
+        Volatile state -- the pending-dispatch map -- is lost: every
+        operation waiting on an agent result observes
+        :class:`ControllerCrashed` at its next yield and unwinds without
+        mutating routing state.  The WAL (``durability``), modelling a
+        durable medium, survives.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashes += 1
+        pending = len(self._pending)
+        exc = ControllerCrashed(
+            f"controller crashed at t={self.sim.now:.6f}")
+        for dispatch_id in sorted(self._pending):
+            ev = self._pending[dispatch_id]
+            if not ev.triggered:
+                ev.fail(exc)
+                ev.defuse()
+        self._pending.clear()
+        if self.tracer is not None:
+            self.tracer.point("recovery", "controller-crash",
+                              pending=pending)
+
+    def restart(self) -> None:
+        """Bring a crashed controller back (state recovery is separate:
+        run :func:`repro.mgmt.durability.recover` afterwards)."""
+        if self.alive:
+            return
+        self.alive = True
+        self.restarts += 1
+        if self.tracer is not None:
+            self.tracer.point("recovery", "controller-restart")
+
+    def wal_apply(self, action: str, **payload) -> None:
+        """Write-ahead one routing mutation (no-op without durability).
+
+        Callers that mutate the URL table / document tree directly (the
+        cluster monitor, ``reconcile_node``) log through here *before*
+        mutating, preserving the write-ahead ordering.
+        """
+        if self.durability is not None:
+            self.durability.log_apply(action, dict(payload))
+
     # -- the dispatch primitive ----------------------------------------------
     def execute(self, agent: Agent, node: str,
                 timeout: Optional[float] = None) -> Generator:
@@ -82,6 +138,9 @@ class Controller:
         :class:`AgentResult` after ``timeout`` simulated seconds instead of
         blocking forever.
         """
+        if not self.alive:
+            raise ControllerCrashed(
+                f"controller is down ({agent.name} -> {node})")
         broker = self.brokers.get(node)
         if broker is None:
             raise ManagementError(f"no broker registered for {node!r}")
@@ -94,7 +153,12 @@ class Controller:
         if self.tracer is not None:
             span = self.tracer.begin("agent", agent.name, node=node,
                                      dispatch=dispatch.dispatch_id)
+        if self.durability is not None:
+            self.durability.log_dispatch(dispatch.dispatch_id,
+                                         agent.name, node)
         broker.deliver(dispatch)
+        if self.durability is not None:
+            self.durability.boundary(f"deliver:{agent.name}@{node}")
         if timeout is None:
             timeout = self.default_timeout
         timed_out = False
@@ -126,17 +190,32 @@ class Controller:
     def place(self, item: ContentItem, node: str,
               source: Optional[str] = None) -> Generator:
         """Install a document on ``node`` and make it routable there."""
-        result = yield from self.execute(CopyAgent(item, source=source), node)
-        if not (result.ok and result.detail.get("copied")):
-            raise ManagementError(
-                f"place {item.path} on {node} failed: {result.detail}")
-        if item.path in self.url_table:
-            self.url_table.add_location(item.path, node)
-            self.doctree.file(item.path).locations.add(node)
-        else:
-            self.url_table.insert(item, {node})
-            self.doctree.insert(item, {node})
+        op_id = None
+        if self.durability is not None:
+            op_id = self.durability.log_intent("place", {
+                "path": item.path, "node": node, "source": source,
+                "item": item_to_payload(item)})
+        try:
+            result = yield from self.execute(
+                CopyAgent(item, source=source), node)
+            if not (result.ok and result.detail.get("copied")):
+                raise ManagementError(
+                    f"place {item.path} on {node} failed: {result.detail}")
+            self.wal_apply("route-add", path=item.path, node=node,
+                           item=item_to_payload(item))
+            if item.path in self.url_table:
+                self.url_table.add_location(item.path, node)
+                self.doctree.file(item.path).locations.add(node)
+            else:
+                self.url_table.insert(item, {node})
+                self.doctree.insert(item, {node})
+        except (ManagementError, UrlTableError) as exc:
+            if self.durability is not None and op_id is not None:
+                self.durability.log_abort(op_id, str(exc))
+            raise
         self.log.append((self.sim.now, "place", item.path, node))
+        if self.durability is not None and op_id is not None:
+            self.durability.log_commit(op_id)
         return result
 
     def replicate(self, path: str, node: str) -> Generator:
@@ -145,14 +224,27 @@ class Controller:
         if node in record.locations:
             return None
         source = sorted(record.locations)[0]
-        result = yield from self.execute(
-            CopyAgent(record.item, source=source), node)
-        if not (result.ok and result.detail.get("copied")):
-            raise ManagementError(
-                f"replicate {path} to {node} failed: {result.detail}")
-        self.url_table.add_location(path, node)
-        self.doctree.file(path).locations.add(node)
+        op_id = None
+        if self.durability is not None:
+            op_id = self.durability.log_intent("replicate", {
+                "path": path, "node": node, "source": source,
+                "item": item_to_payload(record.item)})
+        try:
+            result = yield from self.execute(
+                CopyAgent(record.item, source=source), node)
+            if not (result.ok and result.detail.get("copied")):
+                raise ManagementError(
+                    f"replicate {path} to {node} failed: {result.detail}")
+            self.wal_apply("route-add", path=path, node=node)
+            self.url_table.add_location(path, node)
+            self.doctree.file(path).locations.add(node)
+        except (ManagementError, UrlTableError) as exc:
+            if self.durability is not None and op_id is not None:
+                self.durability.log_abort(op_id, str(exc))
+            raise
         self.log.append((self.sim.now, "replicate", path, node))
+        if self.durability is not None and op_id is not None:
+            self.durability.log_commit(op_id)
         return result
 
     def offload(self, path: str, node: str) -> Generator:
@@ -160,58 +252,106 @@ class Controller:
         server').  Routing is updated *before* the physical delete so no
         request races onto the disappearing copy; the last copy is never
         offloaded."""
-        self.url_table.remove_location(path, node)  # raises on last copy
-        self.doctree.file(path).locations.discard(node)
-        result = yield from self.execute(DeleteAgent(path), node)
-        if not result.ok:
-            raise ManagementError(
-                f"offload {path} from {node} failed: {result.detail}")
+        op_id = None
+        if self.durability is not None:
+            op_id = self.durability.log_intent(
+                "offload", {"path": path, "node": node})
+        try:
+            self.wal_apply("route-drop", path=path, node=node)
+            self.url_table.remove_location(path, node)  # raises on last copy
+            self.doctree.file(path).locations.discard(node)
+            result = yield from self.execute(DeleteAgent(path), node)
+            if not result.ok:
+                raise ManagementError(
+                    f"offload {path} from {node} failed: {result.detail}")
+        except (ManagementError, UrlTableError) as exc:
+            if self.durability is not None and op_id is not None:
+                self.durability.log_abort(op_id, str(exc))
+            raise
         self.log.append((self.sim.now, "offload", path, node))
+        if self.durability is not None and op_id is not None:
+            self.durability.log_commit(op_id)
         return result
 
     def remove_document(self, path: str) -> Generator:
         """Delete a document everywhere and unregister it."""
         record = self.url_table.lookup(path)
         nodes = sorted(record.locations)
+        op_id = None
+        if self.durability is not None:
+            op_id = self.durability.log_intent(
+                "remove", {"path": path, "nodes": nodes})
         for node in nodes:
             yield from self.execute(DeleteAgent(path), node)
+        self.wal_apply("route-remove", path=path)
         self.url_table.remove(path)
         self.doctree.delete(path)
         self.log.append((self.sim.now, "remove", path, ",".join(nodes)))
+        if self.durability is not None and op_id is not None:
+            self.durability.log_commit(op_id)
 
     def rename_document(self, old: str, new_item: ContentItem) -> Generator:
         """Rename a document on every node holding it."""
         record = self.url_table.lookup(old)
         nodes = sorted(record.locations)
-        for node in nodes:
-            result = yield from self.execute(
-                RenameAgent(old, new_item), node)
-            if not (result.ok and result.detail.get("renamed")):
-                raise ManagementError(
-                    f"rename {old} on {node} failed: {result.detail}")
-        self.url_table.remove(old)
-        self.url_table.insert(new_item, set(nodes))
-        self.doctree.delete(old)
-        self.doctree.insert(new_item, set(nodes))
+        op_id = None
+        if self.durability is not None:
+            op_id = self.durability.log_intent("rename", {
+                "old": old, "path": new_item.path,
+                "item": item_to_payload(new_item), "nodes": nodes})
+        try:
+            for node in nodes:
+                result = yield from self.execute(
+                    RenameAgent(old, new_item), node)
+                if not (result.ok and result.detail.get("renamed")):
+                    raise ManagementError(
+                        f"rename {old} on {node} failed: {result.detail}")
+            self.wal_apply("route-rename", old=old, path=new_item.path,
+                           item=item_to_payload(new_item), nodes=nodes)
+            self.url_table.remove(old)
+            self.url_table.insert(new_item, set(nodes))
+            self.doctree.delete(old)
+            self.doctree.insert(new_item, set(nodes))
+        except (ManagementError, UrlTableError) as exc:
+            if self.durability is not None and op_id is not None:
+                self.durability.log_abort(op_id, str(exc))
+            raise
         self.log.append((self.sim.now, "rename", old, new_item.path))
+        if self.durability is not None and op_id is not None:
+            self.durability.log_commit(op_id)
 
     def update_content(self, item: ContentItem) -> Generator:
         """Push a new version of a mutable document to all replicas (§4)."""
         record = self.url_table.lookup(item.path)
-        for node in sorted(record.locations):
-            result = yield from self.execute(UpdateAgent(item), node)
-            if not (result.ok and result.detail.get("updated")):
+        op_id = None
+        if self.durability is not None:
+            op_id = self.durability.log_intent("update", {
+                "path": item.path, "item": item_to_payload(item),
+                "nodes": sorted(record.locations)})
+        try:
+            for node in sorted(record.locations):
+                result = yield from self.execute(UpdateAgent(item), node)
+                if not (result.ok and result.detail.get("updated")):
+                    raise ManagementError(
+                        f"update {item.path} on {node} failed: "
+                        f"{result.detail}")
+            # the dispatch loop yields: a concurrent remove/rename may have
+            # dropped the record while agents were in flight -- revalidate
+            # before writing through the pre-yield handle
+            if record.path not in self.url_table:
                 raise ManagementError(
-                    f"update {item.path} on {node} failed: {result.detail}")
-        # the dispatch loop yields: a concurrent remove/rename may have
-        # dropped the record while agents were in flight -- revalidate
-        # before writing through the pre-yield handle
-        if record.path not in self.url_table:
-            raise ManagementError(
-                f"update {item.path}: document removed during update")
-        record.item.size_bytes = item.size_bytes
+                    f"update {item.path}: document removed during update")
+            self.wal_apply("route-size", path=item.path,
+                           size_bytes=item.size_bytes)
+            record.item.size_bytes = item.size_bytes
+        except (ManagementError, UrlTableError) as exc:
+            if self.durability is not None and op_id is not None:
+                self.durability.log_abort(op_id, str(exc))
+            raise
         self.log.append((self.sim.now, "update", item.path,
                          ",".join(sorted(record.locations))))
+        if self.durability is not None and op_id is not None:
+            self.durability.log_commit(op_id)
 
     # -- monitoring / consistency -----------------------------------------
     def status_all(self) -> Generator:
@@ -290,6 +430,7 @@ class Controller:
             "rejoined": [], "purged": [], "dropped": [], "lost": []}
         for path in sorted(stored - routed):
             if path in self.url_table:
+                self.wal_apply("route-add", path=path, node=node)
                 self.url_table.add_location(path, node)
                 if self.doctree.exists(path):
                     self.doctree.file(path).locations.add(node)
@@ -301,11 +442,13 @@ class Controller:
         for path in sorted(routed - stored):
             locations = self.url_table.locations(path)
             if len(locations) > 1:
+                self.wal_apply("route-drop", path=path, node=node)
                 self.url_table.remove_location(path, node)
                 if self.doctree.exists(path):
                     self.doctree.file(path).locations.discard(node)
                 summary["dropped"].append(path)
             else:
+                self.wal_apply("route-remove", path=path)
                 self.url_table.remove(path)
                 if self.doctree.exists(path):
                     self.doctree.delete(path)

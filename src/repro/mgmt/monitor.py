@@ -30,6 +30,7 @@ from ..core.policies import RoutingView
 from ..sim import Simulator
 from .agents import StatusAgent
 from .controller import Controller, ManagementError
+from .durability import ControllerCrashed
 
 __all__ = ["ClusterMonitor", "NodeEvent"]
 
@@ -90,7 +91,16 @@ class ClusterMonitor:
     def _run(self) -> Generator:
         while True:
             yield self.sim.timeout(self.interval)
-            yield from self.sweep_once()
+            if not self.controller.alive:
+                # the management brain is down (MgmtCrash / crash-point
+                # exploration); skip the round -- recovery will
+                # anti-entropy the cluster when the controller returns
+                continue
+            try:
+                yield from self.sweep_once()
+            except ControllerCrashed:
+                # the controller died mid-sweep: abandon the round
+                continue
 
     def sweep_once(self) -> Generator:
         """One monitoring round: poll every broker, react to changes."""
@@ -176,6 +186,8 @@ class ClusterMonitor:
             # drop the dead replica from routing state; re-replicate the
             # document onto a healthy node that lacks it
             if len(record.locations) > 1:
+                self.controller.wal_apply("route-drop",
+                                          path=record.path, node=node)
                 url_table.remove_location(record.path, node)
                 if self.controller.doctree.exists(record.path):
                     self.controller.doctree.file(

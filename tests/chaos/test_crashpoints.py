@@ -1,0 +1,102 @@
+"""Exhaustive crash-point exploration: every WAL/dispatch boundary of the
+scripted recovery episode converges, and the report is byte-identical
+across runs and ``PYTHONHASHSEED`` values."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.chaos import explore_crash_points, render_exploration
+from repro.experiments.recovery import (recovery_episode_fn,
+                                        run_recovery_episode)
+from repro.mgmt import CrashPlan
+
+pytestmark = pytest.mark.recovery
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+_EXPLORE_SNIPPET = """
+import json
+from repro.chaos import explore_crash_points
+from repro.experiments.recovery import recovery_episode_fn
+report = explore_crash_points(recovery_episode_fn(1), offset=10, limit=6)
+print(json.dumps(report, sort_keys=True))
+"""
+
+
+class TestBaselineEpisode:
+    def test_baseline_converges_with_no_crash(self):
+        outcome = run_recovery_episode(seed=1)
+        assert outcome["converged"], outcome["failure"]
+        assert not outcome["crashed"]
+        assert len(outcome["ops"]["completed"]) == 8
+        assert outcome["boundaries"] > 0
+        assert len(outcome["descriptors"]) == outcome["boundaries"]
+        assert outcome["consistency"] == []
+        assert outcome["invariant_violations"] == []
+
+    def test_crash_plan_fires_at_named_boundary(self):
+        plan = CrashPlan(at_boundary=7)
+        outcome = run_recovery_episode(seed=1, crash_plan=plan)
+        assert plan.fired and outcome["crashed"]
+        assert outcome["crash_boundary"] == 7
+        assert plan.descriptor == outcome["descriptors"][6]
+        assert outcome["converged"], outcome["failure"]
+
+
+class TestExhaustiveExploration:
+    def test_every_crash_point_converges(self):
+        report = explore_crash_points(recovery_episode_fn(1))
+        assert report["baseline_converged"]
+        assert report["coverage"]["count"] == report["boundaries"]
+        assert report["failures"] == []
+        assert report["all_converged"]
+        crashed = [e for e in report["explored"] if e["crashed"]]
+        assert len(crashed) == report["boundaries"]
+
+    def test_render_lists_failures_and_verdict(self):
+        report = explore_crash_points(recovery_episode_fn(1), limit=3)
+        text = render_exploration(report, verbose=True)
+        assert "crash-point exploration" in text
+        assert "all crash points converged" in text
+        assert "[   1]" in text
+
+    def test_offset_and_limit_shard_the_boundary_space(self):
+        full = explore_crash_points(recovery_episode_fn(1))
+        shard = explore_crash_points(recovery_episode_fn(1),
+                                     offset=5, limit=4)
+        assert shard["coverage"] == {"offset": 5, "count": 4,
+                                     "first": 6, "last": 9}
+        assert shard["explored"] == full["explored"][5:9]
+
+    def test_invalid_slices_rejected(self):
+        episode = recovery_episode_fn(1)
+        with pytest.raises(ValueError):
+            explore_crash_points(episode, offset=-1)
+        with pytest.raises(ValueError):
+            explore_crash_points(episode, limit=-1)
+
+
+class TestDeterminism:
+    def test_exploration_identical_across_in_process_runs(self):
+        shard = dict(offset=20, limit=5)
+        one = explore_crash_points(recovery_episode_fn(1), **shard)
+        two = explore_crash_points(recovery_episode_fn(1), **shard)
+        assert json.dumps(one, sort_keys=True) == \
+            json.dumps(two, sort_keys=True)
+
+    def test_exploration_identical_across_hash_seeds(self):
+        outputs = []
+        for hash_seed in ("0", "1"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed,
+                       PYTHONPATH=SRC)
+            proc = subprocess.run(
+                [sys.executable, "-c", _EXPLORE_SNIPPET],
+                capture_output=True, text=True, env=env, timeout=600)
+            assert proc.returncode == 0, proc.stderr
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]

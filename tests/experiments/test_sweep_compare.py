@@ -1,0 +1,137 @@
+"""``repro sweep --compare``: per-cell deltas between merged reports,
+regression classification, and the recover target's fleet determinism."""
+
+import copy
+import json
+
+import pytest
+
+from repro.experiments.sweep import (SweepEngine, compare_reports,
+                                     merge_sweep, render_compare,
+                                     spec_from_dict, write_report)
+
+pytestmark = pytest.mark.sweep
+
+
+def fake_report(cells):
+    return {"spec_hash": "a" * 64, "cells": cells}
+
+
+def fake_cell(target="recover", params=None, completed=10, errors=0,
+              survived=None, sha="0" * 64):
+    result = {"completed": completed, "errors": errors}
+    if survived is not None:
+        result["survived"] = survived
+    return {"run_id": "r", "target": target, "params": params or {},
+            "result": result, "result_sha256": sha}
+
+
+class TestCompareReports:
+    def test_identical_reports_have_no_regressions(self):
+        report = fake_report({"c1": fake_cell(survived=True)})
+        comparison = compare_reports(report, copy.deepcopy(report))
+        assert not comparison["regressed"]
+        assert comparison["regressions"] == []
+        cell = comparison["cells"]["c1"]
+        assert cell["deltas"] == {"completed": 0, "errors": 0}
+        assert not cell["changed"]
+
+    def test_survival_flip_is_a_regression(self):
+        prior = fake_report({"c1": fake_cell(survived=True)})
+        current = fake_report({"c1": fake_cell(survived=False,
+                                               sha="1" * 64)})
+        comparison = compare_reports(current, prior)
+        assert comparison["regressed"]
+        assert comparison["regressions"] == [
+            {"cell": "c1", "reasons": ["survived true -> false"]}]
+
+    def test_error_rise_and_completed_drop_are_regressions(self):
+        prior = fake_report({"c1": fake_cell(completed=10, errors=0)})
+        current = fake_report({"c1": fake_cell(completed=8, errors=2,
+                                               sha="1" * 64)})
+        comparison = compare_reports(current, prior)
+        assert comparison["regressions"] == [
+            {"cell": "c1", "reasons": ["errors +2", "completed -2"]}]
+
+    def test_improvement_is_not_a_regression(self):
+        prior = fake_report({"c1": fake_cell(completed=8, errors=2,
+                                             survived=False)})
+        current = fake_report({"c1": fake_cell(completed=10, errors=0,
+                                               survived=True,
+                                               sha="1" * 64)})
+        comparison = compare_reports(current, prior)
+        assert not comparison["regressed"]
+        assert comparison["cells"]["c1"]["changed"]
+
+    def test_added_and_removed_cells_are_listed_not_regressions(self):
+        prior = fake_report({"c1": fake_cell(), "gone": fake_cell()})
+        current = fake_report({"c1": fake_cell(), "new": fake_cell()})
+        comparison = compare_reports(current, prior)
+        assert comparison["added"] == ["new"]
+        assert comparison["removed"] == ["gone"]
+        assert not comparison["regressed"]
+
+    def test_axes_breakdown_localises_the_regression(self):
+        prior = fake_report({
+            "c1": fake_cell(params={"seed": 1}, completed=5),
+            "c2": fake_cell(params={"seed": 2}, completed=5)})
+        current = fake_report({
+            "c1": fake_cell(params={"seed": 1}, completed=5),
+            "c2": fake_cell(params={"seed": 2}, completed=3,
+                            sha="1" * 64)})
+        comparison = compare_reports(current, prior)
+        assert comparison["axes"]["seed"]["1"]["regressed"] == 0
+        assert comparison["axes"]["seed"]["2"]["regressed"] == 1
+        assert comparison["axes"]["seed"]["2"]["completed"] == -2
+        assert comparison["by_target"]["recover"]["regressed"] == 1
+
+    def test_render_names_the_verdict(self):
+        report = fake_report({"c1": fake_cell(survived=True)})
+        clean = compare_reports(report, copy.deepcopy(report))
+        assert "no regressions" in render_compare(clean)
+        bad = compare_reports(
+            fake_report({"c1": fake_cell(survived=False, sha="1" * 64)}),
+            report)
+        assert "REGRESSED" in render_compare(bad)
+
+
+RECOVER_SPEC = {
+    "schema_version": 1,
+    "name": "recover-mini",
+    "blocks": [
+        {
+            "target": "recover",
+            "base": {"n_objects": 60, "limit": 4},
+            "axes": {"seed": [1], "offset": [0, 28]},
+        },
+    ],
+}
+
+
+class TestRecoverSweepTarget:
+    @pytest.mark.recovery
+    def test_recover_cells_survive_and_merge_deterministically(
+            self, tmp_path):
+        spec = spec_from_dict(copy.deepcopy(RECOVER_SPEC))
+        SweepEngine(spec, tmp_path / "w1", workers=1).run()
+        one = write_report(spec, tmp_path / "w1").read_bytes()
+        SweepEngine(spec, tmp_path / "w2", workers=2).run()
+        two = write_report(spec, tmp_path / "w2").read_bytes()
+        assert one == two
+        report = merge_sweep(spec, tmp_path / "w1")
+        assert len(report["cells"]) == 2
+        for cell in report["cells"].values():
+            assert cell["result"]["survived"]
+            assert cell["result"]["errors"] == 0
+            assert cell["result"]["completed"] == 4
+
+    @pytest.mark.recovery
+    def test_self_compare_of_a_real_recover_sweep_is_clean(self, tmp_path):
+        spec = spec_from_dict(copy.deepcopy(RECOVER_SPEC))
+        SweepEngine(spec, tmp_path / "run", workers=1).run()
+        path = write_report(spec, tmp_path / "run")
+        report = json.loads(path.read_text())
+        comparison = compare_reports(report, copy.deepcopy(report))
+        assert not comparison["regressed"]
+        assert all(not cell["changed"]
+                   for cell in comparison["cells"].values())

@@ -1,0 +1,66 @@
+"""Golden recovery regression: one baseline episode plus crash episodes
+at pinned WAL boundaries must reproduce the committed fixture exactly --
+WAL replay counts, resolved-intent actions, audit outcome, the lot.
+
+The episodes are seeded and fully simulated, so this is an equality
+check.  If a change legitimately moves the numbers (a new WAL record
+kind, a different resolution policy), regenerate and review the diff:
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest \\
+        tests/integration/test_recovery_golden.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.golden import diff_metrics
+from repro.experiments.recovery import (GOLDEN_RECOVERY_SCALE,
+                                        collect_recovery_golden)
+
+pytestmark = pytest.mark.recovery
+
+FIXTURE = (Path(__file__).parent.parent / "fixtures" /
+           "recovery_golden.json")
+
+
+def test_recovery_matches_golden_fixture():
+    actual = collect_recovery_golden()
+    if os.environ.get("REPRO_UPDATE_GOLDEN") == "1":
+        FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+        FIXTURE.write_text(json.dumps(actual, indent=2, sort_keys=True)
+                           + "\n")
+        return
+    assert FIXTURE.exists(), (
+        f"{FIXTURE} missing; regenerate with REPRO_UPDATE_GOLDEN=1")
+    expected = json.loads(FIXTURE.read_text())
+    drift = diff_metrics(expected, actual)
+    assert not drift, (
+        "recovery golden drifted (REPRO_UPDATE_GOLDEN=1 regenerates "
+        "after review):\n  " + "\n  ".join(drift))
+
+
+def test_fixture_pins_the_interesting_resolutions():
+    # the pinned boundaries must keep exercising both resolution
+    # directions; a fixture where every crash rolls the same way has
+    # quietly lost its coverage
+    expected = json.loads(FIXTURE.read_text())
+    actions = set()
+    for episode in expected["crashes"].values():
+        assert episode["crashed"]
+        assert episode["converged"]
+        assert episode["consistency"] == []
+        actions.update(episode["resolutions"])
+    assert "rolled-back" in actions
+    assert "rolled-forward" in actions
+
+
+def test_fixture_scale_matches_code_constant():
+    expected = json.loads(FIXTURE.read_text())
+    scale = GOLDEN_RECOVERY_SCALE
+    assert expected["scale"] == {
+        "seed": scale["seed"], "n_objects": scale["n_objects"],
+        "checkpoint_every": scale["checkpoint_every"],
+        "crash_boundaries": list(scale["crash_boundaries"])}

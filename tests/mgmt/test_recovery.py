@@ -1,0 +1,272 @@
+"""Crash/recovery semantics: per-op roll-forward/roll-back, and the
+durability gate's byte-exactness (durability=None changes nothing)."""
+
+import pytest
+
+from repro.cluster import BackendServer, paper_testbed_specs
+from repro.content import ContentItem, ContentType, DocTree
+from repro.core import UrlTable
+from repro.mgmt import (Broker, Controller, ControllerCrashed,
+                        ControllerDurability, CrashPlan, DurabilityConfig,
+                        recover)
+from repro.net import Lan, Nic
+from repro.sim import Simulator
+
+
+def item(path, size=8192, ctype=ContentType.HTML, **kw):
+    return ContentItem(path, size, ctype, **kw)
+
+
+def build(n_nodes=3, durability=True, crash_plan=None):
+    sim = Simulator()
+    lan = Lan(sim)
+    specs = paper_testbed_specs()[:n_nodes]
+    servers = {s.name: BackendServer(sim, lan, s) for s in specs}
+    controller_nic = Nic(sim, 100, name="controller")
+    controller = Controller(sim, controller_nic, UrlTable(), DocTree())
+    registry: dict[str, Broker] = {}
+    for server in servers.values():
+        broker = Broker(sim, lan, server, controller_nic, registry)
+        controller.register_broker(broker)
+    dur = None
+    if durability:
+        dur = ControllerDurability(DurabilityConfig(recovery_grace=0.3))
+        dur.attach(controller)
+        dur.crash_plan = crash_plan
+    return sim, servers, controller, dur
+
+
+def run_op(sim, controller, op):
+    proc = sim.process(op)
+    sim.run()
+    return proc.value
+
+
+def crash_then_recover(sim, controller, op, *, restart_delay=0.5):
+    """Drive ``op`` expecting a planned crash; restart + recover."""
+    state = {}
+
+    def driver():
+        try:
+            yield from op
+            state["completed"] = True
+        except ControllerCrashed:
+            state["interrupted"] = True
+            yield sim.timeout(restart_delay)
+            controller.restart()
+            state["report"] = yield from recover(controller)
+
+    sim.process(driver())
+    sim.run()
+    return state
+
+
+def resolution_actions(report):
+    return [(r["op"], r["action"]) for r in report.resolutions]
+
+
+class TestPlacementRecovery:
+    # boundary map for a single place op on a fresh controller:
+    # 1=wal:intent  2=wal:dispatch  3=deliver  4=wal:apply  5=wal:commit
+
+    def test_crash_before_delivery_rolls_back(self):
+        sim, servers, controller, dur = build(
+            crash_plan=CrashPlan(at_boundary=2))
+        node = sorted(servers)[0]
+        doc = item("/r/p.html")
+        state = crash_then_recover(sim, controller,
+                                   controller.place(doc, node))
+        assert state.get("interrupted")
+        assert resolution_actions(state["report"]) == \
+            [("place", "rolled-back")]
+        assert doc.path not in controller.url_table
+        assert not servers[node].holds(doc.path)
+        assert state["report"].clean
+
+    def test_crash_after_delivery_rolls_forward(self):
+        sim, servers, controller, dur = build(
+            crash_plan=CrashPlan(at_boundary=3))
+        node = sorted(servers)[0]
+        doc = item("/r/p.html")
+        state = crash_then_recover(sim, controller,
+                                   controller.place(doc, node))
+        assert resolution_actions(state["report"]) == \
+            [("place", "rolled-forward")]
+        assert controller.url_table.locations(doc.path) == {node}
+        assert servers[node].holds(doc.path)
+        assert state["report"].clean
+
+    def test_crash_between_apply_log_and_mutation_is_already_applied(self):
+        sim, servers, controller, dur = build(
+            crash_plan=CrashPlan(at_boundary=4))
+        node = sorted(servers)[0]
+        doc = item("/r/p.html")
+        state = crash_then_recover(sim, controller,
+                                   controller.place(doc, node))
+        # the apply record replays the route; resolution finds it applied
+        assert resolution_actions(state["report"]) == \
+            [("place", "already-applied")]
+        assert controller.url_table.locations(doc.path) == {node}
+        assert state["report"].clean
+
+    def test_recovery_is_idempotent_across_passes(self):
+        sim, servers, controller, dur = build(
+            crash_plan=CrashPlan(at_boundary=3))
+        node = sorted(servers)[0]
+        doc = item("/r/p.html")
+        state = crash_then_recover(sim, controller,
+                                   controller.place(doc, node))
+        assert state["report"].clean
+        second = run_op(sim, controller, recover(controller))
+        assert second.open_intents == 0
+        assert second.clean
+
+
+class TestOffloadRecovery:
+    def test_crash_mid_offload_rolls_back_when_still_routed(self):
+        # offload boundaries: 1=intent, 2=apply(route-drop), then the
+        # route mutation happens, 3=dispatch, 4=deliver, 5=commit.
+        # crash at 1: route never dropped -> rolled back, copy kept.
+        sim, servers, controller, _ = build()
+        nodes = sorted(servers)
+        doc = item("/r/o.html")
+        run_op(sim, controller, controller.place(doc, nodes[0]))
+        run_op(sim, controller, controller.replicate(doc.path, nodes[1]))
+        dur = controller.durability
+        base = dur.boundaries
+        dur.crash_plan = CrashPlan(at_boundary=base + 1)
+        state = crash_then_recover(sim, controller,
+                                   controller.offload(doc.path, nodes[0]))
+        assert resolution_actions(state["report"]) == \
+            [("offload", "rolled-back")]
+        assert controller.url_table.locations(doc.path) == set(nodes[:2])
+        assert servers[nodes[0]].holds(doc.path)
+        assert state["report"].clean
+
+    def test_crash_after_route_drop_redrives_delete(self):
+        sim, servers, controller, _ = build()
+        nodes = sorted(servers)
+        doc = item("/r/o.html")
+        run_op(sim, controller, controller.place(doc, nodes[0]))
+        run_op(sim, controller, controller.replicate(doc.path, nodes[1]))
+        dur = controller.durability
+        # crash right after the route-drop apply record lands
+        dur.crash_plan = CrashPlan(at_boundary=dur.boundaries + 2)
+        state = crash_then_recover(sim, controller,
+                                   controller.offload(doc.path, nodes[0]))
+        assert resolution_actions(state["report"]) == \
+            [("offload", "rolled-forward")]
+        assert controller.url_table.locations(doc.path) == {nodes[1]}
+        assert not servers[nodes[0]].holds(doc.path)
+        assert state["report"].clean
+
+
+class TestUpdateRenameRemoveRecovery:
+    def test_crash_mid_update_repushes_to_all_replicas(self):
+        sim, servers, controller, _ = build()
+        nodes = sorted(servers)
+        doc = item("/r/u.html", mutable=True)
+        run_op(sim, controller, controller.place(doc, nodes[0]))
+        run_op(sim, controller, controller.replicate(doc.path, nodes[1]))
+        dur = controller.durability
+        dur.crash_plan = CrashPlan(at_boundary=dur.boundaries + 4)
+        bigger = item("/r/u.html", size=20000, mutable=True)
+        state = crash_then_recover(sim, controller,
+                                   controller.update_content(bigger))
+        assert resolution_actions(state["report"]) == \
+            [("update", "rolled-forward")]
+        assert controller.url_table.record(doc.path).item.size_bytes == \
+            20000
+        assert state["report"].clean
+
+    def test_crash_mid_rename_completes_rename(self):
+        sim, servers, controller, _ = build()
+        nodes = sorted(servers)
+        doc = item("/r/old.html")
+        run_op(sim, controller, controller.place(doc, nodes[0]))
+        dur = controller.durability
+        dur.crash_plan = CrashPlan(at_boundary=dur.boundaries + 3)
+        new = item("/r/new.html")
+        state = crash_then_recover(
+            sim, controller, controller.rename_document(doc.path, new))
+        assert resolution_actions(state["report"]) == \
+            [("rename", "rolled-forward")]
+        assert "/r/new.html" in controller.url_table
+        assert "/r/old.html" not in controller.url_table
+        assert servers[nodes[0]].holds("/r/new.html")
+        assert state["report"].clean
+
+    def test_crash_mid_remove_completes_removal(self):
+        sim, servers, controller, _ = build()
+        nodes = sorted(servers)
+        doc = item("/r/gone.html")
+        run_op(sim, controller, controller.place(doc, nodes[0]))
+        run_op(sim, controller, controller.replicate(doc.path, nodes[1]))
+        dur = controller.durability
+        dur.crash_plan = CrashPlan(at_boundary=dur.boundaries + 3)
+        state = crash_then_recover(sim, controller,
+                                   controller.remove_document(doc.path))
+        assert resolution_actions(state["report"]) == \
+            [("remove", "rolled-forward")]
+        assert doc.path not in controller.url_table
+        assert not servers[nodes[0]].holds(doc.path)
+        assert not servers[nodes[1]].holds(doc.path)
+        assert state["report"].clean
+
+
+class TestCrashSemantics:
+    def test_execute_on_crashed_controller_raises(self):
+        sim, servers, controller, _ = build()
+        controller.crash()
+        node = sorted(servers)[0]
+        gen = controller.place(item("/x.html"), node)
+        with pytest.raises(ControllerCrashed):
+            next(gen)
+
+    def test_crash_and_restart_are_idempotent(self):
+        sim, servers, controller, _ = build()
+        controller.crash()
+        controller.crash()
+        assert controller.crashes == 1
+        controller.restart()
+        controller.restart()
+        assert controller.restarts == 1
+        assert controller.alive
+
+    def test_recover_requires_alive_controller(self):
+        sim, servers, controller, _ = build()
+        controller.crash()
+        with pytest.raises(ValueError):
+            next(recover(controller))
+
+    def test_recover_requires_durability(self):
+        sim, servers, controller, _ = build(durability=False)
+        with pytest.raises(ValueError):
+            next(recover(controller))
+
+
+class TestDurabilityGating:
+    """durability=None must not perturb the simulation at all."""
+
+    def _script(self, durability):
+        sim, servers, controller, _ = build(durability=durability)
+        nodes = sorted(servers)
+        doc = item("/g/a.html", mutable=True)
+        run_op(sim, controller, controller.place(doc, nodes[0]))
+        run_op(sim, controller, controller.replicate(doc.path, nodes[1]))
+        run_op(sim, controller,
+               controller.update_content(item("/g/a.html", 16000,
+                                              mutable=True)))
+        run_op(sim, controller, controller.offload(doc.path, nodes[0]))
+        run_op(sim, controller, controller.remove_document(doc.path))
+        return sim, controller
+
+    def test_event_sequence_identical_with_and_without_durability(self):
+        # WAL appends are pure bookkeeping (no simulated events), so the
+        # gated path must reproduce the ungated timeline exactly
+        sim_off, ctl_off = self._script(durability=False)
+        sim_on, ctl_on = self._script(durability=True)
+        assert sim_on.now == sim_off.now
+        assert sim_on.event_count == sim_off.event_count
+        assert ctl_on.log == ctl_off.log
+        assert ctl_on.dispatches == ctl_off.dispatches
