@@ -2,7 +2,8 @@ PYTHON ?= python
 PYTHONPATH := src
 
 .PHONY: verify test check check-deep chaos-smoke chaos chaos-overload \
-	trace golden bench sweep sweep-smoke recover recover-smoke
+	trace telemetry telemetry-smoke golden bench sweep sweep-smoke \
+	recover recover-smoke
 
 ## The full tier-1 gate: unit/integration tests, the repro.analysis
 ## correctness passes, and the chaos smoke episodes.
@@ -32,6 +33,16 @@ chaos-overload:
 ## The traced overload episode: trace summary + per-request waterfall.
 trace:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro trace --seed 1
+
+## The telemetry dashboard for the overload episode (DESIGN §15):
+## windowed series, scheduler introspection, SLO verdicts.
+telemetry:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro top --seed 1
+
+## CI smoke: the telemetry test battery (sampler/SLO consistency,
+## byte-determinism, probe zero-perturbation).
+telemetry-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q -m telemetry
 
 ## Kernel fast-path wall-clock benchmark (writes BENCH_kernel.json).
 ## Not part of tier-1: wall-clock numbers are host-dependent.

@@ -10,6 +10,10 @@ Commands
 ``chaos``     seeded fault-injection episodes (exit 1 if any fails)
 ``overload``  flash-crowd + slow-disk overload episode (exit 1 on failure)
 ``trace``     traced overload episode: summary, waterfall, JSONL/Chrome export
+``telemetry`` sampled overload episode: windowed series as JSONL or
+              Prometheus text format (DESIGN §15)
+``top``       telemetry dashboard for the overload episode: totals, gauges,
+              scheduler introspection, SLO verdicts
 ``bench``     kernel fast-path wall-clock benchmark -> BENCH_kernel.json
 ``recover``   controller crash/recovery episode; ``--explore`` crashes the
               controller at every WAL/dispatch boundary (DESIGN §14)
@@ -242,6 +246,50 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0 if result.survived else 1
 
 
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    from .experiments.chaos import run_overload_episode
+    from .obs import (render_windows, telemetry_to_jsonl,
+                      telemetry_to_prometheus)
+    result = run_overload_episode(
+        seed=args.seed, duration=args.duration, clients=args.clients,
+        n_objects=args.objects, settle=args.settle,
+        multiplier=args.multiplier, telemetry=args.window)
+    sampler = result.telemetry
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="utf-8") as fh:
+            fh.write(telemetry_to_jsonl(sampler, include_host=args.host))
+        print(f"wrote {len(sampler.windows)} windows + summary "
+              f"to {args.jsonl}")
+    if args.prom:
+        with open(args.prom, "w", encoding="utf-8") as fh:
+            fh.write(telemetry_to_prometheus(sampler))
+        print(f"wrote Prometheus text format to {args.prom}")
+    if args.per_window or not (args.jsonl or args.prom):
+        print(render_windows(sampler))
+    summary = sampler.summary()
+    print(f"{summary['windows']} windows x {summary['window_s']:g}s, "
+          f"{summary['events_total']} events, "
+          f"peak {summary['peak_events_per_sec']:.0f} ev/s")
+    return 0 if result.survived else 1
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from .experiments.chaos import run_overload_episode
+    from .obs import render_top, render_windows
+    result = run_overload_episode(
+        seed=args.seed, duration=args.duration, clients=args.clients,
+        n_objects=args.objects, settle=args.settle,
+        multiplier=args.multiplier, telemetry=args.window,
+        kernel_stats=True)
+    if args.watch:
+        print(render_windows(result.telemetry))
+        print()
+    print(render_top(result.telemetry, kernel_stats=result.kernel_stats,
+                     slo_results=result.slo_results,
+                     title=f"overload episode seed={args.seed}"))
+    return 0 if result.survived and result.slo_ok else 1
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -450,6 +498,46 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a Chrome trace-event file (load in "
                             "chrome://tracing or Perfetto)")
     p_trc.set_defaults(func=cmd_trace)
+
+    def episode_opts(p):
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--duration", type=float, default=6.0,
+                       help="simulated seconds of load")
+        p.add_argument("--clients", type=int, default=10)
+        p.add_argument("--multiplier", type=float, default=4.0,
+                       help="flash-crowd client multiplier")
+        p.add_argument("--objects", type=int, default=300)
+        p.add_argument("--settle", type=float, default=2.5)
+        p.add_argument("--window", type=float, default=0.5,
+                       help="telemetry window length (sim seconds)")
+
+    p_tel = sub.add_parser("telemetry",
+                           help="run the overload episode with windowed "
+                                "telemetry sampling and export the series")
+    episode_opts(p_tel)
+    p_tel.add_argument("--jsonl", default=None,
+                       help="write one JSON object per window (plus a "
+                            "summary record) to this file")
+    p_tel.add_argument("--prom", default=None,
+                       help="write Prometheus text exposition format "
+                            "to this file")
+    p_tel.add_argument("--per-window", action="store_true",
+                       help="also print the per-window dump when writing "
+                            "export files")
+    p_tel.add_argument("--host", action="store_true",
+                       help="include host RSS readings in the JSONL "
+                            "(breaks byte-determinism across machines)")
+    p_tel.set_defaults(func=cmd_telemetry)
+
+    p_top = sub.add_parser("top",
+                           help="telemetry dashboard for the overload "
+                                "episode: totals, gauges, scheduler "
+                                "introspection, SLO verdicts")
+    episode_opts(p_top)
+    p_top.add_argument("--watch", action="store_true",
+                       help="print the per-window dump above the "
+                            "dashboard (a --watch-style timeline)")
+    p_top.set_defaults(func=cmd_top)
 
     p_bch = sub.add_parser("bench",
                            help="benchmark the kernel fast path against "

@@ -101,6 +101,16 @@ GATES: tuple[GateSpec, ...] = (
     GateSpec("recover_state", "GATE002", callable_gate=True,
              describe="takeover state-recovery hook"),
     GateSpec("crash_plan", "GATE002", describe="crash-point plan"),
+    # kernel telemetry plane (DESIGN §15): both observers hang off the
+    # simulator as None-gated hooks; only the hot-loop probe API needs
+    # the guard (post-run reads of reports/series are consumer-only)
+    GateSpec("kernel_stats", "GATE002",
+             api=("on_scheduled", "on_fired", "on_cancelled",
+                  "on_pool_recycle", "on_fast_path"),
+             describe="kernel scheduler introspection"),
+    GateSpec("telemetry", "GATE002",
+             api=("on_event", "add_gauge", "add_cumulative", "finalize"),
+             describe="telemetry sampler"),
 )
 
 FAST_PATH_ATTR = "fast_path"

@@ -50,6 +50,12 @@ class LruCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    @property
+    def lookups(self) -> int:
+        """Total cache probes (monotone; telemetry samples this as a
+        cumulative source so per-window deltas are probe counts)."""
+        return self.hits + self.misses
+
     def access(self, key: str) -> bool:
         """Record an access; returns True on hit (and freshens recency)."""
         if key in self._entries:

@@ -44,13 +44,18 @@ class Cpu:
         """Execute a burst; use ``yield from cpu.run(...)`` inside a process."""
         duration = self.scaled(reference_seconds)
         core = self._core
+        ks = self.sim.kernel_stats
         if self.sim.fast_path and core.can_acquire:
+            if ks is not None:
+                ks.on_fast_path("cpu", True)
             req = core.try_acquire()
             try:
                 yield self.sim.hot_timeout(duration)
             finally:
                 core.release(req)
         else:
+            if ks is not None and self.sim.fast_path:
+                ks.on_fast_path("cpu", False)
             req = yield core.request()
             try:
                 yield self.sim.timeout(duration)

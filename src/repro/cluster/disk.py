@@ -49,13 +49,18 @@ class Disk:
         exact event interleaving.
         """
         arm = self._arm
+        ks = self.sim.kernel_stats
         if self.sim.fast_path and self.slowdown == 1.0 and arm.can_acquire:
+            if ks is not None:
+                ks.on_fast_path("disk", True)
             req = arm.try_acquire()
             try:
                 yield self.sim.hot_timeout(duration)
             finally:
                 arm.release(req)
         else:
+            if ks is not None and self.sim.fast_path:
+                ks.on_fast_path("disk", False)
             req = yield arm.request()
             try:
                 yield self.sim.timeout(duration)

@@ -99,6 +99,18 @@ class BackendServer:
     def holds(self, path: str) -> bool:
         return path in self.store
 
+    def telemetry_gauges(self) -> dict:
+        """Read-only instantaneous signals for the telemetry sampler.
+
+        Strictly observational: every value is computed from existing
+        counters, so sampling cannot perturb the event timeline.
+        """
+        return {
+            "cache_hit_rate": self.cache.hit_rate,
+            "cpu_utilization": self.cpu.utilization(),
+            "disk_utilization": self.disk.utilization(),
+        }
+
     def _cpu_cost_factor(self) -> float:
         return self.costs.os_nt_penalty if self.spec.os == "nt" else 1.0
 

@@ -367,6 +367,21 @@ class BreakerBoard:
         self.mgmt_timeouts[node] = self.mgmt_timeouts.get(node, 0) + 1
         self.breaker(node).record_failure()
 
+    def state_of(self, node: str) -> str:
+        """A breaker's state *without* creating it (absent = "closed").
+
+        Telemetry probes sample through here: a read-only observer must
+        never materialize a breaker, or enabling telemetry would change
+        :meth:`snapshot` and the lazy-creation event flow.
+        """
+        b = self._breakers.get(node)
+        return b.state if b is not None else "closed"
+
+    def open_count(self) -> int:
+        """How many breakers are currently open or probing (non-creating)."""
+        return sum(1 for b in self._breakers.values()
+                   if b.state in ("open", "half-open"))
+
     def all_closed(self) -> bool:
         return all(b.state in ("closed", "disabled")
                    for b in self._breakers.values())

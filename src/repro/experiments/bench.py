@@ -40,6 +40,7 @@ from typing import Callable, Optional
 from ..content import ContentItem, ContentType
 from ..core import SplicingDistributor, UrlTable
 from ..net import Address, Host, HttpRequest, HttpResponse, Network, TcpState
+from ..obs import KernelStats, attribute_profile, peak_rss_kb
 from ..sim import RngStream, Simulator
 from ..workload import WORKLOAD_A, WORKLOAD_B
 from .testbed import ExperimentConfig, build_deployment
@@ -104,15 +105,17 @@ def _openloop_schedule(rate: float, duration: float,
 
 def run_openloop_splice(rate: float = 400.0, duration: float = 2.0,
                         seed: int = 42, fast_path: bool = False,
-                        prefork: int = 8, mss: int = 1460) -> dict:
+                        prefork: int = 8, mss: int = 1460,
+                        kernel_stats: Optional[KernelStats] = None) -> dict:
     """Drive an open-loop client fleet through the splicing distributor.
 
     Returns a result dict whose ``"digest"`` covers every simulated
     observable (completions, bytes, segment counts, relay counters, and
     the full per-request completion timeline) and must be byte-identical
-    between the segment path and the fast path.
+    between the segment path and the fast path -- and between a plain run
+    and one probed with ``kernel_stats``.
     """
-    sim = Simulator(fast_path=fast_path)
+    sim = Simulator(fast_path=fast_path, kernel_stats=kernel_stats)
     net = Network(sim)
     table = UrlTable()
     sizes = {}
@@ -210,61 +213,79 @@ def run_openloop_splice(rate: float = 400.0, duration: float = 2.0,
 # -- request-level stages ---------------------------------------------------
 
 def _run_cell(workload, clients: int, duration: float, warmup: float,
-              seed: int, fast_path: bool) -> dict:
+              seed: int, fast_path: bool,
+              kernel_stats: bool = False) -> dict:
     config = ExperimentConfig(scheme="partition-ca", workload=workload,
                               duration=duration, warmup=warmup, seed=seed,
-                              fast_path=fast_path)
+                              fast_path=fast_path, kernel_stats=kernel_stats)
     deployment = build_deployment(config)
     wall = time.perf_counter()           # det: allow[wall-clock] -- bench
     summary = deployment.run(clients)
     wall = time.perf_counter() - wall    # det: allow[wall-clock] -- bench
-    return {
+    # observability summaries are additive keys; strip them so the digest
+    # compares only simulated observables (probe run == plain run)
+    stats = summary.pop("kernel_stats", None)
+    summary.pop("telemetry", None)
+    out = {
         "digest": json.dumps(summary, sort_keys=True, default=repr),
         "wall_s": wall,
         "events": deployment.sim.event_count,
         "requests": summary["completed"],
         "sim_seconds": duration,
     }
+    if stats is not None:
+        out["kernel_stats"] = stats
+    return out
 
 
-def _run_overload(scale: dict, seed: int, fast_path: bool) -> dict:
+def _run_overload(scale: dict, seed: int, fast_path: bool,
+                  kernel_stats: bool = False) -> dict:
     # local import: repro.experiments.chaos pulls in the chaos harness
     from .chaos import run_overload_episode
     wall = time.perf_counter()           # det: allow[wall-clock] -- bench
     result = run_overload_episode(
         seed=seed, duration=scale["ovl_duration"],
         clients=scale["ovl_clients"], n_objects=scale["ovl_objects"],
-        settle=scale["ovl_settle"], fast_path=fast_path)
+        settle=scale["ovl_settle"], fast_path=fast_path,
+        kernel_stats=kernel_stats)
     wall = time.perf_counter() - wall    # det: allow[wall-clock] -- bench
-    return {
+    out = {
         "digest": result.report(),
         "wall_s": wall,
         "events": result.events,
         "requests": result.completed,
         "sim_seconds": scale["ovl_duration"] + scale["ovl_settle"],
     }
+    if result.kernel_stats is not None:
+        out["kernel_stats"] = result.kernel_stats
+    return out
 
 
-def _stage_openloop(scale, seed, fast_path):
-    return run_openloop_splice(rate=scale["rate"],
-                               duration=scale["openloop_duration"],
-                               seed=seed, fast_path=fast_path)
+def _stage_openloop(scale, seed, fast_path, kernel_stats=False):
+    ks = KernelStats(callsites=True) if kernel_stats else None
+    out = run_openloop_splice(rate=scale["rate"],
+                              duration=scale["openloop_duration"],
+                              seed=seed, fast_path=fast_path,
+                              kernel_stats=ks)
+    if ks is not None:
+        out["kernel_stats"] = ks.report(top=8)
+    return out
 
 
-def _stage_fig2(scale, seed, fast_path):
+def _stage_fig2(scale, seed, fast_path, kernel_stats=False):
     return _run_cell(WORKLOAD_A, scale["fig_clients"],
                      scale["fig_duration"], scale["fig_warmup"],
-                     seed, fast_path)
+                     seed, fast_path, kernel_stats=kernel_stats)
 
 
-def _stage_fig3(scale, seed, fast_path):
+def _stage_fig3(scale, seed, fast_path, kernel_stats=False):
     return _run_cell(WORKLOAD_B, scale["fig_clients"],
                      scale["fig_duration"], scale["fig_warmup"],
-                     seed, fast_path)
+                     seed, fast_path, kernel_stats=kernel_stats)
 
 
-def _stage_overload(scale, seed, fast_path):
-    return _run_overload(scale, seed, fast_path)
+def _stage_overload(scale, seed, fast_path, kernel_stats=False):
+    return _run_overload(scale, seed, fast_path, kernel_stats=kernel_stats)
 
 
 BENCH_STAGES: dict[str, Callable] = {
@@ -278,17 +299,30 @@ BENCH_STAGES: dict[str, Callable] = {
 # -- harness ---------------------------------------------------------------
 
 def run_stage(name: str, scale: dict, seed: int) -> dict:
-    """Run one stage on both paths; return its BENCH_kernel.json entry."""
+    """Run one stage on both paths; return its BENCH_kernel.json entry.
+
+    A third *probe* run repeats the fast path with scheduler introspection
+    (:class:`~repro.obs.telemetry.KernelStats`) attached; its digest must
+    match the timed fast run -- the instrumentation's zero-perturbation
+    contract, folded into ``identical`` -- and it supplies the per-stage
+    event-class/callsite attribution, heap high-water, and peak RSS.
+    """
     fn = BENCH_STAGES[name]
     segment = fn(scale, seed, False)
     fast = fn(scale, seed, True)
+    probe = fn(scale, seed, True, kernel_stats=True)
     wall_seg, wall_fast = segment["wall_s"], fast["wall_s"]
+    stats = probe["kernel_stats"]
     return {
         "events": {"fast": fast["events"], "segment": segment["events"]},
         "events_per_sec": {
             "fast": round(fast["events"] / wall_fast, 1),
             "segment": round(segment["events"] / wall_seg, 1)},
-        "identical": segment["digest"] == fast["digest"],
+        "heap_high_water": stats["heap_high_water"],
+        "identical": (segment["digest"] == fast["digest"]
+                      and probe["digest"] == fast["digest"]),
+        "kernel_stats": stats,
+        "peak_rss_kb": peak_rss_kb(),
         "requests": segment["requests"],
         "sim_requests_per_sec": {
             "fast": round(fast["requests"] / wall_fast, 1),
@@ -306,9 +340,10 @@ def run_bench(stages: Optional[list[str]] = None, scale: str = "default",
     """Run the benchmark; return the BENCH_kernel.json payload.
 
     With ``profile`` set, the slowest stage (by segment-path wall time) is
-    re-run on the fast path under :mod:`cProfile` and the pstats dump is
-    written to that file -- the starting point for the next optimization
-    round.
+    re-run on the fast path under :mod:`cProfile`; the pstats dump is
+    written to that file and the payload gains a ``profile`` section with
+    per-subsystem time attribution (sim kernel / net / splicer / cluster /
+    obs / ...) -- the starting point for the next optimization round.
     """
     if stages is None:
         stages = list(BENCH_STAGES)
@@ -339,7 +374,9 @@ def run_bench(stages: Optional[list[str]] = None, scale: str = "default",
         BENCH_STAGES[slowest](params, seed, True)
         profiler.disable()
         profiler.dump_stats(profile)
-        payload["profile"] = {"stage": slowest, "pstats": profile}
+        payload["profile"] = {"stage": slowest, "pstats": profile,
+                              "attribution": attribute_profile(profiler)}
+    payload["peak_rss_kb"] = peak_rss_kb()
     return payload
 
 

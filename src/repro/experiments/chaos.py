@@ -61,12 +61,22 @@ class EpisodeResult:
     finalize_done: bool
     #: flight-recorder dump captured when the episode failed (traced runs)
     timeline: str = ""
+    #: repro.obs SLO verdicts (empty unless the runner samples telemetry);
+    #: reported alongside survival, never folded into it -- an episode can
+    #: survive its faults and still blow its latency objective
+    slo_results: list = dataclasses.field(default_factory=list)
+    #: whole-run telemetry aggregate (empty unless sampled)
+    telemetry_summary: dict = dataclasses.field(default_factory=dict)
 
     @property
     def survived(self) -> bool:
         return (self.completed > 0 and not self.stuck_clients and
                 not self.invariant_violations and not self.leak_violations
                 and self.audit_clean and self.finalize_done)
+
+    @property
+    def slo_ok(self) -> bool:
+        return all(r["ok"] for r in self.slo_results)
 
     def failure_summary(self) -> str:
         reasons = []
@@ -93,7 +103,8 @@ class ChaosRunner:
                  duration: float = 6.0, clients: int = 10,
                  n_objects: int = 300, settle: float = 2.5,
                  extra_faults: int = 2, trace: bool = False,
-                 fast_path: bool = False):
+                 fast_path: bool = False,
+                 telemetry: Optional[float] = None):
         if episodes < 1:
             raise ValueError("need at least one episode")
         if duration <= 1.0:
@@ -111,6 +122,9 @@ class ChaosRunner:
         #: run every episode on the kernel fast path (byte-identical
         #: outcomes; the equivalence suite pins this)
         self.fast_path = fast_path
+        #: sample windowed telemetry with this window length (sim seconds)
+        #: and evaluate the chaos SLOs per episode; None = off
+        self.telemetry = telemetry
         self.results: list[EpisodeResult] = []
 
     # -- one episode --------------------------------------------------------
@@ -174,6 +188,15 @@ class ChaosRunner:
                           warmup=config.warmup,
                           think_time=config.workload.think_time,
                           rng=ep_rng.substream("rig"))
+        telemetry = None
+        if self.telemetry is not None:
+            # episodes drive their own rig, so wiring happens here rather
+            # than in build_deployment (local import keeps obs optional)
+            from ..obs import TelemetrySampler
+            from .testbed import wire_telemetry
+            telemetry = TelemetrySampler(window=self.telemetry).attach(sim)
+            wire_telemetry(telemetry, deployment, rig=rig)
+            deployment.telemetry = telemetry
         targets = ChaosTargets(sim=sim, lan=lan, servers=servers,
                                pair=pair, brokers=registry,
                                loss_rng=ep_rng.substream("loss"),
@@ -232,6 +255,16 @@ class ChaosRunner:
         audit = finalize.get("audit", {})
         audit_clean = bool(audit) and not audit.get("missing") and \
             not audit.get("orphaned")
+        slo_results: list = []
+        telemetry_summary: dict = {}
+        if telemetry is not None:
+            from ..obs import (DEFAULT_CHAOS_SLOS, evaluate_slos,
+                               slo_metrics_from_rig)
+            telemetry.finalize(sim.now)
+            telemetry_summary = telemetry.summary()
+            slo_results = evaluate_slos(DEFAULT_CHAOS_SLOS,
+                                        slo_metrics_from_rig(rig),
+                                        telemetry)
         result = EpisodeResult(
             episode=index,
             schedule=schedule,
@@ -245,7 +278,9 @@ class ChaosRunner:
             leak_violations=leaks,
             audit_clean=audit_clean,
             reconciled=finalize.get("reconciled", False),
-            finalize_done=finalize.get("done", False))
+            finalize_done=finalize.get("done", False),
+            slo_results=slo_results,
+            telemetry_summary=telemetry_summary)
         if tracer is not None and not result.survived:
             # the failed episode's last moments, for the postmortem
             result.timeline = tracer.recorder.render()
@@ -292,6 +327,13 @@ class ChaosRunner:
                 f"{' failover' if result.failed_over else ''}"
                 f"{' reconciled' if result.reconciled else ''}  "
                 f"{result.schedule.describe()}")
+            if result.slo_results:
+                passed = sum(1 for r in result.slo_results if r["ok"])
+                verdicts = " ".join(
+                    f"{r['name']}={'ok' if r['ok'] else 'FAIL'}"
+                    for r in result.slo_results)
+                lines.append(f"            slo {passed}/"
+                             f"{len(result.slo_results)}: {verdicts}")
             if not result.survived:
                 lines.append(f"            {result.failure_summary()}")
                 if result.timeline:
@@ -358,10 +400,21 @@ class OverloadEpisodeResult:
     #: kernel events scheduled over the episode (``Simulator.event_count``);
     #: used by the benchmark harness, not part of the outcome table
     events: int = 0
+    #: the episode's repro.obs TelemetrySampler (None unless sampled)
+    telemetry: Optional[object] = None
+    #: SLO verdicts (empty unless telemetry/SLOs were requested); reported
+    #: alongside survival, never folded into it
+    slo_results: list = dataclasses.field(default_factory=list)
+    #: scheduler introspection report (None unless ``kernel_stats=True``)
+    kernel_stats: Optional[dict] = None
 
     @property
     def goodput(self) -> float:
         return self.completed / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def slo_ok(self) -> bool:
+        return all(r["ok"] for r in self.slo_results)
 
     @property
     def bounds_held(self) -> bool:
@@ -438,6 +491,12 @@ class OverloadEpisodeResult:
                 f"  client error statuses: "
                 f"{dict(sorted(self.error_statuses.items(), key=repr))}",
             ]
+        for res in self.slo_results:
+            verdict = "PASS" if res["ok"] else "FAIL"
+            shown = f"{res['value']:g}" if res["value"] is not None else "n/a"
+            lines.append(f"  slo [{verdict}] {res['name']}: "
+                         f"{res['metric']}={shown} {res['op']} "
+                         f"{res['threshold']:g}")
         status = "SURVIVED" if self.survived else \
             f"FAILED -- {self.failure_summary()}"
         lines.append(f"  {status}")
@@ -452,7 +511,10 @@ def run_overload_episode(seed: int = 1, duration: float = 6.0,
                          config: OverloadConfig = OVERLOAD_EPISODE_CONFIG,
                          enabled: bool = True,
                          trace: bool = False,
-                         fast_path: bool = False) -> OverloadEpisodeResult:
+                         fast_path: bool = False,
+                         telemetry: Optional[float] = None,
+                         slos=None,
+                         kernel_stats: bool = False) -> OverloadEpisodeResult:
     """One seeded flash-crowd + slow-disk episode against the HA testbed.
 
     A 4x client burst overruns the admission bounds (shedding), while a
@@ -465,13 +527,19 @@ def run_overload_episode(seed: int = 1, duration: float = 6.0,
 
     Caches start cold (``prewarm=False``); a prewarmed hot set would serve
     the whole episode from memory and the slow disk would never be felt.
+
+    ``telemetry`` samples the windowed series with that window length and
+    evaluates the overload SLOs (``slos`` overrides the default specs);
+    ``kernel_stats`` attaches the scheduler observer.  Both are passive:
+    the outcome table and the event timeline are byte-identical either
+    way.
     """
     exp = ExperimentConfig(
         scheme="partition-ca", workload=WORKLOAD_A, seed=seed,
         n_objects=n_objects, warmup=0.5, duration=duration,
         n_client_machines=6, prewarm=False,
         overload=config if enabled else None, trace=trace,
-        fast_path=fast_path)
+        fast_path=fast_path, kernel_stats=kernel_stats)
     deployment = build_deployment(exp)
     sim, lan, servers = deployment.sim, deployment.lan, deployment.servers
     primary = deployment.frontend
@@ -509,6 +577,15 @@ def run_overload_episode(seed: int = 1, duration: float = 6.0,
                       warmup=exp.warmup,
                       think_time=exp.workload.think_time,
                       rng=ep_rng.substream("rig"))
+    sampler = None
+    if telemetry is not None:
+        # the episode drives its own rig, so wiring happens here rather
+        # than in build_deployment (local import keeps obs optional)
+        from ..obs import TelemetrySampler
+        from .testbed import wire_telemetry
+        sampler = TelemetrySampler(window=telemetry).attach(sim)
+        wire_telemetry(sampler, deployment, rig=rig)
+        deployment.telemetry = sampler
     # the node holding the most content sees the most traffic -- slow
     # *its* disk, so breaker trips are all but guaranteed under the burst
     slow_node = max(sorted(servers),
@@ -551,6 +628,16 @@ def run_overload_episode(seed: int = 1, duration: float = 6.0,
 
     ctl = primary.overload
     count = primary.metrics.counter
+    shed = count("overload/shed").count
+    slo_results: list = []
+    if sampler is not None or slos is not None:
+        from ..obs import (DEFAULT_OVERLOAD_SLOS, evaluate_slos,
+                           slo_metrics_from_rig)
+        if sampler is not None:
+            sampler.finalize(sim.now)
+        specs = slos if slos is not None else DEFAULT_OVERLOAD_SLOS
+        slo_results = evaluate_slos(
+            specs, slo_metrics_from_rig(rig, shed=shed), sampler)
     result = OverloadEpisodeResult(
         seed=seed,
         enabled=enabled,
@@ -559,7 +646,7 @@ def run_overload_episode(seed: int = 1, duration: float = 6.0,
         completed=rig.meter.completions,
         errors=rig.errors,
         error_statuses=dict(rig.error_statuses),
-        shed=count("overload/shed").count,
+        shed=shed,
         degraded=count("overload/degraded").count,
         timeouts=count("overload/timeout").count,
         replica_retries=count("overload/replica-retry").count,
@@ -580,7 +667,11 @@ def run_overload_episode(seed: int = 1, duration: float = 6.0,
         leak_violations=leaks,
         config=config if enabled else None,
         tracer=tracer,
-        events=sim.event_count)
+        events=sim.event_count,
+        telemetry=sampler,
+        slo_results=slo_results,
+        kernel_stats=(deployment.kernel_stats.report()
+                      if deployment.kernel_stats is not None else None))
     if tracer is not None and not result.survived:
         result.timeline = tracer.recorder.render()
     return result

@@ -40,13 +40,18 @@ def collect_golden_metrics() -> dict:
     overhead = url_table_overhead(n_objects=scale["n_objects"],
                                   lookups=scale["lookups"],
                                   seed=scale["seed"])
-    from ..obs import TraceSummary
+    import hashlib
+
+    from ..obs import TraceSummary, telemetry_to_jsonl
     from .chaos import run_overload_episode
-    # the overload episode runs traced: because the tracer is passive, the
-    # overload counters must match an untraced run exactly -- the fixture
-    # itself pins the zero-perturbation contract -- and the span/event
-    # counts become the trace_summary golden surface
-    ovl = run_overload_episode(**GOLDEN_OVERLOAD_SCALE, trace=True)
+    # the overload episode runs traced AND telemetry-sampled: because
+    # both observers are passive, the overload counters must match a
+    # bare run exactly -- the fixture itself pins the zero-perturbation
+    # contract -- and the span/window counts become the trace_summary /
+    # telemetry_summary golden surfaces
+    ovl = run_overload_episode(**GOLDEN_OVERLOAD_SCALE, trace=True,
+                               telemetry=0.5)
+    tel = ovl.telemetry.summary()
     return {
         "scale": {"clients": list(scale["clients"]),
                   "duration": scale["duration"],
@@ -84,6 +89,18 @@ def collect_golden_metrics() -> dict:
             "survived": ovl.survived,
         },
         "trace_summary": TraceSummary.from_tracer(ovl.tracer).counts(),
+        "telemetry_summary": {
+            "windows": tel["windows"],
+            "events_total": tel["events_total"],
+            "peak_events_per_sec": round(tel["peak_events_per_sec"], 4),
+            "totals": {k: tel["totals"][k] for k in sorted(tel["totals"])},
+            # the sim-domain JSONL export is byte-deterministic; pinning
+            # its digest pins every window record at once
+            "jsonl_sha256": hashlib.sha256(
+                telemetry_to_jsonl(ovl.telemetry).encode()).hexdigest(),
+            "slo": [{"name": r["name"], "ok": r["ok"]}
+                    for r in ovl.slo_results],
+        },
     }
 
 

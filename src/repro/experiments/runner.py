@@ -36,7 +36,7 @@ class SweepResult:
 
     def columns(self) -> list[str]:
         extra = sorted({k for row in self.rows for k in row
-                        if k.startswith("class_")})
+                        if k.startswith(("class_", "telemetry_"))})
         return list(BASE_COLUMNS) + extra
 
     def as_table(self) -> list[list]:
@@ -58,6 +58,12 @@ def _flatten(summary: dict, n_clients: int) -> dict:
     }
     for klass, rps in summary.get("by_class", {}).items():
         row[f"class_{klass}_rps"] = rps
+    # additive: present only when the cell sampled windowed telemetry
+    # (ExperimentConfig(telemetry=...) via config overrides)
+    tel = summary.get("telemetry")
+    if tel is not None:
+        row["telemetry_windows"] = tel["windows"]
+        row["telemetry_peak_eps"] = tel["peak_events_per_sec"]
     return row
 
 

@@ -28,6 +28,7 @@ def _aggregates(cells: dict[str, dict]) -> dict:
     by_target: dict[str, dict] = {}
     survived = 0
     survival_runs = 0
+    slo = {"cells": 0, "checks": 0, "passed": 0, "all_ok": True}
     for cell_id in sorted(cells):
         entry = cells[cell_id]
         result = entry["result"]
@@ -40,7 +41,14 @@ def _aggregates(cells: dict[str, dict]) -> dict:
             survival_runs += 1
             if result["survived"]:
                 survived += 1
-    return {
+        verdicts = result.get("slo")
+        if verdicts is not None:
+            slo["cells"] += 1
+            slo["checks"] += len(verdicts)
+            slo["passed"] += sum(1 for v in verdicts if v["ok"])
+            if not result.get("slo_ok", True):
+                slo["all_ok"] = False
+    out = {
         "runs": len(cells),
         "completed": sum(t["completed"] for t in by_target.values()),
         "errors": sum(t["errors"] for t in by_target.values()),
@@ -53,6 +61,11 @@ def _aggregates(cells: dict[str, dict]) -> dict:
             [[cell_id, cells[cell_id]["result_sha256"]]
              for cell_id in sorted(cells)])),
     }
+    # additive: present only when >= 1 cell sampled telemetry, so reports
+    # of specs without it (and their pinned bytes) are unchanged
+    if slo["cells"]:
+        out["slo"] = slo
+    return out
 
 
 def merge_sweep(spec: SweepSpec, out_root: str | Path,
@@ -238,5 +251,10 @@ def render_report(report: dict) -> str:
                          rows)
     verdict = (f"survival: {survival['survived']}/{survival['runs']}"
                if survival["runs"] else "survival: n/a")
+    slo = aggregates.get("slo")
+    if slo is not None:
+        verdict += (f"\nslo: {slo['passed']}/{slo['checks']} checks passed "
+                    f"over {slo['cells']} cells"
+                    + ("" if slo["all_ok"] else " -- SLO FAILURES"))
     return f"{table}\n{verdict}\nmerge sha256: " \
            f"{aggregates['merge_sha256'][:16]}"

@@ -114,12 +114,14 @@ def _target_cell(params: dict) -> dict:
 
 _CHAOS_REQUIRED = frozenset({"seed"})
 _CHAOS_OPTIONAL = frozenset({"episodes", "duration", "clients", "n_objects",
-                             "settle", "extra_faults", "fast_path"})
+                             "settle", "extra_faults", "fast_path",
+                             "telemetry"})
 
 
 def _target_chaos(params: dict) -> dict:
     from ..chaos import ChaosRunner
     _check_params("chaos", params, _CHAOS_REQUIRED, _CHAOS_OPTIONAL)
+    telemetry = params.get("telemetry")
     runner = ChaosRunner(
         seed=params["seed"],
         episodes=params.get("episodes", 1),
@@ -128,7 +130,8 @@ def _target_chaos(params: dict) -> dict:
         n_objects=params.get("n_objects", 300),
         settle=params.get("settle", 2.5),
         extra_faults=params.get("extra_faults", 2),
-        fast_path=params.get("fast_path", False))
+        fast_path=params.get("fast_path", False),
+        telemetry=telemetry)
     runner.run()
     episodes = [{"episode": r.episode,
                  "survived": r.survived,
@@ -139,23 +142,34 @@ def _target_chaos(params: dict) -> dict:
                  "reconciled": r.reconciled,
                  "schedule": r.schedule.describe()}
                 for r in runner.results]
-    return {"completed": sum(e["completed"] for e in episodes),
-            "errors": sum(e["errors"] for e in episodes),
-            "survived": runner.all_survived,
-            "episodes": episodes,
-            "report": runner.report()}
+    out = {"completed": sum(e["completed"] for e in episodes),
+           "errors": sum(e["errors"] for e in episodes),
+           "survived": runner.all_survived,
+           "episodes": episodes,
+           "report": runner.report()}
+    if telemetry is not None:
+        # additive keys: only cells that opt into telemetry carry them,
+        # so specs without it keep byte-identical artifacts and digests
+        out["slo"] = jsonify([res for r in runner.results
+                              for res in r.slo_results])
+        out["slo_ok"] = all(r.slo_ok for r in runner.results)
+        out["telemetry"] = jsonify([r.telemetry_summary
+                                    for r in runner.results])
+    return out
 
 
 # -- overload: the flash-crowd + slow-disk graceful-degradation episode -----
 
 _OVERLOAD_REQUIRED = frozenset({"seed"})
 _OVERLOAD_OPTIONAL = frozenset({"duration", "clients", "n_objects", "settle",
-                                "multiplier", "enabled", "fast_path"})
+                                "multiplier", "enabled", "fast_path",
+                                "telemetry"})
 
 
 def _target_overload(params: dict) -> dict:
     from ..chaos import run_overload_episode
     _check_params("overload", params, _OVERLOAD_REQUIRED, _OVERLOAD_OPTIONAL)
+    telemetry = params.get("telemetry")
     result = run_overload_episode(
         seed=params["seed"],
         duration=params.get("duration", 6.0),
@@ -164,23 +178,30 @@ def _target_overload(params: dict) -> dict:
         settle=params.get("settle", 2.5),
         multiplier=params.get("multiplier", 4.0),
         enabled=params.get("enabled", True),
-        fast_path=params.get("fast_path", False))
-    return {"completed": result.completed,
-            "errors": result.errors,
-            "survived": result.survived,
-            "enabled": result.enabled,
-            "error_statuses": jsonify(result.error_statuses),
-            "shed": result.shed,
-            "degraded": result.degraded,
-            "timeouts": result.timeouts,
-            "replica_retries": result.replica_retries,
-            "budget_denied": result.budget_denied,
-            "peak_inflight": result.admission_peak_inflight,
-            "peak_queue": result.admission_peak_queue,
-            "raw_peak_inflight": result.raw_peak_inflight,
-            "breaker_opened": result.breaker_opened,
-            "breaker_reclosed": result.breaker_reclosed,
-            "report": result.report()}
+        fast_path=params.get("fast_path", False),
+        telemetry=telemetry)
+    out = {"completed": result.completed,
+           "errors": result.errors,
+           "survived": result.survived,
+           "enabled": result.enabled,
+           "error_statuses": jsonify(result.error_statuses),
+           "shed": result.shed,
+           "degraded": result.degraded,
+           "timeouts": result.timeouts,
+           "replica_retries": result.replica_retries,
+           "budget_denied": result.budget_denied,
+           "peak_inflight": result.admission_peak_inflight,
+           "peak_queue": result.admission_peak_queue,
+           "raw_peak_inflight": result.raw_peak_inflight,
+           "breaker_opened": result.breaker_opened,
+           "breaker_reclosed": result.breaker_reclosed,
+           "report": result.report()}
+    if telemetry is not None:
+        # additive keys, same contract as the chaos target above
+        out["slo"] = jsonify(result.slo_results)
+        out["slo_ok"] = result.slo_ok
+        out["telemetry"] = jsonify(result.telemetry.summary())
+    return out
 
 
 # -- recover: exhaustive crash-point exploration (DESIGN §14) ---------------

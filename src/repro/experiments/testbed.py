@@ -26,7 +26,8 @@ from ..net import Lan
 from ..sim import RngStream, Simulator
 from ..workload import RequestSampler, WebBenchRig, WorkloadSpec
 
-__all__ = ["ExperimentConfig", "Deployment", "build_deployment", "SCHEMES"]
+__all__ = ["ExperimentConfig", "Deployment", "build_deployment",
+           "wire_telemetry", "SCHEMES"]
 
 #: ``replication-lard`` is an extension scheme (the paper's future-work
 #: "more sophisticated load-balancing algorithm"): LARD over full
@@ -72,6 +73,15 @@ class ExperimentConfig:
     #: events.  Off by default; when on, golden metrics, trace JSONL, and
     #: chaos outcome tables are byte-identical to the event-accurate path
     fast_path: bool = False
+    #: attach a repro.obs KernelStats scheduler observer (with call-site
+    #: attribution): per-event-class scheduled/fired/cancelled counts,
+    #: heap high-water, pool recycling.  Passive -- byte-identical off/on
+    kernel_stats: bool = False
+    #: attach a repro.obs TelemetrySampler with this window length in sim
+    #: seconds; None leaves the kernel's telemetry hook dormant.  The
+    #: sampler is driven from Simulator.step (never by scheduled events),
+    #: so the timeline is byte-identical off/on
+    telemetry: Optional[float] = None
 
     def __post_init__(self):
         if self.scheme not in SCHEMES:
@@ -98,12 +108,19 @@ class Deployment:
     nfs: Optional[NfsServer] = None
     #: the repro.obs tracer, when config.trace is on
     tracer: Optional[object] = None
+    #: the repro.obs KernelStats observer, when config.kernel_stats is on
+    kernel_stats: Optional[object] = None
+    #: the repro.obs TelemetrySampler, when config.telemetry is set
+    telemetry: Optional[object] = None
 
     def run(self, n_clients: int) -> dict:
         """Drive ``n_clients`` for the configured duration; return summary."""
         self.rig.start_clients(n_clients)
         self.sim.run(until=self.config.duration)
         self.rig.stop_clients()
+        tel = self.telemetry
+        if tel is not None:
+            tel.finalize(self.sim.now)
         summary = self.rig.summary(self.config.duration)
         summary["scheme"] = self.config.scheme
         summary["workload"] = self.config.workload.name
@@ -120,6 +137,11 @@ class Deployment:
         summary["frontend_nic_out_utilization"] = \
             self.frontend.nic.utilization_out()
         summary["frontend_cpu_utilization"] = self.frontend.cpu.utilization()
+        if tel is not None:
+            # additive: cells without telemetry keep their exact summary
+            summary["telemetry"] = tel.summary()
+        if self.kernel_stats is not None:
+            summary["kernel_stats"] = self.kernel_stats.report()
         return summary
 
 
@@ -156,8 +178,14 @@ def _prewarm_caches(catalog: SiteCatalog,
 def build_deployment(config: ExperimentConfig) -> Deployment:
     """Construct the §5.1 cluster wired for ``config.scheme``."""
     rng = RngStream(config.seed, f"exp/{config.scheme}/{config.workload.name}")
+    kernel_stats = None
+    if config.kernel_stats:
+        # local import keeps the observability layer optional for plain runs
+        from ..obs import KernelStats
+        kernel_stats = KernelStats(callsites=True)
     sim = Simulator(debug=config.debug_invariants,
-                    fast_path=config.fast_path)
+                    fast_path=config.fast_path,
+                    kernel_stats=kernel_stats)
     lan = Lan(sim)
     specs = paper_testbed_specs()
     servers: dict[str, BackendServer] = {}
@@ -215,12 +243,70 @@ def build_deployment(config: ExperimentConfig) -> Deployment:
                       warmup=config.warmup,
                       think_time=config.workload.think_time,
                       rng=rng.substream("rig"))
+    telemetry = None
+    if config.telemetry is not None:
+        # local import keeps the observability layer optional for plain runs
+        from ..obs import TelemetrySampler
+        telemetry = TelemetrySampler(window=config.telemetry).attach(sim)
     deployment = Deployment(config=config, sim=sim, lan=lan, catalog=catalog,
                             servers=servers, frontend=frontend,
                             url_table=url_table, doctree=doctree,
-                            sampler=sampler, rig=rig, nfs=nfs, tracer=tracer)
+                            sampler=sampler, rig=rig, nfs=nfs, tracer=tracer,
+                            kernel_stats=kernel_stats, telemetry=telemetry)
+    if telemetry is not None:
+        wire_telemetry(telemetry, deployment)
     if config.debug_invariants:
         # local import keeps the analysis layer optional for plain runs
         from ..analysis.invariants import install_invariants
         install_invariants(deployment)
     return deployment
+
+
+def wire_telemetry(sampler, deployment: Deployment, rig=None) -> None:
+    """Register the standard probe set on a freshly built deployment.
+
+    Every probe is a read-only closure over existing counters --
+    non-creating reads only (``counter_value``, ``state_of``,
+    ``pools()``), so sampling can never materialize a collector, a
+    breaker, or a pool that the un-instrumented run would not have.
+    Episode harnesses that drive their own rig (chaos/overload) pass it
+    via ``rig``; plain cells sample the deployment's own.
+    """
+    sim = deployment.sim
+    if rig is None:
+        rig = deployment.rig
+    frontend = deployment.frontend
+    metrics = frontend.metrics
+    sampler.add_cumulative("requests", lambda: rig.meter.completions)
+    sampler.add_cumulative("client_errors", lambda: rig.errors)
+    sampler.add_cumulative(
+        "sheds", lambda: metrics.counter_value("overload/shed"))
+    sampler.add_cumulative(
+        "timeouts", lambda: metrics.counter_value("overload/timeout"))
+    sampler.add_cumulative(
+        "lan_transfers", lambda: deployment.lan.total_transfers)
+    sampler.add_gauge("heap_depth", lambda: float(sim.heap_depth))
+    sampler.add_gauge("frontend_inflight",
+                      lambda: float(frontend.inflight))
+    ctl = frontend.overload
+    if ctl is not None:
+        sampler.add_gauge("admission_inflight",
+                          lambda: float(ctl.admission.inflight))
+        sampler.add_gauge("admission_queued",
+                          lambda: float(ctl.admission.queued))
+        sampler.add_gauge("breakers_open",
+                          lambda: float(ctl.breakers.open_count()))
+        sampler.add_cumulative("breakers_opened",
+                               lambda: ctl.breakers.opened_total())
+    pools = getattr(frontend, "pools", None)
+    if pools is not None:
+        sampler.add_gauge("pool_waiting", lambda: float(
+            sum(p.waiting for p in pools.pools().values())))
+        sampler.add_gauge("pool_leased", lambda: float(
+            sum(p.leased_count for p in pools.pools().values())))
+    for name in sorted(deployment.servers):
+        server = deployment.servers[name]
+        for gauge in sorted(server.telemetry_gauges()):
+            sampler.add_gauge(
+                f"{name}/{gauge}",
+                lambda s=server, g=gauge: float(s.telemetry_gauges()[g]))

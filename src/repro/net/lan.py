@@ -158,9 +158,12 @@ class Lan:
         # timeout -- one heap event instead of three.  Any chaos fault
         # (loss/delay/partition) or contention falls through to the
         # segment-accurate path below.
+        ks = self.sim.kernel_stats
         if (self.sim.fast_path and self._loss_rng is None
                 and not self._partitioned and self.extra_latency == 0.0
                 and src.tx.can_acquire and dst.rx.can_acquire):
+            if ks is not None:
+                ks.on_fast_path("lan", True)
             tx_req = src.tx.try_acquire()
             rx_req = dst.rx.try_acquire()
             try:
@@ -175,6 +178,8 @@ class Lan:
             dst.bytes_received += nbytes
             self.fast_transfers += 1
             return self.sim.now
+        if ks is not None and self.sim.fast_path:
+            ks.on_fast_path("lan", False)
         # Faults are paid *before* acquiring either channel: a transfer
         # stuck behind a partition must not hold the sender's TX and
         # head-of-line-block unrelated traffic.

@@ -1,0 +1,127 @@
+"""Subsystem attribution for cProfile runs and process-resource helpers.
+
+``repro bench --profile`` used to dump raw pstats and stop there; this
+module turns a profile into an answer to ROADMAP item 1's question --
+*where does the wall-clock go?* -- by bucketing every profiled function
+into a repository subsystem (sim kernel / net / splicer / cluster / ...)
+and emitting a sorted, JSON-ready attribution table.
+
+Attribution is purely lexical on ``co_filename``: the path segment after
+the ``repro`` package root names the subsystem, with the splicer split
+out of ``core`` because it is the hot path the fast-path work targets.
+Everything outside the package is ``stdlib`` (interpreter / standard
+library) or ``other``.
+
+``peak_rss_kb`` reads the process high-water RSS.  It is host-dependent
+by nature, so it never feeds a deterministic export -- bench reports and
+the ``repro top`` dashboard only.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any
+
+__all__ = ["SUBSYSTEMS", "classify_path", "attribute_profile", "peak_rss_kb"]
+
+#: package directories that name their own attribution bucket
+SUBSYSTEMS = ("sim", "net", "core", "splicer", "cluster", "mgmt", "obs",
+              "chaos", "workload", "content", "experiments", "analysis")
+
+_PACKAGE_DIRS = frozenset(SUBSYSTEMS) - {"splicer"}
+
+
+def classify_path(path: str) -> str:
+    """Map a source-file path to its attribution bucket.
+
+    ``.../repro/core/splicer.py`` -> ``splicer`` (the hot path gets its
+    own bucket), ``.../repro/sim/engine.py`` -> ``sim``, top-level
+    package modules -> ``repro``, test files -> ``tests``, interpreter
+    builtins and standard-library files -> ``stdlib``, anything else ->
+    ``other``.
+    """
+    norm = path.replace("\\", "/")
+    marker = "/repro/"
+    idx = norm.rfind(marker)
+    if idx >= 0:
+        rest = norm[idx + len(marker):]
+        if rest.startswith("core/splicer"):
+            return "splicer"
+        head = rest.split("/", 1)[0]
+        if head in _PACKAGE_DIRS:
+            return head
+        return "repro"
+    if "/tests/" in norm or norm.startswith("tests/"):
+        return "tests"
+    if norm in ("~", "") or norm.startswith("<"):
+        # pstats uses "~" for C builtins and "<...>" for synthetic code
+        return "stdlib"
+    prefix = sys.prefix.replace("\\", "/")
+    if norm.startswith(prefix) or "/lib/python" in norm:
+        return "stdlib"
+    return "other"
+
+
+def _stats_table(profile: Any) -> dict:
+    """The raw ``pstats`` entry table of a profiler or Stats object."""
+    import pstats
+
+    if isinstance(profile, pstats.Stats):
+        return profile.stats  # type: ignore[attr-defined]
+    return pstats.Stats(profile).stats  # type: ignore[attr-defined]
+
+
+def attribute_profile(profile: Any, top: int = 15) -> dict:
+    """Bucket a cProfile run into subsystems.
+
+    Returns a JSON-ready dict: ``total_s`` (sum of per-function internal
+    time), ``subsystems`` mapping bucket -> ``{calls, tottime_s, share}``
+    sorted by key, and ``top_functions`` -- the ``top`` most expensive
+    functions by internal time, each tagged with its bucket.
+    """
+    table = _stats_table(profile)
+    buckets: dict[str, dict[str, float]] = {}
+    functions = []
+    total = 0.0
+    for (path, line, func), (_cc, nc, tt, ct, _callers) in table.items():
+        bucket = classify_path(path)
+        agg = buckets.setdefault(bucket, {"calls": 0, "tottime_s": 0.0})
+        agg["calls"] += nc
+        agg["tottime_s"] += tt
+        total += tt
+        leaf = path.replace("\\", "/").rsplit("/", 1)[-1]
+        functions.append((tt, ct, nc, f"{bucket}:{leaf}:{line}:{func}"))
+    functions.sort(key=lambda item: (-item[0], item[3]))
+    subsystems = {}
+    for bucket in sorted(buckets):
+        agg = buckets[bucket]
+        subsystems[bucket] = {
+            "calls": int(agg["calls"]),
+            "tottime_s": round(agg["tottime_s"], 6),
+            "share": round(agg["tottime_s"] / total, 4) if total > 0 else 0.0,
+        }
+    return {
+        "total_s": round(total, 6),
+        "subsystems": subsystems,
+        "top_functions": [
+            {"func": name, "calls": int(nc),
+             "tottime_s": round(tt, 6), "cumtime_s": round(ct, 6)}
+            for tt, ct, nc, name in functions[:top]
+        ],
+    }
+
+
+def peak_rss_kb() -> int:
+    """Process peak resident-set size in KiB (0 where unsupported).
+
+    Host-dependent: report it, never pin it.  Linux reports ru_maxrss in
+    KiB already; macOS reports bytes.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-posix platforms
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - host-specific
+        rss //= 1024
+    return int(rss)

@@ -1,0 +1,129 @@
+"""Declarative service-level objectives evaluated against telemetry.
+
+An :class:`SloSpec` names one objective: a metric, a comparison, and a
+threshold.  ``scope="episode"`` checks a whole-run scalar (p99 latency,
+error rate, shed rate); ``scope="window_max"`` / ``"window_min"`` check
+the extreme of a per-window telemetry series, so a burst that a run-level
+average would hide still fails the objective.
+
+Evaluation is pure: specs in, ``{name, metric, value, ok, ...}`` dicts
+out, sorted nowhere because the caller's spec order is meaningful (it is
+reported in that order).  A metric with no data evaluates to ``ok=True``
+with ``value=None`` -- an objective over an empty series is vacuous, not
+failed -- and carries ``evaluated=False`` so reports can tell the cases
+apart.
+
+Default spec tuples for the overload and chaos episodes live here so the
+CLI, the sweep targets, and the golden fixtures all check the same
+objectives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["SloSpec", "evaluate_slos", "slo_metrics_from_rig",
+           "DEFAULT_OVERLOAD_SLOS", "DEFAULT_CHAOS_SLOS"]
+
+_OPS = {
+    "<=": lambda v, t: v <= t,
+    "<": lambda v, t: v < t,
+    ">=": lambda v, t: v >= t,
+    ">": lambda v, t: v > t,
+}
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One declarative objective: ``metric op threshold``."""
+
+    name: str
+    metric: str
+    threshold: float
+    op: str = "<="
+    scope: str = "episode"  # "episode" | "window_max" | "window_min"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown SLO comparison {self.op!r}")
+        if self.scope not in ("episode", "window_max", "window_min"):
+            raise ValueError(f"unknown SLO scope {self.scope!r}")
+
+    def check(self, value: float) -> bool:
+        return _OPS[self.op](value, self.threshold)
+
+
+def slo_metrics_from_rig(rig: Any, shed: int = 0) -> dict:
+    """Episode-scope metrics from a WebBench rig's collectors.
+
+    ``error_rate`` is client-visible failures over client-visible
+    outcomes; ``shed_rate`` counts admission sheds over the same base
+    (sheds surface to clients as errors, so shed <= error in practice).
+    """
+    total = rig.meter.completions + rig.errors
+    latency = rig.latency
+    return {
+        "latency_p99_s": latency.percentile(99) if latency.total else 0.0,
+        "error_rate": rig.errors / total if total else 0.0,
+        "shed_rate": shed / total if total else 0.0,
+    }
+
+
+def evaluate_slos(specs: Any, metrics: dict,
+                  sampler: Optional[Any] = None) -> list[dict]:
+    """Check every spec; returns one result dict per spec, in order.
+
+    ``metrics`` supplies episode-scope values; window-scope specs read
+    the named series from ``sampler`` (a
+    :class:`~repro.obs.telemetry.TelemetrySampler`).
+    """
+    results = []
+    for spec in specs:
+        value: Optional[float] = None
+        if spec.scope == "episode":
+            value = metrics.get(spec.metric)
+        elif sampler is not None:
+            try:
+                series = sampler.series(spec.metric)
+            except KeyError:
+                series = []
+            if series:
+                value = max(series) if spec.scope == "window_max" \
+                    else min(series)
+        evaluated = value is not None
+        results.append({
+            "name": spec.name,
+            "metric": spec.metric,
+            "op": spec.op,
+            "threshold": spec.threshold,
+            "scope": spec.scope,
+            "value": round(value, 9) if evaluated else None,
+            "evaluated": evaluated,
+            "ok": spec.check(value) if evaluated else True,
+        })
+    return results
+
+
+#: objectives for the flash-crowd overload episode: with admission
+#: control + breakers active, served latency stays bounded and the
+#: system degrades by shedding (bounded) rather than queueing (unbounded)
+DEFAULT_OVERLOAD_SLOS = (
+    SloSpec("served_p99", "latency_p99_s", 1.5,
+            description="served requests stay under 1.5s p99 in the crowd"),
+    SloSpec("error_budget", "error_rate", 0.25,
+            description="client-visible failures bounded at 4x overload"),
+    SloSpec("shed_budget", "shed_rate", 0.2,
+            description="admission sheds bounded at 4x overload"),
+)
+
+#: objectives for chaos episodes: faults are injected on purpose, so the
+#: budgets are loose -- the objective is "survives with bounded damage",
+#: not "unaffected"
+DEFAULT_CHAOS_SLOS = (
+    SloSpec("served_p99", "latency_p99_s", 5.0,
+            description="faulted runs still complete requests in bounded time"),
+    SloSpec("error_budget", "error_rate", 0.5,
+            description="most requests succeed under every fault schedule"),
+)

@@ -221,6 +221,10 @@ class Process(SimEvent):
                 target.callbacks.remove(self._resume)
             except ValueError:
                 pass
+            else:
+                ks = self.sim.kernel_stats
+                if ks is not None:
+                    ks.on_cancelled(target)
         self._target = None
         interrupt_event.add_callback(self._resume)
         self.sim._enqueue(0.0, interrupt_event)
@@ -316,6 +320,7 @@ class _Condition(SimEvent):
         trigger lets the losers be collected as soon as they are processed.
         """
         check = self._check
+        ks = self.sim.kernel_stats
         for ev in self.events:
             cbs = ev.callbacks
             if cbs is None:
@@ -327,6 +332,8 @@ class _Condition(SimEvent):
             # _check used to observe (and thereby defuse) a loser's late
             # failure; keep that contract now that it no longer listens
             ev._defused = True
+            if ks is not None:
+                ks.on_cancelled(ev)
 
 
 class AllOf(_Condition):
@@ -409,7 +416,8 @@ class Simulator:
     monkeypatching any component.
     """
 
-    def __init__(self, debug: bool = False, fast_path: bool = False):
+    def __init__(self, debug: bool = False, fast_path: bool = False,
+                 kernel_stats: Optional[Any] = None):
         self._now = 0.0
         self._heap: list[tuple[float, int, SimEvent]] = []
         self._eid = 0
@@ -426,6 +434,15 @@ class Simulator:
         self._invariants: list[list] = []
         #: fault injections registered via :meth:`add_injection`
         self.injections: list[Injection] = []
+        #: opt-in scheduler introspection (duck-typed; see
+        #: :class:`repro.obs.KernelStats`).  ``None`` disables every hook.
+        #: Like the tracer, the observer is strictly passive: it never
+        #: creates events, so the timeline is byte-identical off and on.
+        self.kernel_stats = kernel_stats
+        #: opt-in windowed sampler (see :class:`repro.obs.TelemetrySampler`).
+        #: Driven from :meth:`step` rather than by scheduled events, so
+        #: enabling it cannot perturb ``event_count`` or the timeline.
+        self.telemetry: Optional[Any] = None
 
     @property
     def now(self) -> float:
@@ -457,6 +474,7 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
         pool = self._timeout_pool
+        ks = self.kernel_stats
         if pool:
             t = pool.pop()
             t.callbacks = []
@@ -465,9 +483,13 @@ class Simulator:
             t._defused = False
             t.delay = delay
             self._enqueue(delay, t)
+            if ks is not None:
+                ks.on_pool_recycle(True)
             return t
         t = Timeout(self, delay)
         t._pooled = True
+        if ks is not None:
+            ks.on_pool_recycle(False)
         return t
 
     def process(self, generator: Generator, name: str = "") -> Process:
@@ -484,6 +506,9 @@ class Simulator:
     def _enqueue(self, delay: float, event: SimEvent) -> None:
         self._eid += 1
         heapq.heappush(self._heap, (self._now + delay, self._eid, event))
+        ks = self.kernel_stats
+        if ks is not None:
+            ks.on_scheduled(event, len(self._heap))
 
     def schedule(self, delay: float, callback: Callable[[], Any]) -> SimEvent:
         """Run ``callback()`` after ``delay`` time units (fire-and-forget)."""
@@ -560,6 +585,11 @@ class Simulator:
         """Total events scheduled so far (the monotone tie-break counter)."""
         return self._eid
 
+    @property
+    def heap_depth(self) -> int:
+        """Number of events currently pending on the heap."""
+        return len(self._heap)
+
     def step(self) -> None:
         """Pop and fire exactly one event."""
         when, _eid, event = heapq.heappop(self._heap)
@@ -569,6 +599,12 @@ class Simulator:
         # inside _fire(), so nothing can reference the event afterwards.
         if type(event) is Timeout and event._pooled:
             self._timeout_pool.append(event)
+        ks = self.kernel_stats
+        if ks is not None:
+            ks.on_fired(event)
+        tel = self.telemetry
+        if tel is not None:
+            tel.on_event(when)
         if self._invariants:
             self._run_invariants()
 

@@ -259,6 +259,22 @@ class MetricSet:
             self._meters[name] = ThroughputMeter(warmup=warmup, name=name)
         return self._meters[name]
 
+    def counter_value(self, name: str) -> int:
+        """Read a counter without creating it (0 when absent).
+
+        Telemetry probes use this instead of :meth:`counter`: a sampling
+        read must never materialize a collector, or enabling telemetry
+        would change the key set of :meth:`snapshot` and break the
+        zero-perturbation contract.
+        """
+        c = self._counters.get(name)
+        return c.count if c is not None else 0
+
+    def meter_value(self, name: str) -> int:
+        """Read a meter's completion count without creating it."""
+        m = self._meters.get(name)
+        return m.completions if m is not None else 0
+
     def snapshot(self, now: Optional[float] = None) -> dict:
         """A plain-dict view for reports and assertions.
 

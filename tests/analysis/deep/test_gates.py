@@ -217,3 +217,72 @@ def test_pragma_suppresses_gate_finding():
            "    def handle(self):\n"
            "        self.tracer.point('a', 'b')  # det: allow[gate001]\n")
     assert analyze_source(src, "fixture.py") == []
+
+
+# -- kernel telemetry plane gates (DESIGN §15) -------------------------
+
+def test_kernel_stats_unguarded_hook_call_trips():
+    found = codes(
+        "class Simulator:\n"
+        "    def __init__(self, kernel_stats=None):\n"
+        "        self.kernel_stats = kernel_stats\n"
+        "    def _enqueue(self, event):\n"
+        "        self.kernel_stats.on_scheduled(event, 1)\n")
+    assert [c for c, _ in found] == ["GATE002"]
+
+
+def test_kernel_stats_alias_guard_is_clean():
+    # the engine's actual idiom: snapshot to a local, guard, call
+    assert codes(
+        "class Simulator:\n"
+        "    def __init__(self, kernel_stats=None):\n"
+        "        self.kernel_stats = kernel_stats\n"
+        "    def _enqueue(self, event):\n"
+        "        ks = self.kernel_stats\n"
+        "        if ks is not None:\n"
+        "            ks.on_scheduled(event, 1)\n"
+    ) == []
+
+
+def test_kernel_stats_consumer_read_needs_no_guard():
+    # report()/attribute reads are post-run consumer API, not hot hooks
+    assert codes(
+        "class Simulator:\n"
+        "    def __init__(self, kernel_stats=None):\n"
+        "        self.kernel_stats = kernel_stats\n"
+        "    def summarize(self):\n"
+        "        return self.kernel_stats.heap_high_water\n"
+    ) == []
+
+
+def test_telemetry_unguarded_on_event_trips():
+    found = codes(
+        "class Simulator:\n"
+        "    def __init__(self):\n"
+        "        self.telemetry = None\n"
+        "    def step(self, when):\n"
+        "        self.telemetry.on_event(when)\n")
+    assert [c for c, _ in found] == ["GATE002"]
+
+
+def test_telemetry_mutation_removing_guard_trips():
+    good = ("class Simulator:\n"
+            "    def __init__(self):\n"
+            "        self.telemetry = None\n"
+            "    def step(self, when):\n"
+            "        tel = self.telemetry\n"
+            "        if tel is not None:\n"
+            "            tel.on_event(when)\n")
+    assert codes(good) == []
+    mutated = good.replace("        if tel is not None:\n"
+                           "            tel.on_event(when)\n",
+                           "        tel.on_event(when)\n")
+    assert [c for c, _ in codes(mutated)] == ["GATE002"]
+
+
+def test_telemetry_gates_registered():
+    by_attr = {spec.attr: spec for spec in GATES}
+    assert by_attr["kernel_stats"].api is not None
+    assert "on_scheduled" in by_attr["kernel_stats"].api
+    assert by_attr["telemetry"].api is not None
+    assert "on_event" in by_attr["telemetry"].api

@@ -1,0 +1,75 @@
+"""SLO surfacing through the sweep plane.
+
+Cells that opt into telemetry carry ``slo``/``slo_ok``/``telemetry``
+keys in their artifacts and the merged report grows an ``slo``
+aggregate; cells that don't are byte-identical to before the telemetry
+plane existed (``test_sweep_golden.py`` pins that side).
+"""
+
+import pytest
+
+from repro.experiments.sweep.merge import _aggregates
+from repro.experiments.sweep.targets import run_target
+
+pytestmark = pytest.mark.telemetry
+
+_OVL = {"seed": 11, "duration": 2.0, "clients": 4, "n_objects": 120,
+        "settle": 1.0}
+
+
+class TestTargets:
+    def test_overload_without_telemetry_has_no_slo_keys(self):
+        result = run_target("overload", dict(_OVL))
+        assert "slo" not in result
+        assert "telemetry" not in result
+
+    def test_overload_with_telemetry_carries_slo(self):
+        result = run_target("overload", dict(_OVL, telemetry=0.5))
+        assert result["slo"], "telemetry cells must evaluate SLOs"
+        names = {v["name"] for v in result["slo"]}
+        assert "served_p99" in names
+        assert isinstance(result["slo_ok"], bool)
+        assert result["telemetry"]["windows"] >= 2
+
+    def test_telemetry_leaves_survival_counters_unchanged(self):
+        plain = run_target("overload", dict(_OVL))
+        sampled = run_target("overload", dict(_OVL, telemetry=0.5))
+        for key in ("completed", "errors", "shed", "survived"):
+            assert sampled[key] == plain[key]
+        # the rendered report differs only by the additive SLO lines
+        stripped = [line for line in sampled["report"].splitlines()
+                    if not line.lstrip().startswith("slo [")]
+        assert stripped == plain["report"].splitlines()
+
+    def test_chaos_with_telemetry_flattens_episode_slos(self):
+        result = run_target("chaos", {
+            "seed": 1, "episodes": 2, "duration": 2.0, "clients": 4,
+            "n_objects": 120, "settle": 1.0, "telemetry": 0.5})
+        # two episodes x two chaos SLOs, in episode order
+        assert len(result["slo"]) == 4
+        assert len(result["telemetry"]) == 2
+
+
+class TestMergeAggregates:
+    @staticmethod
+    def _cell(cell_id, result):
+        return {cell_id: {"run_id": cell_id, "target": "overload",
+                          "params": {}, "result": result,
+                          "result_sha256": "0" * 64}}
+
+    def test_no_slo_section_without_telemetry_cells(self):
+        cells = self._cell("a", {"completed": 1, "errors": 0,
+                                 "survived": True})
+        assert "slo" not in _aggregates(cells)
+
+    def test_slo_section_counts_checks(self):
+        cells = {}
+        cells.update(self._cell("a", {
+            "completed": 1, "errors": 0, "survived": True,
+            "slo": [{"ok": True}, {"ok": True}], "slo_ok": True}))
+        cells.update(self._cell("b", {
+            "completed": 1, "errors": 0, "survived": True,
+            "slo": [{"ok": True}, {"ok": False}], "slo_ok": False}))
+        agg = _aggregates(cells)["slo"]
+        assert agg == {"cells": 2, "checks": 4, "passed": 3,
+                       "all_ok": False}

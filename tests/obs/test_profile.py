@@ -1,0 +1,67 @@
+"""Profile attribution: cProfile time bucketed into repo subsystems."""
+
+import cProfile
+
+import pytest
+
+from repro.obs import attribute_profile, classify_path, peak_rss_kb
+
+pytestmark = pytest.mark.telemetry
+
+
+class TestClassifyPath:
+    def test_subsystem_buckets(self):
+        assert classify_path("/x/src/repro/sim/engine.py") == "sim"
+        assert classify_path("/x/src/repro/net/tcp.py") == "net"
+        assert classify_path("/x/src/repro/cluster/cpu.py") == "cluster"
+        assert classify_path("/x/src/repro/obs/telemetry.py") == "obs"
+
+    def test_splicer_carved_out_of_core(self):
+        assert classify_path("/x/src/repro/core/splicer.py") == "splicer"
+        assert classify_path("/x/src/repro/core/frontend.py") == "core"
+
+    def test_stdlib_and_other(self):
+        assert classify_path("~") == "stdlib"
+        assert classify_path("<built-in>") == "stdlib"
+        assert classify_path("/usr/lib/python3.11/json/encoder.py") == \
+            "stdlib"
+        assert classify_path("/somewhere/else.py") == "other"
+
+    def test_tests_bucket(self):
+        assert classify_path("/x/tests/obs/test_profile.py") == "tests"
+
+
+class TestAttributeProfile:
+    def test_buckets_sum_and_sort(self):
+        from repro.experiments.bench import run_openloop_splice
+        profiler = cProfile.Profile()
+        profiler.enable()
+        run_openloop_splice(rate=100.0, duration=0.3, fast_path=True)
+        profiler.disable()
+        out = attribute_profile(profiler, top=5)
+        assert out["total_s"] > 0.0
+        # shares are rounded to 4 decimals, so the sum is 1 within
+        # half an ulp per bucket
+        shares = [b["share"] for b in out["subsystems"].values()]
+        assert abs(sum(shares) - 1.0) <= 5e-5 * len(shares) + 1e-9
+        # the workload runs through the sim kernel and the net stack
+        assert "sim" in out["subsystems"]
+        assert "net" in out["subsystems"]
+        assert len(out["top_functions"]) <= 5
+        tots = [f["tottime_s"] for f in out["top_functions"]]
+        assert tots == sorted(tots, reverse=True)
+
+    def test_top_function_names_carry_bucket(self):
+        profiler = cProfile.Profile()
+        profiler.enable()
+        sum(range(1000))
+        profiler.disable()
+        out = attribute_profile(profiler)
+        for func in out["top_functions"]:
+            assert func["func"].count(":") >= 2  # bucket:leaf:line:name
+
+
+def test_peak_rss_is_plausible():
+    kb = peak_rss_kb()
+    # a running CPython interpreter needs >4 MB and <64 GB
+    assert 4 * 1024 < kb < 64 * 1024 * 1024
