@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""Heap vs calendar queue microbenchmark (DESIGN §16).
+
+Drives the two scheduler backends of :class:`repro.sim.Simulator` -- the
+reference flat binary heap and the fast path's two-level calendar queue --
+through pure scheduling workloads with no model code in the way, so the
+numbers isolate queue cost from everything the reproduction benchmarks
+measure.  Four mixes cover the shapes the splicing workloads produce:
+
+* ``uniform``   -- independent delays, few timestamp collisions (the
+                   heap's best case: this is what a binary heap is for);
+* ``batched``   -- delays quantized to a coarse tick, so many events
+                   share exact timestamps (the calendar's bucket-append
+                   and batch-drain fast paths);
+* ``zero_delay`` -- bursts of same-instant callbacks (the level-0 FIFO:
+                   O(1) append/popleft vs heap push/pop);
+* ``bimodal``   -- mostly-short plus occasionally-long delays (deep
+                   queue, the distribution request/timeout traffic has).
+
+Every mix runs on both backends with identical deterministic workloads;
+a SHA-256 digest over the (fire-order, timestamp) stream must match
+between backends, re-proving order equivalence while timing it.
+
+Wall clocks are min-of-N repeats (this host's timings are noisy).  The
+artifact is JSON with sorted keys so diffs are stable:
+
+    PYTHONPATH=src python benchmarks/perf/profile_queues.py \
+        --events 200000 --repeats 3 --out BENCH_queues.json
+
+Not part of tier-1: wall-clock numbers are host-dependent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import struct
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, os.pardir, "src"))
+
+from repro.sim import Simulator  # noqa: E402
+
+
+def _lcg(seed: int):
+    """Deterministic uniform(0, 1) stream (no stdlib Random warm-up cost)."""
+    state = (seed * 2654435761 + 1) & 0x7FFFFFFF
+    while True:
+        state = (1103515245 * state + 12345) & 0x7FFFFFFF
+        yield state / 0x80000000
+
+
+def _mix_uniform(u: float) -> list[float]:
+    return [1e-6 + u * 1e-3]
+
+
+def _mix_batched(u: float) -> list[float]:
+    # 200 distinct ticks -> heavy exact-timestamp collision
+    return [(int(u * 200) + 1) * 1e-4]
+
+
+def _mix_zero_delay(u: float) -> list[float]:
+    if u < 0.2:
+        return [0.0, 0.0, 0.0, 0.0]
+    return [1e-6 + u * 1e-4]
+
+
+def _mix_bimodal(u: float) -> list[float]:
+    if u < 0.9:
+        return [1e-6 + u * 1e-5]
+    return [u * 1e-1]
+
+
+MIXES = {
+    "uniform": _mix_uniform,
+    "batched": _mix_batched,
+    "zero_delay": _mix_zero_delay,
+    "bimodal": _mix_bimodal,
+}
+
+#: initial self-propagating chains per run (queue depth floor)
+CHAINS = 256
+
+
+def _drive(fast_path: bool, mix_fn, n_events: int, seed: int):
+    """Run one workload on one backend; returns (wall_s, fired, digest)."""
+    sim = Simulator(fast_path=fast_path)
+    rand = _lcg(seed)
+    digest = hashlib.sha256()
+    pack = struct.pack
+    scheduled = 0
+    fired = 0
+
+    def cb() -> None:
+        nonlocal scheduled, fired
+        fired += 1
+        digest.update(pack("<d", sim.now))
+        for delay in mix_fn(next(rand)):
+            if scheduled < n_events:
+                scheduled += 1
+                sim.schedule(delay, cb)
+
+    for _ in range(min(CHAINS, n_events)):
+        scheduled += 1
+        sim.schedule(next(rand) * 1e-3, cb)
+    start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - start
+    return wall, fired, digest.hexdigest()
+
+
+def run_profile(n_events: int, repeats: int, seed: int) -> dict:
+    mixes: dict[str, dict] = {}
+    for name, mix_fn in MIXES.items():
+        cells: dict[str, dict] = {}
+        digests: dict[str, str] = {}
+        for backend, fast in (("heap", False), ("calendar", True)):
+            walls = []
+            fired = 0
+            digest = ""
+            for rep in range(repeats):
+                wall, fired, digest_rep = _drive(fast, mix_fn, n_events, seed)
+                if rep and digest_rep != digest:
+                    raise AssertionError(
+                        f"{name}/{backend}: non-deterministic across repeats")
+                digest = digest_rep
+                walls.append(wall)
+            wall = min(walls)
+            cells[backend] = {
+                "events": fired,
+                "events_per_s": round(fired / wall),
+                "wall_s": round(wall, 6),
+            }
+            digests[backend] = digest
+        identical = digests["heap"] == digests["calendar"]
+        if not identical:
+            raise AssertionError(
+                f"{name}: calendar dispatch order diverged from the heap")
+        mixes[name] = {
+            "calendar": cells["calendar"],
+            "digest": digests["heap"],
+            "heap": cells["heap"],
+            "identical": identical,
+            "speedup": round(
+                cells["heap"]["wall_s"] / cells["calendar"]["wall_s"], 3),
+        }
+    return {
+        "config": {"chains": CHAINS, "events": n_events,
+                   "repeats": repeats, "seed": seed},
+        "host": {"platform": platform.platform(),
+                 "python": platform.python_version()},
+        "mixes": mixes,
+    }
+
+
+def render(payload: dict) -> str:
+    lines = ["queue backend microbenchmark "
+             f"(events={payload['config']['events']}, "
+             f"min of {payload['config']['repeats']} repeats)",
+             f"{'mix':<12} {'heap ev/s':>12} {'calendar ev/s':>14} "
+             f"{'speedup':>8}  identical"]
+    for name, cell in payload["mixes"].items():
+        lines.append(f"{name:<12} {cell['heap']['events_per_s']:>12,} "
+                     f"{cell['calendar']['events_per_s']:>14,} "
+                     f"{cell['speedup']:>7}x  "
+                     f"{'yes' if cell['identical'] else 'NO'}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="heap vs calendar scheduler microbenchmark")
+    parser.add_argument("--events", type=int, default=200_000,
+                        help="events per mix per run (default 200000)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repeats; min wall is reported (default 3)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default="BENCH_queues.json",
+                        help="JSON artifact path (default BENCH_queues.json)")
+    args = parser.parse_args(argv)
+    payload = run_profile(args.events, args.repeats, args.seed)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(render(payload))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -313,7 +313,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
               f"-> {args.profile}; inspect with: python -m pstats "
               f"{args.profile}")
     ok = all(s["identical"] for s in payload["stages"].values()) and \
-        payload["target"]["met"] is not False
+        (args.smoke or payload["target"]["met"] is not False)
     return 0 if ok else 1
 
 
@@ -553,6 +553,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_bch.add_argument("--profile", default=None, metavar="PSTATS",
                        help="re-run the slowest stage on the fast path "
                             "under cProfile and dump pstats here")
+    p_bch.add_argument("--smoke", action="store_true",
+                       help="equivalence-only verdict: exit 0 when every "
+                            "stage is byte-identical, ignoring the "
+                            "wall-clock speedup target (CI hosts are "
+                            "slow and noisy)")
     p_bch.set_defaults(func=cmd_bench)
 
     p_chk = sub.add_parser("check",

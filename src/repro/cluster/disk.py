@@ -50,17 +50,34 @@ class Disk:
         """
         arm = self._arm
         ks = self.sim.kernel_stats
-        if self.sim.fast_path and self.slowdown == 1.0 and arm.can_acquire:
-            if ks is not None:
-                ks.on_fast_path("disk", True)
+        if self.sim.fast_path and self.slowdown == 1.0:
             req = arm.try_acquire()
+            if req is not None:
+                try:
+                    if ks is not None:
+                        ks.on_fast_path("disk", True)
+                    yield self.sim.hot_timeout(duration)
+                finally:
+                    arm.release(req)
+            else:
+                if ks is not None:
+                    ks.on_fast_path("disk", False)
+                # Grant-and-hold: one event for grant *and* service (see
+                # Resource.request).
+                req = yield arm.request(hold=duration)
+                arm.release(req)
+        elif self.sim.fast_path:
+            if ks is not None:
+                ks.on_fast_path("disk", False)
+            # Degraded disk: keep the exact two-event interleaving so
+            # the disk-slowdown chaos fault stays event-accurate (the
+            # hold timer is still pooled).
+            req = yield arm.request()
             try:
                 yield self.sim.hot_timeout(duration)
             finally:
                 arm.release(req)
         else:
-            if ks is not None and self.sim.fast_path:
-                ks.on_fast_path("disk", False)
             req = yield arm.request()
             try:
                 yield self.sim.timeout(duration)

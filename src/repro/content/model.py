@@ -45,6 +45,13 @@ class ContentType(enum.Enum):
     VIDEO = "video"
     AUDIO = "audio"
 
+    # Members are singletons, so the identity hash is correct and C-speed;
+    # ``Enum.__hash__`` is a Python-level call that shows up on every
+    # per-request ``class_meters[ctype]`` lookup.  Ordered observables
+    # never iterate sets of members (determinism rules require sorting),
+    # so an id-based hash is safe.
+    __hash__ = object.__hash__
+
     @property
     def is_dynamic(self) -> bool:
         """Dynamic content is *generated* per request (CGI scripts, ASP)."""

@@ -48,17 +48,63 @@ class ContentAwareDistributor(Frontend):
                          client_latency=client_latency, overload=overload,
                          tracer=tracer, name=name)
         self.url_table = url_table
+        # Sorted replica lists, memoized per URL and stamped with the table
+        # version: route() needs them on every request, while the location
+        # sets only change on (rare) management-plane mutations -- each of
+        # which bumps ``url_table.version`` and lazily invalidates us.
+        self._sorted_locs: dict[str, tuple[int, list[str]]] = {}
         self.pools = PoolManager(sim, prefork=prefork,
                                  max_size=max_pool_size, tracer=tracer)
         # prefork eagerly to every backend, as the paper's distributor does
         for backend in servers:
             self.pools.pool(backend)
 
+    def _replicas(self, url: str, record) -> list[str]:
+        """The document's replica set, sorted (memoized, see __init__)."""
+        version = self.url_table.version
+        entry = self._sorted_locs.get(url)
+        if entry is not None and entry[0] == version:
+            return entry[1]
+        locs = sorted(record.locations)
+        self._sorted_locs[url] = (version, locs)
+        return locs
+
     # -- Frontend hooks --------------------------------------------------
     def route(self, request: HttpRequest) -> Generator:
         """HTTP parse + URL-table lookup + replica selection."""
         tracer = self.tracer
         tid = request.trace_id or None
+        if (tracer is None and self.sim.fast_path
+                and self.cpu._core.can_acquire
+                and self.sim.fits_horizon(
+                    self.cpu.scaled(self.costs.http_parse_cpu))):
+            # Collapse parse + lookup into one segmented CPU hold.  The
+            # eager table probe is safe: only route() touches the URL
+            # table, and no competing route can complete its parse burst
+            # (the step that precedes its probe) while we hold the core;
+            # the horizon gate guarantees the event path's probe (at the
+            # parse boundary) would also precede any run-deadline freeze.
+            before_hits = self.url_table.cache_hits
+            try:
+                record = self.url_table.lookup(request.url)
+            except UrlTableError:
+                # unknown URL: single burst, nothing to merge
+                self.metrics.counter("route/unknown-url").increment()
+                yield from self.cpu.run(self.costs.http_parse_cpu)
+                return None, None
+            if self.url_table.cache_hits > before_hits:
+                lookup_cpu = self.costs.lookup_cache_hit_cpu
+            else:
+                levels = self.url_table.lookup_cost_levels(request.url)
+                lookup_cpu = self.costs.lookup_per_level_cpu * levels
+            yield from self.cpu.run_pair(self.costs.http_parse_cpu,
+                                         lookup_cpu)
+            backend = self.policy.select(
+                self._replicas(request.url, record), self.view)
+            if backend is None:
+                self.metrics.counter("route/no-replica-alive").increment()
+                return None, None
+            return backend, record.item
         yield from self.cpu.run(self.costs.http_parse_cpu)
         before_hits = self.url_table.cache_hits
         try:
@@ -80,7 +126,8 @@ class ContentAwareDistributor(Frontend):
                 tracer.point("lookup", "cache-miss", trace_id=tid,
                              node=self.name, levels=levels)
             yield from self.cpu.run(self.costs.lookup_per_level_cpu * levels)
-        backend = self.policy.select(sorted(record.locations), self.view)
+        backend = self.policy.select(self._replicas(request.url, record),
+                                     self.view)
         if backend is None:
             self.metrics.counter("route/no-replica-alive").increment()
             if tracer is not None:

@@ -21,7 +21,8 @@ from ..cluster import BackendServer, Cpu, NodeSpec
 from ..content import ContentItem, ContentType
 from ..net import HttpRequest, HttpResponse, Lan, Nic
 from ..net.packet import Address
-from ..sim import Interrupt, MetricSet, Simulator, ThroughputMeter
+from ..sim import (Counter, Histogram, Interrupt, MetricSet, Simulator,
+                   ThroughputMeter)
 from .mapping_table import MappingState, MappingTable
 from .overload import OverloadConfig, OverloadControl, RequestTimeout
 from .policies import Policy, RoutingView, WeightedLeastConnection
@@ -121,6 +122,13 @@ class Frontend:
         if overload is not None:
             self.overload = OverloadControl(sim, overload, self.view,
                                             tracer=tracer)
+        # Interned per-request collectors: _finish runs once per request,
+        # and rebuilding the f-string keys + registry probes dominated its
+        # cost.  Entries are created lazily through the registry on first
+        # use, so the snapshot key set is exactly what it always was.
+        self._status_counters: dict[int, Counter] = {}
+        self._latency_hists: dict[ContentType, Histogram] = {}
+        self._latency_all: Optional[Histogram] = None
 
     def _trace_splice(self, entry, old: MappingState,
                       new: MappingState) -> None:
@@ -167,7 +175,8 @@ class Frontend:
                                 client=request.client_id,
                                 request_id=request.request_id)
         self.inflight += 1
-        self.peak_inflight = max(self.peak_inflight, self.inflight)
+        if self.inflight > self.peak_inflight:
+            self.peak_inflight = self.inflight
         try:
             ctl = self.overload
             if ctl is None:
@@ -341,6 +350,17 @@ class Frontend:
                     self.sim.schedule(
                         duration,
                         lambda: self._teardown_done(req, duration))
+                elif self.sim.fast_path:
+                    # Busy core: the teardown still may not jump the queue
+                    # -- the event path's process joins the core's FIFO
+                    # only when its _Initialize fires, after every event
+                    # already scheduled for this instant.  A 0-delay
+                    # callback lands at the identical batch position, then
+                    # queues a grant-and-hold request; no process, no
+                    # generator, one event less.
+                    duration = self.cpu.scaled(self.costs.teardown_cpu)
+                    self.sim.schedule(
+                        0.0, lambda: self._teardown_enqueue(duration))
                 else:
                     self.sim.process(self.cpu.run(self.costs.teardown_cpu),
                                      name="teardown")
@@ -366,6 +386,21 @@ class Frontend:
         self.cpu.busy_seconds += duration
         self.cpu.bursts += 1
 
+    def _teardown_enqueue(self, duration: float) -> None:
+        """Deferred half of the processless teardown (fast path only).
+
+        Runs where the event path's teardown process would have started;
+        the bookkeeping below mirrors Cpu.run exactly.
+        """
+        core = self.cpu._core
+        req = core.try_acquire()
+        if req is not None:
+            self.sim.schedule(duration,
+                              lambda: self._teardown_done(req, duration))
+            return
+        req = core.request(hold=duration)
+        req.add_callback(lambda ev: self._teardown_done(req, duration))
+
     def _backend_serve(self, server: BackendServer, request: HttpRequest,
                        item: Optional[ContentItem]) -> Generator:
         """Await the backend's response, bounded by the request timeout."""
@@ -380,8 +415,17 @@ class Frontend:
         proc = self.sim.process(server.serve(request, item))
         if ctl is None or ctl.config.request_timeout <= 0:
             return (yield proc)
-        timer = self.sim.timeout(ctl.config.request_timeout)
-        yield self.sim.any_of([proc, timer])
+        if self.sim.fast_path:
+            # pooled race: same two events and the same arbitration, but
+            # the timer and the AnyOf come from (and return to) the
+            # kernel's recycling pools instead of being allocated per race
+            timer = self.sim.hot_timeout(ctl.config.request_timeout)
+            cond = self.sim.hot_any_of((proc, timer))
+            yield cond
+            self.sim.recycle_any_of(cond)
+        else:
+            timer = self.sim.timeout(ctl.config.request_timeout)
+            yield self.sim.any_of([proc, timer])
         if proc.triggered:
             return proc.value
         # the backend is still chewing: abandon the splice (the distributor
@@ -414,7 +458,7 @@ class Frontend:
         response = HttpResponse(request=request, status=503,
                                 completed_at=self.sim.now)
         self.metrics.counter(counter).increment()
-        self.metrics.counter(f"status/{response.status}").increment()
+        self._count_status(response.status)
         if self.tracer is not None:
             name = counter.split("/", 1)[1]  # "shed" | "degraded"
             why = reason or name
@@ -430,25 +474,36 @@ class Frontend:
                                            if self.overload is not None
                                            else 0.0))
 
+    def _count_status(self, status: int) -> None:
+        counter = self._status_counters.get(status)
+        if counter is None:
+            counter = self.metrics.counter(f"status/{status}")
+            self._status_counters[status] = counter
+        counter.increment()
+
     def _finish(self, entry, request: HttpRequest, response: HttpResponse,
                 started: float, item: Optional[ContentItem],
                 span=None) -> RequestOutcome:
         # teardown: FIN from the client, distributor ACKs, final ACK
-        if entry.state in (MappingState.BOUND, MappingState.ESTABLISHED):
-            self.mapping.transition(entry, MappingState.FIN_RECEIVED)
-            self.mapping.transition(entry, MappingState.HALF_CLOSED)
-        self.mapping.transition(entry, MappingState.CLOSED)
-        self.mapping.delete(entry.client)
+        # (the fused close applies the same transition chain)
+        self.mapping.close(entry)
         latency = self.sim.now - started
         self.meter.record(self.sim.now, nbytes=response.content_length)
         if item is not None and response.ok:
             self.class_meters[item.ctype].record(
                 self.sim.now, nbytes=response.content_length)
-            self.metrics.histogram(f"latency/{item.ctype.value}",
-                                   low=1e-5, high=100.0).observe(latency)
-        self.metrics.histogram("latency/all",
-                               low=1e-5, high=100.0).observe(latency)
-        self.metrics.counter(f"status/{response.status}").increment()
+            hist = self._latency_hists.get(item.ctype)
+            if hist is None:
+                hist = self.metrics.histogram(f"latency/{item.ctype.value}",
+                                              low=1e-5, high=100.0)
+                self._latency_hists[item.ctype] = hist
+            hist.observe(latency)
+        hist = self._latency_all
+        if hist is None:
+            hist = self._latency_all = self.metrics.histogram(
+                "latency/all", low=1e-5, high=100.0)
+        hist.observe(latency)
+        self._count_status(response.status)
         if self.on_response is not None:
             self.on_response(item, response)
         if self.tracer is not None and span is not None:

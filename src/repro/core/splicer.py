@@ -29,7 +29,8 @@ import itertools
 from typing import Optional
 
 from ..net.http import HttpRequest, HttpVersion
-from ..net.packet import Address, Segment, TcpFlags
+from ..net.packet import (ACK_FLAG, FIN_FLAG, PSH_FLAG, RST_FLAG, SYN_FLAG,
+                          Address, Segment)
 from ..net.tcp import Network
 from ..sim import SimEvent, Simulator, Store
 from .mapping_table import MappingEntry, MappingState, MappingTable
@@ -39,6 +40,15 @@ from .url_table import UrlTable, UrlTableError
 __all__ = ["SplicingDistributor", "PoolLeg"]
 
 _isns = itertools.count(5_000_000, 2741)
+
+#: Precomputed plain-int flag words for every segment the splicer emits
+#: (``IntFlag.__or__`` is a Python-level call; see ``repro.net.packet``).
+_SYN = SYN_FLAG
+_ACK = ACK_FLAG
+_RST = RST_FLAG
+_SYN_ACK = SYN_FLAG | ACK_FLAG
+_ACK_PSH = ACK_FLAG | PSH_FLAG
+_FIN_ACK = FIN_FLAG | ACK_FLAG
 
 #: Lifecycle of a pre-forked backend leg.  Legs are opened once at prefork
 #: time and then stay ESTABLISHED for the life of the distributor (the
@@ -145,7 +155,7 @@ class SplicingDistributor:
         self._legs[local.port] = leg
         _leg_transition(leg, "SYN_SENT", self.tracer)
         self.net.send(Segment(src=local, dst=remote, seq=leg.snd_nxt,
-                              ack=0, flags=TcpFlags.SYN))
+                              ack=0, flags=_SYN))
         leg.snd_nxt += 1
         return leg.established
 
@@ -168,13 +178,13 @@ class SplicingDistributor:
                              name=f"splice:{client}")
             self.net.send(Segment(src=self.vip, dst=client,
                                   seq=entry.vip_isn, ack=entry.client_seq,
-                                  flags=TcpFlags.SYN | TcpFlags.ACK))
+                                  flags=_SYN_ACK))
             return
         inbox = self._inboxes.get(client)
         if inbox is not None:
             inbox.put(seg)
 
-    def _vip_send(self, entry: MappingEntry, flags: TcpFlags,
+    def _vip_send(self, entry: MappingEntry, flags: int,
                   payload_len: int = 0, payload=None,
                   frags: int = 1) -> None:
         self.net.send(Segment(src=self.vip, dst=entry.client,
@@ -207,7 +217,7 @@ class SplicingDistributor:
                     bound = yield from self._bind(entry, request)
                     if not bound:
                         # unknown document / no backend: refuse the conn
-                        self._vip_send(entry, TcpFlags.RST)
+                        self._vip_send(entry, _RST)
                         self._teardown(entry, aborted=True)
                         return
                 leg: PoolLeg = entry.pooled_conn  # type: ignore[assignment]
@@ -215,14 +225,14 @@ class SplicingDistributor:
                 self.net.send(Segment(
                     src=leg.local, dst=leg.remote,
                     seq=leg.snd_nxt, ack=leg.rcv_nxt,
-                    flags=TcpFlags.ACK | TcpFlags.PSH,
+                    flags=_ACK_PSH,
                     payload_len=seg.payload_len, payload=seg.payload,
                     frags=seg.frags))
                 leg.snd_nxt += seg.payload_len
                 entry.requests_relayed += 1
                 entry.bytes_to_server += seg.payload_len
                 self.relayed_to_server += seg.frags
-                self._vip_send(entry, TcpFlags.ACK, frags=seg.frags)
+                self._vip_send(entry, _ACK, frags=seg.frags)
                 if request.version is HttpVersion.HTTP_1_0:
                     entry.http10 = True
                 continue
@@ -231,7 +241,7 @@ class SplicingDistributor:
                 if entry.state in (MappingState.ESTABLISHED,
                                    MappingState.BOUND):
                     self.mapping.transition(entry, MappingState.FIN_RECEIVED)
-                self._vip_send(entry, TcpFlags.ACK)
+                self._vip_send(entry, _ACK)
                 if entry.state is MappingState.FIN_RECEIVED:
                     self.mapping.transition(entry, MappingState.HALF_CLOSED)
                 if entry.vip_fin_sent:
@@ -239,7 +249,7 @@ class SplicingDistributor:
                     # client's FIN acknowledges everything: fully closed.
                     self._teardown(entry)
                     return
-                self._vip_send(entry, TcpFlags.FIN | TcpFlags.ACK)
+                self._vip_send(entry, _FIN_ACK)
                 entry.client_ack += 1
                 entry.vip_fin_sent = True
                 continue
@@ -292,7 +302,7 @@ class SplicingDistributor:
             _leg_transition(leg, "ESTABLISHED", self.tracer)
             self.net.send(Segment(src=leg.local, dst=leg.remote,
                                   seq=leg.snd_nxt, ack=leg.rcv_nxt,
-                                  flags=TcpFlags.ACK))
+                                  flags=_ACK))
             self._available[leg.backend].put(leg)
             assert leg.established is not None
             leg.established.succeed(leg)
@@ -302,12 +312,12 @@ class SplicingDistributor:
             # ACK the backend on the pool leg (one per relayed fragment)...
             self.net.send(Segment(src=leg.local, dst=leg.remote,
                                   seq=leg.snd_nxt, ack=leg.rcv_nxt,
-                                  flags=TcpFlags.ACK, frags=seg.frags))
+                                  flags=_ACK, frags=seg.frags))
             # ...and relay the response to the client, rewritten.
             entry = leg.bound_entry
             if entry is None:
                 return  # response after abort: drop
-            flags = TcpFlags.ACK | TcpFlags.PSH
+            flags = _ACK_PSH
             # §2.2: for HTTP/1.0 "the distributor will set the FIN flag
             # instead of server when it relay the last packet".  The last
             # packet of a response is the one carrying the parsed message
@@ -315,7 +325,7 @@ class SplicingDistributor:
             last_packet = seg.payload is not None
             add_fin = entry.http10 and last_packet and not entry.vip_fin_sent
             if add_fin:
-                flags |= TcpFlags.FIN
+                flags |= FIN_FLAG
                 entry.vip_fin_sent = True
             self.net.send(Segment(src=self.vip, dst=entry.client,
                                   seq=entry.client_ack,

@@ -42,6 +42,14 @@ class HttpMethod(enum.Enum):
     HEAD = "HEAD"
 
 
+#: Memoized successful splits.  URLs in a run come from a fixed catalog
+#: (the paper's site is ~8 700 objects), so the working set is small and
+#: splitting each URL once is enough; the cap only guards pathological
+#: callers.  Failures are never cached (they must keep raising).
+_split_cache: dict[str, tuple[str, ...]] = {}
+_SPLIT_CACHE_CAP = 65536
+
+
 def split_path(url: str) -> tuple[str, ...]:
     """Split an absolute URL path into its segments.
 
@@ -49,10 +57,16 @@ def split_path(url: str) -> tuple[str, ...]:
     string is not part of the routing key (the paper routes on the document,
     not its arguments).
     """
+    cached = _split_cache.get(url)
+    if cached is not None:
+        return cached
     path = url.split("?", 1)[0].split("#", 1)[0]
     if not path.startswith("/"):
         raise ValueError(f"URL path must be absolute, got {url!r}")
-    return tuple(seg for seg in path.split("/") if seg)
+    segments = tuple(seg for seg in path.split("/") if seg)
+    if len(_split_cache) < _SPLIT_CACHE_CAP:
+        _split_cache[url] = segments
+    return segments
 
 
 def parent_dirs(url: str) -> list[str]:

@@ -139,8 +139,9 @@ class Lan:
 
     def transfer_time(self, src: Nic, dst: Nic, nbytes: int) -> float:
         """Uncontended duration of a transfer (excluding queueing)."""
-        rate = min(src.bytes_per_second, dst.bytes_per_second)
-        return nbytes * WIRE_OVERHEAD / rate + self.latency
+        a = src.bytes_per_second
+        b = dst.bytes_per_second
+        return nbytes * WIRE_OVERHEAD / (a if a <= b else b) + self.latency
 
     def transfer(self, src: Nic, dst: Nic,
                  nbytes: int) -> Generator:
@@ -151,32 +152,50 @@ class Lan:
         """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
-        # Fast path: no active fault on the LAN and both endpoint channels
-        # idle and unqueued.  Both channel grants are synchronous no-wait
-        # acquisitions (bookkeeping-identical to the event-based grant, see
-        # Resource.try_acquire) and the hold collapses to one pooled
-        # timeout -- one heap event instead of three.  Any chaos fault
-        # (loss/delay/partition) or contention falls through to the
-        # segment-accurate path below.
         ks = self.sim.kernel_stats
         if (self.sim.fast_path and self._loss_rng is None
-                and not self._partitioned and self.extra_latency == 0.0
-                and src.tx.can_acquire and dst.rx.can_acquire):
-            if ks is not None:
-                ks.on_fast_path("lan", True)
+                and not self._partitioned and self.extra_latency == 0.0):
+            # No active fault: acquire each endpoint channel synchronously
+            # when it is idle (bookkeeping-identical to the event-based
+            # grant, see Resource.try_acquire) and queue event-accurately
+            # on a busy one; the hold itself is one pooled timeout.  When
+            # both channels are idle this is the classic single-event
+            # fast transfer.  Any chaos fault (loss/delay/partition)
+            # falls through to the segment-accurate path below.
+            duration = self.transfer_time(src, dst, nbytes)
+            tx_sync = True
             tx_req = src.tx.try_acquire()
-            rx_req = dst.rx.try_acquire()
+            if tx_req is None:
+                tx_sync = False
+                if ks is not None:
+                    ks.on_fast_path("lan", False)
+                tx_req = yield src.tx.request()
             try:
-                yield self.sim.hot_timeout(
-                    self.transfer_time(src, dst, nbytes))
+                rx_req = dst.rx.try_acquire()
+                if rx_req is not None:
+                    try:
+                        # hit = both channels idle at entry; a queued TX
+                        # already counted as a fallback above
+                        if tx_sync:
+                            self.fast_transfers += 1
+                            if ks is not None:
+                                ks.on_fast_path("lan", True)
+                        yield self.sim.hot_timeout(duration)
+                    finally:
+                        dst.rx.release(rx_req)
+                else:
+                    if tx_sync and ks is not None:
+                        ks.on_fast_path("lan", False)
+                    # Busy receiver: grant-and-hold -- the RX grant event
+                    # fires once, when the hold expires (Resource.request)
+                    rx_req = yield dst.rx.request(hold=duration)
+                    dst.rx.release(rx_req)
             finally:
-                dst.rx.release(rx_req)
                 src.tx.release(tx_req)
             self.total_transfers += 1
             self.total_bytes += nbytes
             src.bytes_sent += nbytes
             dst.bytes_received += nbytes
-            self.fast_transfers += 1
             return self.sim.now
         if ks is not None and self.sim.fast_path:
             ks.on_fast_path("lan", False)

@@ -16,7 +16,8 @@ import dataclasses
 import enum
 from typing import Any, Optional
 
-__all__ = ["TcpFlags", "Address", "Segment", "rewrite"]
+__all__ = ["TcpFlags", "Address", "Segment", "rewrite",
+           "SYN_FLAG", "ACK_FLAG", "FIN_FLAG", "RST_FLAG", "PSH_FLAG"]
 
 
 class TcpFlags(enum.IntFlag):
@@ -28,6 +29,19 @@ class TcpFlags(enum.IntFlag):
     FIN = 0x01
     RST = 0x04
     PSH = 0x08
+
+
+#: Plain-int values of the flag bits.  ``IntFlag.__and__``/``__or__`` are
+#: Python-level calls that dominated the packet hot path (~70k profiled
+#: stdlib frames per bench run); every flag test and every emit-site
+#: combination below uses these C-speed masks instead.  :class:`TcpFlags`
+#: stays the public, serialized representation -- it *is* an int, so the
+#: two are interchangeable in comparisons and constructors.
+SYN_FLAG = int(TcpFlags.SYN)
+ACK_FLAG = int(TcpFlags.ACK)
+FIN_FLAG = int(TcpFlags.FIN)
+RST_FLAG = int(TcpFlags.RST)
+PSH_FLAG = int(TcpFlags.PSH)
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -62,7 +76,10 @@ class Segment:
     dst: Address
     seq: int
     ack: int
-    flags: TcpFlags
+    #: int bitmask; hot emit sites pass precomputed plain-int combinations
+    #: (C-speed flag tests), while :class:`TcpFlags` values are accepted
+    #: unchanged (IntFlag is an int)
+    flags: int
     payload_len: int = 0
     payload: Any = None
     #: number of wire segments this object stands for.  The kernel fast
@@ -79,26 +96,26 @@ class Segment:
 
     @property
     def is_syn(self) -> bool:
-        return bool(self.flags & TcpFlags.SYN)
+        return bool(self.flags & SYN_FLAG)
 
     @property
     def is_ack(self) -> bool:
-        return bool(self.flags & TcpFlags.ACK)
+        return bool(self.flags & ACK_FLAG)
 
     @property
     def is_fin(self) -> bool:
-        return bool(self.flags & TcpFlags.FIN)
+        return bool(self.flags & FIN_FLAG)
 
     @property
     def is_rst(self) -> bool:
-        return bool(self.flags & TcpFlags.RST)
+        return bool(self.flags & RST_FLAG)
 
     def seq_space(self) -> int:
         """Sequence-number space consumed (SYN and FIN count as one each)."""
         space = self.payload_len
-        if self.flags & TcpFlags.SYN:
+        if self.flags & SYN_FLAG:
             space += 1
-        if self.flags & TcpFlags.FIN:
+        if self.flags & FIN_FLAG:
             space += 1
         return space
 

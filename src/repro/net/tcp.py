@@ -20,12 +20,24 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from ..sim import SimEvent, Simulator, Store
-from .packet import Address, Segment, TcpFlags
+from .packet import (ACK_FLAG, FIN_FLAG, PSH_FLAG, RST_FLAG, SYN_FLAG,
+                     Address, Segment, TcpFlags)
 
 __all__ = ["ProtocolError", "TcpState", "Network", "Host", "TcpSocket"]
+
+#: Emit-site flag combinations, precomputed to plain ints at import time:
+#: ``TcpFlags.ACK | TcpFlags.PSH`` at every send was a pair of Python-level
+#: ``IntFlag`` calls on the hot path.  Segments built from these are
+#: bit-identical to the enum-built ones (IntFlag is an int).
+_SYN = SYN_FLAG
+_ACK = ACK_FLAG
+_RST = RST_FLAG
+_SYN_ACK = SYN_FLAG | ACK_FLAG
+_ACK_PSH = ACK_FLAG | PSH_FLAG
+_FIN_ACK = FIN_FLAG | ACK_FLAG
 
 
 class ProtocolError(Exception):
@@ -43,6 +55,10 @@ class TcpState(enum.Enum):
     CLOSE_WAIT = "CLOSE_WAIT"
     LAST_ACK = "LAST_ACK"
     TIME_WAIT = "TIME_WAIT"
+
+    # Identity hash (members are singletons): the per-segment dispatch
+    # table below otherwise pays the Python-level ``Enum.__hash__``.
+    __hash__ = object.__hash__
 
 
 _isn_counter = itertools.count(1000, 7919)  # deterministic, distinct ISNs
@@ -130,7 +146,7 @@ class Host:
         if not segment.is_rst:
             self.net.send(Segment(src=segment.dst, dst=segment.src,
                                   seq=segment.ack, ack=0,
-                                  flags=TcpFlags.RST))
+                                  flags=_RST))
 
 
 class TcpSocket:
@@ -162,7 +178,7 @@ class TcpSocket:
         self.host._register_conn(self)
         self.state = TcpState.SYN_SENT
         self._connect_event = self.sim.event()
-        self._emit(TcpFlags.SYN)
+        self._emit(_SYN)
         self.snd_nxt += 1
         return self._connect_event
 
@@ -172,8 +188,7 @@ class TcpSocket:
             raise ProtocolError(f"send() in state {self.state}")
         if nbytes <= 0:
             raise ValueError("nbytes must be positive")
-        self._emit(TcpFlags.ACK | TcpFlags.PSH, payload_len=nbytes,
-                   payload=payload)
+        self._emit(_ACK_PSH, payload_len=nbytes, payload=payload)
         self.snd_nxt += nbytes
 
     def send_data(self, payload, nbytes: int, mss: int = 1460) -> int:
@@ -200,7 +215,7 @@ class TcpSocket:
             if self.state not in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT):
                 raise ProtocolError(f"send() in state {self.state}")
             self.net.flow_forwards += 1
-            self._emit(TcpFlags.ACK | TcpFlags.PSH, payload_len=nbytes,
+            self._emit(_ACK_PSH, payload_len=nbytes,
                        payload=payload, frags=nsegs)
             self.snd_nxt += nbytes
             return nsegs
@@ -231,11 +246,11 @@ class TcpSocket:
         """Begin an orderly close; the returned event fires at CLOSED."""
         if self.state is TcpState.ESTABLISHED:
             self.state = TcpState.FIN_WAIT_1
-            self._emit(TcpFlags.FIN | TcpFlags.ACK)
+            self._emit(_FIN_ACK)
             self.snd_nxt += 1
         elif self.state is TcpState.CLOSE_WAIT:
             self.state = TcpState.LAST_ACK
-            self._emit(TcpFlags.FIN | TcpFlags.ACK)
+            self._emit(_FIN_ACK)
             self.snd_nxt += 1
         elif self.state is TcpState.CLOSED:
             if not self.closed_event.triggered:
@@ -248,7 +263,7 @@ class TcpSocket:
         """Send RST and drop straight to CLOSED."""
         if self.remote is not None and self.state not in (
                 TcpState.CLOSED, TcpState.LISTEN):
-            self._emit(TcpFlags.RST)
+            self._emit(_RST)
         self._become_closed()
 
     # -- internals ------------------------------------------------------------
@@ -275,7 +290,7 @@ class TcpSocket:
         child.state = TcpState.SYN_RECEIVED
         child.rcv_nxt = segment.seq + 1
         self.host._register_conn(child)
-        child._emit(TcpFlags.SYN | TcpFlags.ACK)
+        child._emit(_SYN_ACK)
         child.snd_nxt += 1
         child._on_accept = self._on_accept
 
@@ -284,19 +299,11 @@ class TcpSocket:
             self.reset = True
             self._become_closed()
             return
-        handler = {
-            TcpState.SYN_SENT: self._in_syn_sent,
-            TcpState.SYN_RECEIVED: self._in_syn_received,
-            TcpState.ESTABLISHED: self._in_established,
-            TcpState.FIN_WAIT_1: self._in_fin_wait_1,
-            TcpState.FIN_WAIT_2: self._in_fin_wait_2,
-            TcpState.CLOSE_WAIT: self._in_close_wait,
-            TcpState.LAST_ACK: self._in_last_ack,
-        }.get(self.state)
+        handler = _HANDLERS.get(self.state)
         if handler is None:
             raise ProtocolError(
                 f"{self.local}: segment in unexpected state {self.state}")
-        handler(segment)
+        handler(self, segment)
 
     def _accept_data(self, segment: Segment) -> None:
         """Common in-order data/FIN acceptance used by synchronized states."""
@@ -311,14 +318,14 @@ class TcpSocket:
             self.inbox.put((segment.payload, segment.payload_len))
         # ACKing an aggregated segment stands for the per-fragment ACKs
         # the segment path would have sent
-        self._emit(TcpFlags.ACK, frags=segment.frags)
+        self._emit(_ACK, frags=segment.frags)
 
     def _in_syn_sent(self, segment: Segment) -> None:
         if not (segment.is_syn and segment.is_ack):
             raise ProtocolError(f"{self.local}: expected SYN-ACK")
         self.rcv_nxt = segment.seq + 1
         self.state = TcpState.ESTABLISHED
-        self._emit(TcpFlags.ACK)
+        self._emit(_ACK)
         assert self._connect_event is not None
         self._connect_event.succeed(self)
 
@@ -359,3 +366,17 @@ class TcpSocket:
     def _in_last_ack(self, segment: Segment) -> None:
         if segment.is_ack and segment.ack >= self.snd_nxt:
             self._become_closed()
+
+
+#: Per-state segment dispatch, built once at import.  ``_handle`` used to
+#: rebuild a seven-entry dict of bound methods for every delivered segment;
+#: the unbound functions here are called as ``handler(sock, segment)``.
+_HANDLERS: dict[TcpState, Any] = {
+    TcpState.SYN_SENT: TcpSocket._in_syn_sent,
+    TcpState.SYN_RECEIVED: TcpSocket._in_syn_received,
+    TcpState.ESTABLISHED: TcpSocket._in_established,
+    TcpState.FIN_WAIT_1: TcpSocket._in_fin_wait_1,
+    TcpState.FIN_WAIT_2: TcpSocket._in_fin_wait_2,
+    TcpState.CLOSE_WAIT: TcpSocket._in_close_wait,
+    TcpState.LAST_ACK: TcpSocket._in_last_ack,
+}

@@ -84,6 +84,10 @@ class KernelStats:
         self.pool_misses = 0
         #: per-layer fast-path decisions: layer -> [hits, fallbacks]
         self.fast_path: dict[str, list[int]] = {}
+        #: same-timestamp dispatch batches (calendar queue only)
+        self.batches = 0
+        self.batched_events = 0
+        self.max_batch = 0
 
     def attach(self, sim: Any) -> "KernelStats":
         sim.kernel_stats = self
@@ -112,6 +116,12 @@ class KernelStats:
             self.pool_hits += 1
         else:
             self.pool_misses += 1
+
+    def on_batch(self, size: int) -> None:
+        self.batches += 1
+        self.batched_events += size
+        if size > self.max_batch:
+            self.max_batch = size
 
     def on_fast_path(self, layer: str, hit: bool) -> None:
         entry = self.fast_path.setdefault(layer, [0, 0])
@@ -170,6 +180,13 @@ class KernelStats:
                 "recycle_rate": round(self.recycle_rate, 4),
             },
             "event_classes": self._top(self.scheduled, top),
+            "batch_dispatch": {
+                "batches": self.batches,
+                "events": self.batched_events,
+                "max": self.max_batch,
+                "avg": round(self.batched_events / self.batches, 2)
+                if self.batches else 0.0,
+            },
             "fast_path": {
                 layer: {"hits": counts[0], "fallbacks": counts[1]}
                 for layer, counts in sorted(self.fast_path.items())

@@ -29,6 +29,7 @@ insertion order (a monotone sequence number breaks ties).
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -179,14 +180,14 @@ class _Initialize(SimEvent):
     def __init__(self, sim: "Simulator", process: "Process"):
         super().__init__(sim)
         self._value = None
-        self.add_callback(process._resume)
+        self.add_callback(process._resume_cb)
         sim._enqueue(0.0, self)
 
 
 class Process(SimEvent):
     """A running generator.  Also an event that triggers on completion."""
 
-    __slots__ = ("name", "_generator", "_target")
+    __slots__ = ("name", "_generator", "_target", "_resume_cb")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         if not hasattr(generator, "send"):
@@ -195,6 +196,9 @@ class Process(SimEvent):
         self.name = name or getattr(generator, "__name__", "process")
         self._generator = generator
         self._target: Optional[SimEvent] = None
+        # Interned bound method: every suspension point registers the same
+        # callback object, so waits stop paying a method-binding allocation.
+        self._resume_cb = self._resume
         _Initialize(sim, self)
 
     @property
@@ -218,7 +222,7 @@ class Process(SimEvent):
         target = self._target
         if target is not None and target.callbacks is not None:
             try:
-                target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
             else:
@@ -226,53 +230,55 @@ class Process(SimEvent):
                 if ks is not None:
                     ks.on_cancelled(target)
         self._target = None
-        interrupt_event.add_callback(self._resume)
+        interrupt_event.add_callback(self._resume_cb)
         self.sim._enqueue(0.0, interrupt_event)
 
     def _resume(self, event: SimEvent) -> None:
         self._target = None
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
         try:
             if event._exception is not None:
                 next_event = self._generator.throw(event._exception)
             else:
                 next_event = self._generator.send(event._value)
         except StopIteration as stop:
-            self.sim._active_process = None
+            sim._active_process = None
             self._value = stop.value
-            self.sim._enqueue(0.0, self)
+            sim._enqueue(0.0, self)
             return
         except Interrupt as exc:
             # An unhandled interrupt terminates the process "successfully"
             # with the interrupt cause -- the interruptor asked it to stop.
-            self.sim._active_process = None
+            sim._active_process = None
             self._value = exc.cause
-            self.sim._enqueue(0.0, self)
+            sim._enqueue(0.0, self)
             return
         except BaseException as exc:
-            self.sim._active_process = None
+            sim._active_process = None
             self._exception = exc
             self._value = None
-            self.sim._enqueue(0.0, self)
+            sim._enqueue(0.0, self)
             return
-        self.sim._active_process = None
+        sim._active_process = None
         if not isinstance(next_event, SimEvent):
             raise TypeError(
                 f"process {self.name!r} yielded {next_event!r}; "
                 "processes must yield SimEvent instances")
-        if next_event.sim is not self.sim:
+        if next_event.sim is not sim:
             raise RuntimeError("cannot wait on an event from another simulator")
-        if next_event.callbacks is None:  # processed: resume immediately
+        cbs = next_event.callbacks
+        if cbs is None:  # processed: resume immediately
             # Already fired: resume immediately (at the current time).
-            immediate = SimEvent(self.sim)
+            immediate = SimEvent(sim)
             immediate._value = next_event._value
             immediate._exception = next_event._exception
             immediate.defuse()
-            immediate.add_callback(self._resume)
-            self.sim._enqueue(0.0, immediate)
+            immediate.add_callback(self._resume_cb)
+            sim._enqueue(0.0, immediate)
             self._target = None
         else:
-            next_event.add_callback(self._resume)
+            cbs.append(self._resume_cb)
             if next_event._exception is not None:
                 next_event.defuse()
             self._target = next_event
@@ -428,8 +434,32 @@ class Simulator:
         #: completion timeout when (and only when) the collapsed form is
         #: observably identical to the event-by-event one.
         self.fast_path = fast_path
+        #: queue backend selection, fixed at construction: the reference
+        #: engine keeps the flat heap; the fast path runs on the two-level
+        #: calendar queue (DESIGN §16).  The structures are proven
+        #: order-identical by tests/sim/test_calendar_queue.py.
+        self._use_calendar = bool(fast_path)
+        #: calendar level 0: FIFO of events due at the *current* timestamp.
+        #: Zero-delay enqueues land here in O(1) and drain in one batch.
+        self._cur: deque[SimEvent] = deque()
+        #: calendar level 1: exact-timestamp buckets (dict append is O(1))
+        #: plus a heap of *distinct* pending timestamps.  Within a bucket,
+        #: append order is sequence order, so (time, seq) dispatch order is
+        #: identical to the reference heap by construction.
+        self._buckets: dict[float, list[SimEvent]] = {}
+        self._times: list[float] = []
+        self._pending = 0
+        self._batch_n = 0
+        #: the active :meth:`run` deadline; segmented holds must finish
+        #: inside it (see :meth:`fits_horizon`) or stay event-accurate,
+        #: else a truncated run would freeze them with boundary effects
+        #: (cache access, first-burst bookkeeping) in a different state
+        #: than the event path's.
+        self._horizon = float("inf")
         #: recycled one-shot timeouts for :meth:`hot_timeout`
         self._timeout_pool: list[Timeout] = []
+        #: recycled AnyOf conditions for :meth:`hot_any_of`
+        self._anyof_pool: list[AnyOf] = []
         #: registered checks as mutable [check, every, countdown] triples
         self._invariants: list[list] = []
         #: fault injections registered via :meth:`add_injection`
@@ -453,6 +483,11 @@ class Simulator:
     def active_process(self) -> Optional[Process]:
         """The process currently executing, if any."""
         return self._active_process
+
+    def fits_horizon(self, delay: float) -> bool:
+        """True when an operation of ``delay`` completes within the
+        active :meth:`run` deadline (events *at* the deadline fire)."""
+        return self._now + delay <= self._horizon
 
     # -- event creation ---------------------------------------------------
     def event(self) -> SimEvent:
@@ -492,6 +527,75 @@ class Simulator:
             ks.on_pool_recycle(False)
         return t
 
+    def hot_timeout_at(self, when: float) -> Timeout:
+        """A pooled :class:`Timeout` that fires at the absolute time
+        ``when`` (must not be in the past).
+
+        Segmented holds need bitwise-exact fire times -- ``(t0 + d1) + d2``
+        exactly as the event-by-event path computes them; deriving a delay
+        and re-adding ``now`` inside :meth:`_enqueue` would round
+        differently.  Same recycling contract as :meth:`hot_timeout`.
+        """
+        if when < self._now:
+            raise ValueError(f"fire time {when!r} is in the past")
+        pool = self._timeout_pool
+        ks = self.kernel_stats
+        hit = bool(pool)
+        if hit:
+            t = pool.pop()
+            t.callbacks = []
+            t._value = None
+            t._exception = None
+            t._defused = False
+        else:
+            t = Timeout.__new__(Timeout)
+            SimEvent.__init__(t, self)
+            t._value = None
+            t._pooled = True
+        t.delay = when - self._now
+        self._enqueue_abs(when, t)
+        if ks is not None:
+            ks.on_pool_recycle(hit)
+        return t
+
+    def hot_any_of(self, events: Iterable[SimEvent]) -> AnyOf:
+        """A pooled :class:`AnyOf` for high-churn race points.
+
+        Same contract as :meth:`hot_timeout`: the caller must hand the
+        condition back via :meth:`recycle_any_of` once its result has been
+        read, and must not keep a reference afterwards.  Falls back to a
+        fresh :class:`AnyOf` when the pool is empty.
+        """
+        pool = self._anyof_pool
+        ks = self.kernel_stats
+        if pool:
+            cond = pool.pop()
+            cond.callbacks = []
+            cond._value = _PENDING
+            cond._exception = None
+            cond._defused = False
+            cond.events = list(events)
+            cond._done = 0
+            check = cond._check
+            for ev in cond.events:
+                if ev.processed:
+                    check(ev)
+                else:
+                    ev.add_callback(check)
+            if ks is not None:
+                ks.on_pool_recycle(True)
+            return cond
+        if ks is not None:
+            ks.on_pool_recycle(False)
+        return AnyOf(self, events)
+
+    def recycle_any_of(self, cond: AnyOf) -> None:
+        """Return a processed :meth:`hot_any_of` condition to the pool."""
+        if type(cond) is AnyOf and cond.callbacks is None:
+            cond.events = []
+            cond._value = None  # drop the collected result graph
+            self._anyof_pool.append(cond)
+
     def process(self, generator: Generator, name: str = "") -> Process:
         """Start a new process from ``generator``."""
         return Process(self, generator, name=name)
@@ -505,10 +609,82 @@ class Simulator:
     # -- scheduling ---------------------------------------------------------
     def _enqueue(self, delay: float, event: SimEvent) -> None:
         self._eid += 1
+        if self._use_calendar:
+            when = self._now + delay
+            if when <= self._now:
+                # Due at the current timestamp (zero delay, or a delay so
+                # small it rounds away): straight onto the level-0 FIFO.
+                self._cur.append(event)
+            else:
+                bucket = self._buckets.get(when)
+                if bucket is None:
+                    self._buckets[when] = [event]
+                    heapq.heappush(self._times, when)
+                else:
+                    bucket.append(event)
+            self._pending += 1
+            ks = self.kernel_stats
+            if ks is not None:
+                ks.on_scheduled(event, self._pending)
+            return
         heapq.heappush(self._heap, (self._now + delay, self._eid, event))
         ks = self.kernel_stats
         if ks is not None:
             ks.on_scheduled(event, len(self._heap))
+
+    def _enqueue_abs(self, when: float, event: SimEvent) -> None:
+        """Schedule ``event`` at the absolute timestamp ``when``.
+
+        :meth:`hot_timeout_at`'s back end; duplicated from
+        :meth:`_enqueue` rather than delegated because the delay form is
+        the kernel's hottest function.
+        """
+        self._eid += 1
+        if self._use_calendar:
+            if when <= self._now:
+                self._cur.append(event)
+            else:
+                bucket = self._buckets.get(when)
+                if bucket is None:
+                    self._buckets[when] = [event]
+                    heapq.heappush(self._times, when)
+                else:
+                    bucket.append(event)
+            self._pending += 1
+            ks = self.kernel_stats
+            if ks is not None:
+                ks.on_scheduled(event, self._pending)
+            return
+        heapq.heappush(self._heap, (when, self._eid, event))
+        ks = self.kernel_stats
+        if ks is not None:
+            ks.on_scheduled(event, len(self._heap))
+
+    def _cancel_scheduled(self, event: SimEvent, when: float) -> bool:
+        """Remove a not-yet-fired event from the calendar by handle.
+
+        Unlike lazy tombstoning, the entry is gone immediately: it will not
+        fire, not count as a batch member, and not occupy queue space.  Only
+        the calendar backend supports this (the fast path is its sole
+        client); returns False when the event is not found at ``when``.
+        """
+        if not self._use_calendar:
+            return False
+        if when <= self._now:
+            container: Any = self._cur
+        else:
+            container = self._buckets.get(when)
+            if container is None:
+                return False
+        try:
+            container.remove(event)
+        except ValueError:
+            return False
+        self._pending -= 1
+        ks = self.kernel_stats
+        if ks is not None:
+            ks.on_cancelled(event)
+        return True
 
     def schedule(self, delay: float, callback: Callable[[], Any]) -> SimEvent:
         """Run ``callback()`` after ``delay`` time units (fire-and-forget)."""
@@ -520,7 +696,19 @@ class Simulator:
 
     # -- running -------------------------------------------------------------
     def peek(self) -> float:
-        """Timestamp of the next event, or ``inf`` if the heap is empty."""
+        """Timestamp of the next event, or ``inf`` if the queue is empty."""
+        if self._use_calendar:
+            if self._cur:
+                return self._now
+            times, buckets = self._times, self._buckets
+            while times:
+                when = times[0]
+                if buckets.get(when):
+                    return when
+                # Bucket fully cancelled: drop the stale timestamp key.
+                heapq.heappop(times)
+                buckets.pop(when, None)
+            return float("inf")
         return self._heap[0][0] if self._heap else float("inf")
 
     # -- debug invariants -----------------------------------------------------
@@ -587,13 +775,42 @@ class Simulator:
 
     @property
     def heap_depth(self) -> int:
-        """Number of events currently pending on the heap."""
-        return len(self._heap)
+        """Number of events currently pending in the queue."""
+        return self._pending if self._use_calendar else len(self._heap)
+
+    def _advance(self) -> bool:
+        """Move the earliest non-empty bucket onto the level-0 FIFO.
+
+        Advancing the clock closes the previous same-timestamp batch, which
+        is when its size is reported to :class:`KernelStats`.
+        """
+        times, buckets = self._times, self._buckets
+        while times:
+            when = heapq.heappop(times)
+            bucket = buckets.pop(when, None)
+            if bucket:
+                ks = self.kernel_stats
+                if ks is not None and self._batch_n:
+                    ks.on_batch(self._batch_n)
+                self._batch_n = 0
+                self._now = when
+                self._cur.extend(bucket)
+                return True
+        return False
 
     def step(self) -> None:
         """Pop and fire exactly one event."""
-        when, _eid, event = heapq.heappop(self._heap)
-        self._now = when
+        if self._use_calendar:
+            cur = self._cur
+            if not cur:
+                if not self._advance():
+                    raise IndexError("step() on an empty event queue")
+            event = cur.popleft()
+            self._pending -= 1
+            self._batch_n += 1
+        else:
+            when, _eid, event = heapq.heappop(self._heap)
+            self._now = when
         event._fire()
         # Recycle pooled timeouts: every waiter resumed synchronously
         # inside _fire(), so nothing can reference the event afterwards.
@@ -604,23 +821,92 @@ class Simulator:
             ks.on_fired(event)
         tel = self.telemetry
         if tel is not None:
-            tel.on_event(when)
+            tel.on_event(self._now)
         if self._invariants:
             self._run_invariants()
 
+    def _run_calendar(self, until: Optional[float]) -> None:
+        """Batched dispatch loop over the calendar queue.
+
+        The whole bucket for a timestamp is transferred onto the level-0
+        FIFO in one operation and drained — together with any zero-delay
+        events its callbacks append — without re-entering the timestamp
+        index between events.
+        """
+        cur = self._cur
+        pool = self._timeout_pool
+        times, buckets = self._times, self._buckets
+        popleft = cur.popleft
+        while True:
+            # Per-batch hook snapshot: observers attach before run().
+            ks = self.kernel_stats
+            tel = self.telemetry
+            inv = bool(self._invariants)
+            if ks is None and tel is None and not inv:
+                # Unobserved batch: the timed-run inner loop.  _fire() is
+                # inlined (callbacks detach first, exactly as the method
+                # does) and the per-event observer conditionals drop out.
+                while cur:
+                    event = popleft()
+                    self._pending -= 1
+                    cbs = event.callbacks
+                    event.callbacks = None
+                    if cbs:
+                        for cb in cbs:
+                            cb(event)
+                    elif event._exception is not None and not event._defused:
+                        raise event._exception
+                    if type(event) is Timeout and event._pooled:
+                        pool.append(event)
+            else:
+                while cur:
+                    event = popleft()
+                    self._pending -= 1
+                    self._batch_n += 1
+                    event._fire()
+                    if type(event) is Timeout and event._pooled:
+                        pool.append(event)
+                    if ks is not None:
+                        ks.on_fired(event)
+                    if tel is not None:
+                        tel.on_event(self._now)
+                    if inv:
+                        self._run_invariants()
+            when = None
+            while times:
+                head = times[0]
+                if buckets.get(head):
+                    when = head
+                    break
+                heapq.heappop(times)
+                buckets.pop(head, None)
+            if when is None or (until is not None and when > until):
+                return
+            heapq.heappop(times)
+            bucket = buckets.pop(when)
+            if ks is not None and self._batch_n:
+                ks.on_batch(self._batch_n)
+            self._batch_n = 0
+            self._now = when
+            cur.extend(bucket)
+
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the heap drains or the clock passes ``until``.
+        """Run until the queue drains or the clock passes ``until``.
 
         If ``until`` is given, the clock is advanced exactly to ``until``
         even when no event lands on that timestamp.
         """
         if until is not None and until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
+        self._horizon = float("inf") if until is None else until
         try:
-            while self._heap:
-                if until is not None and self._heap[0][0] > until:
-                    break
-                self.step()
+            if self._use_calendar:
+                self._run_calendar(until)
+            else:
+                while self._heap:
+                    if until is not None and self._heap[0][0] > until:
+                        break
+                    self.step()
         except StopSimulation:
             pass
         if until is not None:

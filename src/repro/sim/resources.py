@@ -20,9 +20,16 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from .engine import SimEvent, Simulator
+from .engine import SimEvent, Simulator, Timeout
+from .engine import _PENDING
 
-__all__ = ["Request", "Resource", "PriorityResource", "Store", "Container"]
+__all__ = ["Request", "Resource", "PriorityResource", "Store", "Container",
+           "SEGMENT_SPLIT"]
+
+#: Sentinel delivered by a segmented hold's timeout when contention
+#: materialized the internal boundary: the holder must release at the
+#: boundary and replay the second burst through the event-accurate path.
+SEGMENT_SPLIT = object()
 
 
 class Request(SimEvent):
@@ -33,15 +40,17 @@ class Request(SimEvent):
     """
 
     __slots__ = ("resource", "priority", "requested_at", "granted_at",
-                 "cancelled")
+                 "cancelled", "hold")
 
     def __init__(self, resource: "Resource", priority: float = 0.0):
         super().__init__(resource.sim)
         self.resource = resource
         self.priority = priority
-        self.requested_at = resource.sim.now
+        self.requested_at = resource.sim._now
         self.granted_at: Optional[float] = None
         self.cancelled = False
+        #: grant-and-hold duration (fast path only; see Resource.request)
+        self.hold: Optional[float] = None
 
     def cancel(self) -> None:
         """Withdraw a not-yet-granted request (e.g. after an interrupt)."""
@@ -69,6 +78,11 @@ class Resource:
         self._busy_integral = 0.0
         self._last_change = sim.now
         self._created_at = sim.now
+        #: active segmented hold (fast path only):
+        #: (holder request, boundary time, pooled timeout, fire time)
+        self._seg: Optional[tuple] = None
+        #: recycled Request objects (fast path only; see :meth:`release`)
+        self._req_pool: list[Request] = []
 
     # -- metrics ------------------------------------------------------------
     @property
@@ -88,18 +102,55 @@ class Resource:
         return self._busy_integral / (elapsed * self.capacity)
 
     def _account(self) -> None:
-        dt = self.sim.now - self._last_change
+        now = self.sim._now
+        dt = now - self._last_change
         if dt > 0:
             self._busy_integral += dt * len(self.users)
-            self._last_change = self.sim.now
+            self._last_change = now
 
     # -- protocol ------------------------------------------------------------
-    def request(self, priority: float = 0.0) -> Request:
-        """Ask for one unit of the resource.  Yield the returned event."""
-        req = Request(self, priority)
+    def _take_request(self, priority: float = 0.0) -> Request:
+        """A fresh or recycled :class:`Request` (pool filled by release)."""
+        pool = self._req_pool
+        if pool:
+            req = pool.pop()
+            req.callbacks = []
+            req._value = _PENDING
+            req._exception = None
+            req._defused = False
+            req.priority = priority
+            req.requested_at = self.sim._now
+            req.granted_at = None
+            req.cancelled = False
+            return req
+        return Request(self, priority)
+
+    def request(self, priority: float = 0.0,
+                hold: Optional[float] = None) -> Request:
+        """Ask for one unit of the resource.  Yield the returned event.
+
+        ``hold`` (fast path only) is the *grant-and-hold* collapse: when
+        the caller already knows it will hold the unit for exactly
+        ``hold`` seconds and then release, the grant event is scheduled
+        directly at ``grant_time + hold`` instead of waking the owner at
+        the grant just so it can arm the same timer.  One event and one
+        resume replace two of each; the grant bookkeeping (wait time,
+        utilization integral) still happens at the grant instant, so
+        every digested counter is byte-identical to the two-step path.
+        The owner must call :meth:`release` immediately on wake-up.
+        """
+        seg = self._seg
+        if seg is not None and self.sim._now <= seg[1]:
+            # A contender arrived at or before a segmented hold's internal
+            # boundary: split the hold so the grant timeline is identical
+            # to the event-by-event path.
+            self._split_segment()
+        req = self._take_request(priority)
+        req.hold = hold
         self.total_requests += 1
         self.queue.append(req)
-        self.peak_queue_len = max(self.peak_queue_len, len(self.queue))
+        if len(self.queue) > self.peak_queue_len:
+            self.peak_queue_len = len(self.queue)
         self._grant()
         return req
 
@@ -122,25 +173,94 @@ class Resource:
         byte-identical to the event-based path, while skipping the grant
         event entirely.
         """
-        if self.queue or len(self.users) >= self.capacity:
+        users = self.users
+        if self.queue or len(users) >= self.capacity:
             return None
-        req = Request(self)
+        req = self._take_request()
         self.total_requests += 1
         # request() measures peak with the new request momentarily queued.
-        self.peak_queue_len = max(self.peak_queue_len, 1)
-        self._account()
-        req.granted_at = self.sim.now
+        if self.peak_queue_len < 1:
+            self.peak_queue_len = 1
+        # inlined _account()
+        now = self.sim._now
+        dt = now - self._last_change
+        if dt > 0:
+            self._busy_integral += dt * len(users)
+            self._last_change = now
+        req.granted_at = now
         req._value = req          # triggered, never scheduled
-        self.users.append(req)
+        users.append(req)
         return req
+
+    # -- segmented holds (fast path only) ------------------------------------
+    def hold_segmented(self, request: Request, first_delay: float,
+                       second_delay: float) -> Timeout:
+        """Collapse two back-to-back holds by ``request``'s owner into one
+        pooled timeout with a recorded internal boundary.
+
+        The caller holds the resource for both bursts and yields the
+        returned timeout.  If nothing contends, it wakes once at the end
+        (value ``None``) and the elided re-acquire's bookkeeping is the
+        caller's responsibility.  If a contender requests the resource at
+        or before the boundary, the pending timeout is *cancelled by
+        handle*, re-armed to fire at the boundary, and delivers
+        :data:`SEGMENT_SPLIT` -- the caller must then release at the
+        boundary (granting the contender exactly when the event-accurate
+        path would) and replay the second hold through the normal path.
+        """
+        assert self._seg is None, "nested segmented hold"
+        sim = self.sim
+        # Absolute fire times, computed exactly as the event path would:
+        # (t0 + d1) + d2, never t0 + (d1 + d2) -- float addition is not
+        # associative and the equivalence contract is bitwise.
+        boundary = sim._now + first_delay
+        fire_at = boundary + second_delay
+        timeout = sim.hot_timeout_at(fire_at)
+        self._seg = (request, boundary, timeout, fire_at)
+        return timeout
+
+    def _split_segment(self) -> None:
+        _req, boundary, timeout, fire_at = self._seg
+        self._seg = None
+        sim = self.sim
+        if not sim._cancel_scheduled(timeout, fire_at):
+            return  # already fired; nothing to split
+        waiters = timeout.callbacks
+        timeout.callbacks = []
+        sim._timeout_pool.append(timeout)
+        # Re-arm at the exact boundary (reusing the cancelled handle).
+        rearmed = sim.hot_timeout_at(boundary)
+        rearmed._value = SEGMENT_SPLIT
+        for cb in waiters:
+            rearmed.add_callback(cb)
+            owner = getattr(cb, "__self__", None)
+            if owner is not None and getattr(owner, "_target", None) is timeout:
+                owner._target = rearmed
 
     def release(self, request: Request) -> None:
         """Return a previously granted unit."""
-        if request not in self.users:
-            raise RuntimeError("releasing a request that does not hold the resource")
-        self._account()
-        self.users.remove(request)
-        self._grant()
+        users = self.users
+        try:
+            idx = users.index(request)
+        except ValueError:
+            raise RuntimeError(
+                "releasing a request that does not hold the resource") from None
+        seg = self._seg
+        if seg is not None and seg[0] is request:
+            self._seg = None
+        # inlined _account() (the busy integral accrues over the pre-release
+        # user count, so this must precede the removal)
+        now = self.sim._now
+        dt = now - self._last_change
+        if dt > 0:
+            self._busy_integral += dt * len(users)
+            self._last_change = now
+        del users[idx]
+        if self.queue:
+            self._grant()
+        if self.sim.fast_path and type(request) is Request:
+            # The handle is dead past this point by contract; recycle it.
+            self._req_pool.append(request)
 
     def _select_next(self) -> Optional[Request]:
         for req in self.queue:
@@ -159,10 +279,20 @@ class Resource:
                 break
             self.queue.remove(nxt)
             self._account()
-            nxt.granted_at = self.sim.now
+            nxt.granted_at = self.sim._now
             self.total_wait_time += nxt.granted_at - nxt.requested_at
             self.users.append(nxt)
-            nxt.succeed(nxt)
+            hold = nxt.hold
+            if hold is None:
+                nxt.succeed(nxt)
+            else:
+                # Grant-and-hold (see request()): fire the grant event at
+                # the end of the declared hold.  grant_time + hold is the
+                # exact expression the two-step path evaluates when the
+                # woken owner arms its timer, so fire times are bitwise
+                # equal.
+                nxt._value = nxt
+                self.sim._enqueue(hold, nxt)
 
 
 class PriorityResource(Resource):

@@ -58,6 +58,9 @@ class WebBenchClient:
         self.think_time = think_time
         self.rng = rng or RngStream(0, f"client/{client_id}")
         self.stats = ClientStats()
+        #: think-time waits served by the pooled O(1) timer (fast path
+        #: only; observability counter, mirrors ``Lan.fast_transfers``)
+        self.fast_thinks = 0
         self._drain = False
         self.process = sim.process(self._run(), name=f"wb:{client_id}")
 
@@ -105,8 +108,14 @@ class WebBenchClient:
                 if retry_after > 0:
                     yield self.sim.timeout(retry_after)
             if self.think_time > 0:
-                yield self.sim.timeout(
-                    self.rng.expovariate(1.0 / self.think_time))
+                delay = self.rng.expovariate(1.0 / self.think_time)
+                if self.sim.fast_path:
+                    # O(1) collapse: the wait stays a single scheduled
+                    # event, served from the kernel's recycled-timer pool
+                    self.fast_thinks += 1
+                    yield self.sim.hot_timeout(delay)
+                else:
+                    yield self.sim.timeout(delay)
 
     def stop(self) -> None:
         if self.process.is_alive:

@@ -1,0 +1,152 @@
+"""De-enum regression: plain-int flag masks must match the TcpFlags enum.
+
+The packet/TCP/splicer hot paths use precomputed plain-int flag words
+(``repro.net.packet.SYN_FLAG`` etc.) because ``IntFlag.__and__``/``__or__``
+are Python-level calls that dominated profiles.  These tests pin the
+contract of that change:
+
+* every exported mask is the exact value of its enum member;
+* flag properties and ``seq_space`` agree with an enum-reference
+  evaluation across all 32 possible flag words, whether ``Segment.flags``
+  holds a plain int or a ``TcpFlags`` value;
+* the segment log of a full TCP exchange is byte-identical to the log the
+  enum emit sites produced (flags compared against enum-built words).
+"""
+
+import pytest
+
+from repro.net import Address, Host, Network
+from repro.net.packet import (ACK_FLAG, FIN_FLAG, PSH_FLAG, RST_FLAG,
+                              SYN_FLAG, Segment, TcpFlags)
+from repro.sim import Simulator
+
+_BITS = [(SYN_FLAG, TcpFlags.SYN), (ACK_FLAG, TcpFlags.ACK),
+         (FIN_FLAG, TcpFlags.FIN), (RST_FLAG, TcpFlags.RST),
+         (PSH_FLAG, TcpFlags.PSH)]
+
+
+class TestMaskValues:
+    def test_masks_equal_enum_members(self):
+        for mask, member in _BITS:
+            assert mask == member
+            assert mask == int(member)
+
+    def test_masks_are_plain_ints(self):
+        # The whole point: C-speed int arithmetic, not IntFlag dispatch.
+        for mask, _ in _BITS:
+            assert type(mask) is int
+
+    def test_masks_cover_distinct_bits(self):
+        seen = 0
+        for mask, _ in _BITS:
+            assert mask and not (seen & mask)
+            seen |= mask
+
+
+def _segment(flags, payload_len=0):
+    return Segment(src=Address("10.0.0.2", 1234),
+                   dst=Address("10.0.0.1", 80),
+                   seq=100, ack=200, flags=flags, payload_len=payload_len)
+
+
+class TestPropertyEquivalence:
+    # FIN=0x01 SYN=0x02 RST=0x04 PSH=0x08 ACK=0x10: range(32) enumerates
+    # every combination of the five modelled flag bits.
+    @pytest.mark.parametrize("word", range(32))
+    def test_properties_match_enum_reference(self, word):
+        ref = TcpFlags(word)
+        for seg in (_segment(word), _segment(ref)):
+            assert seg.is_syn == bool(ref & TcpFlags.SYN)
+            assert seg.is_ack == bool(ref & TcpFlags.ACK)
+            assert seg.is_fin == bool(ref & TcpFlags.FIN)
+            assert seg.is_rst == bool(ref & TcpFlags.RST)
+
+    @pytest.mark.parametrize("word", range(32))
+    def test_seq_space_matches_enum_reference(self, word):
+        ref = TcpFlags(word)
+        expected = 7
+        if TcpFlags.SYN & ref:
+            expected += 1
+        if TcpFlags.FIN & ref:
+            expected += 1
+        assert _segment(word, payload_len=7).seq_space() == expected
+        assert _segment(ref, payload_len=7).seq_space() == expected
+
+    @pytest.mark.parametrize("word", range(32))
+    def test_int_and_enum_segments_compare_equal(self, word):
+        # TcpFlags is an int, so a segment built from the enum must be
+        # indistinguishable from one built from the plain word.
+        assert _segment(word) == _segment(TcpFlags(word))
+
+
+class TestSegmentLogByteIdentical:
+    """Run a full exchange and pin the emitted flag words.
+
+    The expected values are built from the *enum* -- exactly what the
+    emit sites produced before they switched to precomputed ints.  If a
+    de-enum'd emit site ever drifts (wrong combination, wrong bit), the
+    wire log changes and this test fails.
+    """
+
+    def _exchange_log(self):
+        sim = Simulator()
+        net = Network(sim)
+        log = []
+        inner_send = net.send
+
+        def recording_send(segment):
+            log.append((segment.src.port, segment.dst.port, segment.flags,
+                        segment.payload_len))
+            inner_send(segment)
+
+        net.send = recording_send
+        client_host = Host(net, "10.0.0.2")
+        server_host = Host(net, "10.0.0.1")
+        accepted = []
+        server_host.listen(80, accepted.append)
+        sock = client_host.socket(port=5555)
+
+        def client():
+            yield sock.connect(Address("10.0.0.1", 80))
+            sock.send("req", 40)
+            yield sock.inbox.get()
+            yield sock.close()
+
+        def server():
+            while not accepted:
+                yield sim.timeout(1e-4)
+            peer = accepted[0]
+            yield peer.inbox.get()
+            peer.send("resp", 90)
+            yield peer.close()
+
+        sim.process(client())
+        sim.process(server())
+        sim.run(until=5.0)
+        return log
+
+    def test_segment_log_matches_enum_reference(self):
+        log = self._exchange_log()
+        syn = TcpFlags.SYN
+        syn_ack = TcpFlags.SYN | TcpFlags.ACK
+        ack = TcpFlags.ACK
+        ack_psh = TcpFlags.ACK | TcpFlags.PSH
+        fin_ack = TcpFlags.FIN | TcpFlags.ACK
+        expected = [
+            (5555, 80, syn, 0),        # client SYN
+            (80, 5555, syn_ack, 0),    # server SYN-ACK
+            (5555, 80, ack, 0),        # handshake ACK
+            (5555, 80, ack_psh, 40),   # request
+            (80, 5555, ack, 0),        # server ACKs request
+            (80, 5555, ack_psh, 90),   # response
+            (80, 5555, fin_ack, 0),    # server FIN (close right after send)
+            (5555, 80, ack, 0),        # client ACKs response
+            (5555, 80, ack, 0),        # client ACKs FIN
+            (5555, 80, fin_ack, 0),    # client FIN
+            (80, 5555, ack, 0),        # server ACKs FIN
+        ]
+        assert [(s, d, int(f), n) for s, d, f, n in expected] == log
+        # byte-identical including the flag word's *type*: the wire value
+        # is the int, and enum-typed words compare equal to it
+        for (_, _, got, _), (_, _, want, _) in zip(log, expected):
+            assert got == want
